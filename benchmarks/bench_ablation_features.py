@@ -1,0 +1,63 @@
+"""A3 — ablation: direct-only vs graph-only vs all 23 polysemy features.
+
+The paper proposes 11 direct + 12 graph features.  This ablation trains
+the same classifier on each subset: both halves must carry signal on
+their own, and the full 23 should be at least as good as either half.
+"""
+
+from benchmarks.conftest import print_paper_vs_measured, run_once
+from repro.eval.experiments import run_polysemy_detection_experiment
+from repro.utils.tables import format_table
+
+
+def run_all_feature_sets(n_entities: int, seed: int) -> dict[str, dict[str, float]]:
+    out = {}
+    for feature_set in ("direct", "graph", "all"):
+        out[feature_set] = run_polysemy_detection_experiment(
+            classifiers=("forest", "logistic"),
+            n_entities=n_entities,
+            feature_set=feature_set,
+            n_splits=5,
+            seed=seed,
+        )
+    return out
+
+
+def test_ablation_feature_sets(benchmark, scale):
+    n_entities = 160 if scale == "paper" else 80
+    results = run_once(
+        benchmark, run_all_feature_sets, n_entities=n_entities, seed=0
+    )
+
+    rows = []
+    for feature_set, scores in results.items():
+        best = max(scores.values())
+        rows.append(
+            [feature_set,
+             {"direct": 11, "graph": 12, "all": 23}[feature_set],
+             f"{best:.3f}"]
+        )
+    print()
+    print(
+        format_table(
+            ["feature set", "#features", "best F-measure"],
+            rows,
+            title=f"A3: polysemy feature ablation ({n_entities} terms)",
+        )
+    )
+
+    best_all = max(results["all"].values())
+    best_direct = max(results["direct"].values())
+    best_graph = max(results["graph"].values())
+    print_paper_vs_measured(
+        "A3 headline",
+        [
+            ("all 23 vs best half", "23 features used in the paper",
+             f"{best_all:.3f} vs {max(best_direct, best_graph):.3f}"),
+        ],
+    )
+
+    # Each half alone must be informative, and the union must not hurt.
+    assert best_direct > 0.7
+    assert best_graph > 0.7
+    assert best_all >= max(best_direct, best_graph) - 0.03

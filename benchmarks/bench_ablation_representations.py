@@ -1,0 +1,58 @@
+"""A2 — ablation: bag-of-words vs graph context representation.
+
+"In general, bag-of-words and graph representations obtain similar
+accuracy values."  This ablation runs the sense-number sweep under both
+representations on the same entities and checks the gap stays small.
+"""
+
+from benchmarks.conftest import print_paper_vs_measured, run_once
+from repro.eval.experiments import run_sense_number_experiment
+from repro.utils.tables import format_table
+
+
+def test_ablation_bow_vs_graph(benchmark, scale):
+    n_entities = 80 if scale == "paper" else 36
+    result = run_once(
+        benchmark,
+        run_sense_number_experiment,
+        n_entities=n_entities,
+        contexts_per_sense=20,
+        sense_overlap=0.45,
+        background_fraction=0.6,
+        algorithms=("rb", "direct"),
+        representations=("bow", "graph"),
+        seed=0,
+    )
+
+    rows = []
+    for index in ("ak", "bk", "ck", "ek", "fk"):
+        bow = max(
+            acc for (a, r, i), acc in result.accuracies.items()
+            if r == "bow" and i == index
+        )
+        graph = max(
+            acc for (a, r, i), acc in result.accuracies.items()
+            if r == "graph" and i == index
+        )
+        rows.append([index, f"{bow:.3f}", f"{graph:.3f}", f"{bow - graph:+.3f}"])
+    print()
+    print(
+        format_table(
+            ["index", "bow", "graph", "gap"],
+            rows,
+            title=f"A2: representation ablation ({result.n_entities} entities)",
+        )
+    )
+
+    bow_best = max(
+        acc for (a, r, i), acc in result.accuracies.items() if r == "bow"
+    )
+    graph_best = max(
+        acc for (a, r, i), acc in result.accuracies.items() if r == "graph"
+    )
+    print_paper_vs_measured(
+        "A2 headline",
+        [("|bow − graph| best-accuracy gap", "≈ 0 ('similar')",
+          f"{abs(bow_best - graph_best):.3f}")],
+    )
+    assert abs(bow_best - graph_best) < 0.1

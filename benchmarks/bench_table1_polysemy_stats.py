@@ -1,0 +1,63 @@
+"""E1 — Table 1: polysemic-term statistics of UMLS and MeSH (EN/FR/ES).
+
+Regenerates the paper's Table 1 on the synthetic metathesaurus.  Counts
+are produced at a reduced scale (the real English UMLS holds 9.9 M
+terms); the *shape* that matters — k = 2 dominating every terminology,
+roughly one polysemic term per 200 — is asserted, and both tables are
+printed for EXPERIMENTS.md.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_paper_vs_measured, run_once
+from repro.eval import paper
+from repro.eval.experiments import run_table1_experiment
+from repro.utils.tables import format_table
+
+
+def paper_table() -> str:
+    rows = []
+    keys = sorted(paper.TABLE1_POLYSEMY_COUNTS)
+    for k in (2, 3, 4, 5):
+        label = f"{k}" if k < 5 else "5+"
+        rows.append(
+            [label] + [paper.TABLE1_POLYSEMY_COUNTS[key][k] for key in keys]
+        )
+    headers = ["k"] + [f"{s.upper()} {l.upper()}" for s, l in keys]
+    return format_table(headers, rows, title="Table 1 (paper, full scale)")
+
+
+@pytest.mark.parametrize("seed", [0])
+def test_table1_polysemy_statistics(benchmark, scale, seed):
+    gen_scale = 100.0 if scale == "paper" else 1000.0
+    result = run_once(benchmark, run_table1_experiment, scale=gen_scale, seed=seed)
+    stats = result.statistics
+
+    print()
+    print(paper_table())
+    print()
+    print(result.table())
+
+    # Shape assertions: the k = 2 bin dominates wherever polysemy exists...
+    for key, histogram in stats.histograms.items():
+        total = sum(histogram.values())
+        if total == 0:
+            continue
+        assert histogram[2] == max(histogram.values()), key
+    # ...with the UMLS-EN shares close to the paper's distribution.
+    en = stats.histograms[("umls", "en")]
+    en_paper = paper.TABLE1_POLYSEMY_COUNTS[("umls", "en")]
+    share_measured = en[2] / sum(en.values())
+    share_paper = en_paper[2] / sum(en_paper.values())
+    assert abs(share_measured - share_paper) < 0.05
+
+    # The prose claim: ~1 polysemic term in 200 for English UMLS.
+    ratio = stats.polysemy_ratio(("umls", "en"))
+    print_paper_vs_measured(
+        "Prose claims",
+        [
+            ("UMLS-EN polysemy rate", "~1/200", f"1/{round(1 / ratio)}"),
+            ("dominant bin share (k=2)", f"{share_paper:.3f}", f"{share_measured:.3f}"),
+        ],
+    )
+    assert 1 / 400 < ratio < 1 / 100

@@ -1,0 +1,47 @@
+"""End-to-end workflow benchmark (not a paper table; throughput guard).
+
+Times the assembled four-step :class:`~repro.workflow.OntologyEnricher`
+on a mid-size scenario and sanity-checks the report: the workflow is the
+paper's deliverable, so the suite should notice if wiring changes make it
+produce empty reports or blow up its runtime.
+"""
+
+from benchmarks.conftest import run_once
+from repro.scenarios import make_enrichment_scenario
+from repro.workflow.config import EnrichmentConfig
+from repro.workflow.pipeline import OntologyEnricher
+
+
+def run_workflow(n_concepts: int, docs_per_concept: int, seed: int):
+    scenario = make_enrichment_scenario(
+        seed=seed,
+        n_concepts=n_concepts,
+        docs_per_concept=docs_per_concept,
+        polysemy_histogram={2: max(2, n_concepts // 12)},
+    )
+    enricher = OntologyEnricher(
+        scenario.ontology,
+        config=EnrichmentConfig(n_candidates=10, min_contexts=3),
+        pos_lexicon=scenario.pos_lexicon,
+    )
+    return enricher.enrich(scenario.corpus)
+
+
+def test_workflow_end_to_end(benchmark, scale):
+    n_concepts = 60 if scale == "paper" else 30
+    report = run_once(
+        benchmark,
+        run_workflow,
+        n_concepts=n_concepts,
+        docs_per_concept=6,
+        seed=5,
+    )
+    print()
+    print(report.to_table())
+
+    assert report.n_candidates >= 1
+    completed = report.completed_terms()
+    assert completed, "workflow produced no completed candidates"
+    for term_report in completed:
+        assert term_report.n_senses >= 1
+        assert term_report.propositions

@@ -1,0 +1,50 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table (or reported number) of the paper
+and prints it next to the published values.  Experiments run **once** per
+benchmark (``benchmark.pedantic(..., rounds=1)``) — they are minutes-long
+end-to-end pipelines, not micro-kernels.
+
+Scale control: set ``REPRO_BENCH_SCALE=paper`` for full paper-sized runs
+(203 WSD entities, 60 held-out terms); the default ``small`` keeps the
+whole suite in a few minutes while preserving every result's shape.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> str:
+    """``"small"`` (default) or ``"paper"`` from REPRO_BENCH_SCALE."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+    if scale not in ("small", "paper"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be small|paper, got {scale!r}")
+    return scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    """The active benchmark scale."""
+    return bench_scale()
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def print_paper_vs_measured(title: str, rows: list[tuple[str, object, object]]) -> None:
+    """Uniform 'paper vs measured' block printed by every benchmark."""
+    from repro.utils.tables import format_table
+
+    print()
+    print(
+        format_table(
+            ["quantity", "paper", "measured"],
+            [[name, paper_value, measured] for name, paper_value, measured in rows],
+            title=title,
+        )
+    )

@@ -1,0 +1,76 @@
+"""Step II demo: screening candidate terms for polysemy.
+
+Trains the 23-feature polysemy detector (11 direct + 12 graph features)
+on terms whose sense count is known from the ontology, then screens new
+candidate terms and prints the feature evidence behind each verdict.
+
+Run:  python examples/polysemy_screening.py
+"""
+
+import numpy as np
+
+from repro.corpus.mshwsd import MshWsdSimulator
+from repro.ml.metrics import confusion_matrix
+from repro.polysemy.dataset import build_entity_polysemy_dataset
+from repro.polysemy.detector import PolysemyDetector
+from repro.polysemy.features import ALL_FEATURE_NAMES
+from repro.utils.tables import format_table
+
+
+def main(n_entities: int = 100) -> None:
+    print("Generating labelled terms (half monosemous, half polysemic)...")
+    half = n_entities // 2
+    simulator = MshWsdSimulator(
+        n_entities=n_entities,
+        sense_distribution={1: half, 2: max(1, round(0.8 * (n_entities - half))),
+                            3: max(1, round(0.16 * (n_entities - half))),
+                            4: max(1, round(0.04 * (n_entities - half)))},
+        contexts_per_sense=24,
+        contexts_mode="per_entity",
+        sense_overlap=0.5,
+        background_fraction=0.55,
+        seed=2,
+    )
+    entities = simulator.generate()
+    dataset = build_entity_polysemy_dataset(entities)
+    print(f"  {dataset.n_samples} terms, {dataset.X.shape[1]} features, "
+          f"{dataset.class_balance():.0%} polysemic")
+
+    detector = PolysemyDetector("forest", seed=0)
+    scores = detector.cross_validate_f1(dataset, n_splits=5, seed=0)
+    print(f"\n5-fold CV F-measure: {scores.mean():.3f} "
+          f"(the paper reports 0.98)")
+
+    # Train on the first 80%, screen the rest.
+    cut = int(0.8 * dataset.n_samples)
+    train = slice(0, cut)
+    test = slice(cut, None)
+    from repro.polysemy.dataset import PolysemyDataset
+
+    train_ds = PolysemyDataset(
+        X=dataset.X[train], y=dataset.y[train],
+        terms=dataset.terms[train], feature_names=dataset.feature_names,
+    )
+    detector.fit(train_ds)
+    predictions = detector.predict_features(dataset.X[test])
+    truth = dataset.y[test]
+    print("\nHeld-out confusion matrix (rows true, cols predicted):")
+    print(confusion_matrix(truth, predictions))
+
+    # Show the most discriminative features by class-mean gap.
+    X, y = dataset.X, dataset.y
+    gaps = []
+    for j, name in enumerate(ALL_FEATURE_NAMES):
+        mono = X[y == 0, j]
+        poly = X[y == 1, j]
+        pooled = X[:, j].std() or 1.0
+        gaps.append((name, abs(poly.mean() - mono.mean()) / pooled))
+    gaps.sort(key=lambda pair: -pair[1])
+    rows = [[name, f"{gap:.2f}"] for name, gap in gaps[:8]]
+    print()
+    print(format_table(["feature", "standardised gap"], rows,
+                       title="Most discriminative of the 23 features"))
+
+
+if __name__ == "__main__":
+    main()

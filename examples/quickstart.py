@@ -1,0 +1,68 @@
+"""Quickstart: run the full four-step enrichment workflow.
+
+Generates a MeSH-like ontology and a matching PubMed-like corpus, then
+runs the paper's workflow end to end:
+
+    Step I   — BioTex-style term extraction (candidate terms)
+    Step II  — polysemy detection (23 features + random forest)
+    Step III — sense induction (number of senses via the f_k index)
+    Step IV  — semantic linkage (cosine-ranked ontology positions)
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.scenarios import make_enrichment_scenario
+from repro.workflow import EnrichmentConfig, OntologyEnricher
+
+
+def main(n_concepts: int = 50, docs_per_concept: int = 8) -> None:
+    print("Generating scenario (ontology + PubMed-like corpus)...")
+    scenario = make_enrichment_scenario(
+        seed=7,
+        n_concepts=n_concepts,
+        docs_per_concept=docs_per_concept,
+        polysemy_histogram={2: 5, 3: 2},
+    )
+    print(
+        f"  ontology: {len(scenario.ontology)} concepts, "
+        f"{len(scenario.ontology.terms())} terms"
+    )
+    print(
+        f"  corpus:   {scenario.corpus.n_documents()} abstracts, "
+        f"{scenario.corpus.n_tokens():,} tokens"
+    )
+
+    config = EnrichmentConfig(
+        n_candidates=10,
+        min_contexts=4,
+        extraction_measure="lidf_value",
+        sense_index="fk",
+        top_k_positions=5,
+    )
+    enricher = OntologyEnricher(
+        scenario.ontology, config=config, pos_lexicon=scenario.pos_lexicon
+    )
+
+    print("\nRunning the four-step workflow...")
+    report = enricher.enrich(scenario.corpus)
+    print(report.to_table())
+
+    completed = report.completed_terms()
+    if completed:
+        first = completed[0]
+        print(f"\nDetail for the first completed candidate: {first.term!r}")
+        print(f"  polysemic:  {first.polysemic}")
+        print(f"  senses (k): {first.n_senses}")
+        for sense in first.senses.senses:
+            words = ", ".join(sense.top_features[:5])
+            print(f"    sense {sense.sense_id}: {words}  ({sense.support} contexts)")
+        print("  proposed positions:")
+        for proposition in first.propositions:
+            print(
+                f"    {proposition.rank}. {proposition.term} "
+                f"(cosine {proposition.cosine:.4f})"
+            )
+
+
+if __name__ == "__main__":
+    main()

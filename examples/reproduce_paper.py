@@ -1,0 +1,97 @@
+"""Reproduce every table of the paper in one run (reduced scale).
+
+Runs the five experiments behind the paper's evaluation section — Table 1
+(UMLS/MeSH polysemy statistics), §3(i) sense-number prediction with the
+Table 2 indexes, Table 3 (corneal injuries), Table 4 (linkage precision),
+and the §2(II) polysemy-detection F-measure — and prints each next to the
+published numbers.
+
+The full-scale versions (203 WSD entities, 60 held-out terms) run via
+``REPRO_BENCH_SCALE=paper pytest benchmarks/ --benchmark-only``.
+
+Run:  python examples/reproduce_paper.py
+"""
+
+from repro.corpus.pubmed import PubMedSpec
+from repro.eval.experiments import (
+    run_linkage_precision_experiment,
+    run_polysemy_detection_experiment,
+    run_sense_number_experiment,
+    run_table1_experiment,
+    run_table3_experiment,
+)
+from repro.eval.reporting import (
+    render_polysemy_detection,
+    render_sense_number,
+    render_table1,
+    render_table3,
+    render_table4,
+)
+
+
+def main(small: bool = True) -> None:
+    rule = "=" * 72
+
+    print(rule)
+    print("E1 — Table 1: polysemy statistics of the synthetic metathesaurus")
+    print(rule)
+    print(render_table1(run_table1_experiment(scale=1000.0, seed=0)))
+
+    print()
+    print(rule)
+    print("E2 — §3(i): number-of-senses prediction (Table 2 indexes)")
+    print(rule)
+    result = run_sense_number_experiment(
+        n_entities=50 if small else 203,
+        contexts_per_sense=20,
+        sense_overlap=0.45,
+        background_fraction=0.6,
+        algorithms=("rb", "rbr")
+        if small
+        else ("rb", "rbr", "direct", "agglo", "graph"),
+        representations=("bow",) if small else ("bow", "graph"),
+        seed=0,
+    )
+    print(render_sense_number(result))
+
+    print()
+    print(rule)
+    print('E3 — Table 3: positioning "corneal injuries"')
+    print(rule)
+    print(render_table3(run_table3_experiment(seed=0, docs_per_concept=15)))
+
+    print()
+    print(rule)
+    print("E4 — Table 4: linkage precision over held-out terms")
+    print(rule)
+    evaluation = run_linkage_precision_experiment(
+        n_terms=20 if small else 60,
+        n_concepts=150,
+        docs_per_concept=2,
+        mean_synonyms=0.2,
+        inherit_fraction=0.1,
+        seed=0,
+        pubmed_spec=PubMedSpec(
+            mention_prob=0.25,
+            related_mention_prob=0.4,
+            noise_mention_prob=0.5,
+            background_fraction=0.9,
+        ),
+    )
+    print(render_table4(evaluation))
+
+    print()
+    print(rule)
+    print("E5 — §2(II): polysemy detection F-measure (23 features)")
+    print(rule)
+    results = run_polysemy_detection_experiment(
+        classifiers=("forest", "logistic", "knn"),
+        n_entities=60 if small else 240,
+        n_splits=5 if small else 10,
+        seed=0,
+    )
+    print(render_polysemy_detection(results))
+
+
+if __name__ == "__main__":
+    main()

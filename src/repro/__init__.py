@@ -1,0 +1,78 @@
+"""repro — reproduction of "A Way to Automatically Enrich Biomedical
+Ontologies" (Lossio-Ventura, Jonquet, Roche, Teisseire — EDBT 2016).
+
+The package implements the paper's four-step enrichment workflow and every
+substrate it depends on:
+
+* :mod:`repro.text` — tokenisation, POS tagging, vectorisation, graphs;
+* :mod:`repro.corpus` — synthetic PubMed and MSH-WSD corpora;
+* :mod:`repro.ontology` — MeSH/UMLS-like ontologies and their statistics;
+* :mod:`repro.extraction` — Step I, BioTex-style term extraction;
+* :mod:`repro.ml` — classifiers for Step II;
+* :mod:`repro.clustering` — CLUTO-like algorithms and the paper's indexes;
+* :mod:`repro.polysemy` — Step II, polysemy detection (23 features);
+* :mod:`repro.senses` — Step III, sense-number prediction and induction;
+* :mod:`repro.linkage` — Step IV, semantic linkage into the ontology;
+* :mod:`repro.workflow` — the assembled :class:`~repro.workflow.OntologyEnricher`;
+* :mod:`repro.eval` — the paper's reported numbers and experiment runners.
+
+Quickstart::
+
+    from repro.workflow import EnrichmentConfig, OntologyEnricher
+    from repro.scenarios import make_enrichment_scenario
+
+    scenario = make_enrichment_scenario(seed=7)
+    enricher = OntologyEnricher(scenario.ontology, config=EnrichmentConfig())
+    report = enricher.enrich(scenario.corpus)
+    for term_report in report.terms[:5]:
+        print(term_report.term, term_report.propositions[:3])
+"""
+
+from repro.errors import (
+    ClusteringError,
+    ConvergenceWarning,
+    CorpusError,
+    ExtractionError,
+    LinkageError,
+    NotFittedError,
+    OntologyError,
+    ReproError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusteringError",
+    "ConvergenceWarning",
+    "CorpusError",
+    "EnrichmentConfig",
+    "ExtractionError",
+    "LinkageError",
+    "NotFittedError",
+    "OntologyEnricher",
+    "OntologyError",
+    "ReproError",
+    "SemanticLinker",
+    "ValidationError",
+    "__version__",
+    "make_corneal_scenario",
+    "make_enrichment_scenario",
+]
+
+
+def __getattr__(name):
+    """Lazy top-level re-exports so ``import repro`` stays light."""
+    if name in ("OntologyEnricher", "EnrichmentConfig"):
+        from repro import workflow
+
+        return getattr(workflow, name)
+    if name == "SemanticLinker":
+        from repro.linkage import SemanticLinker
+
+        return SemanticLinker
+    if name in ("make_enrichment_scenario", "make_corneal_scenario"):
+        from repro import scenarios
+
+        return getattr(scenarios, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

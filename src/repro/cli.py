@@ -1,0 +1,157 @@
+"""Command-line interface.
+
+Four subcommands mirror how a downstream user drives the library:
+
+* ``generate`` — produce a scenario (ontology JSON + corpus JSONL);
+* ``enrich`` — run the four-step workflow over an ontology + corpus;
+* ``link`` — position one candidate term (Table 3 style output);
+* ``evaluate`` — run the Table 4 protocol over held-out terms.
+
+Run ``python -m repro.cli <command> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.corpus.io import read_corpus_jsonl, write_corpus_jsonl
+from repro.linkage.evaluation import evaluate_linkage, gold_positions
+from repro.linkage.linker import SemanticLinker
+from repro.ontology.io import read_ontology_json, write_ontology_json
+from repro.ontology.snapshot import held_out_terms
+from repro.scenarios import make_enrichment_scenario
+from repro.utils.tables import format_table
+from repro.workflow.config import EnrichmentConfig
+from repro.workflow.pipeline import OntologyEnricher
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    scenario = make_enrichment_scenario(
+        seed=args.seed,
+        n_concepts=args.concepts,
+        docs_per_concept=args.docs_per_concept,
+    )
+    out = Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    write_ontology_json(scenario.ontology, out / "ontology.json")
+    write_corpus_jsonl(scenario.corpus, out / "corpus.jsonl")
+    print(f"wrote {out / 'ontology.json'} ({len(scenario.ontology)} concepts)")
+    print(
+        f"wrote {out / 'corpus.jsonl'} ({scenario.corpus.n_documents()} documents, "
+        f"{scenario.corpus.n_tokens():,} tokens)"
+    )
+    return 0
+
+
+def _cmd_enrich(args: argparse.Namespace) -> int:
+    ontology = read_ontology_json(args.ontology)
+    corpus = read_corpus_jsonl(args.corpus)
+    config = EnrichmentConfig(
+        n_candidates=args.candidates,
+        top_k_positions=args.top_k,
+        seed=args.seed,
+    )
+    enricher = OntologyEnricher(ontology, config=config)
+    report = enricher.enrich(corpus)
+    print(report.to_table())
+    return 0
+
+
+def _cmd_link(args: argparse.Namespace) -> int:
+    ontology = read_ontology_json(args.ontology)
+    corpus = read_corpus_jsonl(args.corpus)
+    linker = SemanticLinker(ontology, corpus, top_k=args.top_k)
+    propositions = linker.propose(args.term)
+    concept_ids = ontology.concepts_for_term(args.term)
+    gold = (
+        gold_positions(ontology, concept_ids[0], args.term)
+        if concept_ids
+        else set()
+    )
+    rows = [
+        [p.rank, p.term, f"{p.cosine:.4f}", "*" if p.term in gold else ""]
+        for p in propositions
+    ]
+    print(
+        format_table(
+            ["#", "where", "cosine", "correct"],
+            rows,
+            title=f"Propositions for {args.term!r}",
+        )
+    )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    ontology = read_ontology_json(args.ontology)
+    corpus = read_corpus_jsonl(args.corpus)
+    held = held_out_terms(ontology, args.start_year, args.end_year)
+    if args.max_terms:
+        held = held[: args.max_terms]
+    if not held:
+        print("no held-out terms in the requested window", file=sys.stderr)
+        return 1
+    linker = SemanticLinker(ontology, corpus, top_k=10)
+    evaluation = evaluate_linkage(linker, held)
+    row = evaluation.as_row()
+    print(
+        format_table(
+            ["Top 1", "Top 2", "Top 5", "Top 10"],
+            [[f"{row[k]:.3f}" for k in (1, 2, 5, 10)]],
+            title=f"Linkage precision over {evaluation.n_terms} held-out terms",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Biomedical ontology enrichment (EDBT 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a synthetic scenario")
+    generate.add_argument("--output", required=True, help="output directory")
+    generate.add_argument("--concepts", type=int, default=60)
+    generate.add_argument("--docs-per-concept", type=int, default=6)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(fn=_cmd_generate)
+
+    enrich = sub.add_parser("enrich", help="run the four-step workflow")
+    enrich.add_argument("--ontology", required=True, help="ontology JSON path")
+    enrich.add_argument("--corpus", required=True, help="corpus JSONL path")
+    enrich.add_argument("--candidates", type=int, default=10)
+    enrich.add_argument("--top-k", type=int, default=10)
+    enrich.add_argument("--seed", type=int, default=0)
+    enrich.set_defaults(fn=_cmd_enrich)
+
+    link = sub.add_parser("link", help="position one candidate term")
+    link.add_argument("--ontology", required=True)
+    link.add_argument("--corpus", required=True)
+    link.add_argument("--term", required=True)
+    link.add_argument("--top-k", type=int, default=10)
+    link.set_defaults(fn=_cmd_link)
+
+    evaluate = sub.add_parser("evaluate", help="run the Table 4 protocol")
+    evaluate.add_argument("--ontology", required=True)
+    evaluate.add_argument("--corpus", required=True)
+    evaluate.add_argument("--start-year", type=int, default=2009)
+    evaluate.add_argument("--end-year", type=int, default=2015)
+    evaluate.add_argument("--max-terms", type=int, default=None)
+    evaluate.set_defaults(fn=_cmd_evaluate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

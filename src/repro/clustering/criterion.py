@@ -1,0 +1,74 @@
+"""CLUTO criterion functions.
+
+The partitional algorithms optimise a global criterion over the
+clustering.  CLUTO's default (and what the paper's setup uses) is **I2**:
+
+    I2 = Σ_i ‖D_i‖      (maximise)
+
+where ``D_i`` is the composite (summed) vector of cluster i's unit rows —
+equivalent to spherical k-means' objective.  I1, E1, H1, H2 are provided
+for completeness and ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.similarity import as_float_array, composite_vector
+from repro.errors import ClusteringError
+
+CRITERIA = ("i1", "i2", "e1", "h1", "h2")
+
+
+def _composites(matrix, labels: np.ndarray) -> list[np.ndarray]:
+    labels = np.asarray(labels)
+    k = int(labels.max()) + 1 if labels.size else 0
+    return [
+        composite_vector(matrix, np.where(labels == i)[0]) for i in range(k)
+    ]
+
+
+def criterion_value(matrix, labels: np.ndarray, criterion: str = "i2") -> float:
+    """Value of ``criterion`` for the clustering ``labels`` of ``matrix``.
+
+    ``i1``/``i2``/``h1``/``h2`` are maximisation criteria; ``e1`` is a
+    minimisation criterion (callers compare accordingly).
+    """
+    criterion = criterion.lower()
+    if criterion not in CRITERIA:
+        raise ClusteringError(
+            f"unknown criterion {criterion!r}; options: {', '.join(CRITERIA)}"
+        )
+    matrix = as_float_array(matrix)
+    labels = np.asarray(labels)
+    if labels.shape[0] != matrix.shape[0]:
+        raise ClusteringError("labels length must match matrix rows")
+    composites = _composites(matrix, labels)
+    sizes = np.bincount(labels, minlength=len(composites)).astype(np.float64)
+    norms = np.array([float(np.linalg.norm(d)) for d in composites])
+
+    if criterion == "i2":
+        return float(norms.sum())
+    if criterion == "i1":
+        with np.errstate(divide="ignore", invalid="ignore"):
+            vals = np.where(sizes > 0, norms**2 / np.maximum(sizes, 1), 0.0)
+        return float(vals.sum())
+
+    total = composite_vector(matrix, np.arange(matrix.shape[0]))
+    total_norm = float(np.linalg.norm(total))
+    e1_terms = []
+    for size, d, norm in zip(sizes, composites, norms):
+        if size == 0 or norm == 0.0 or total_norm == 0.0:
+            e1_terms.append(0.0)
+        else:
+            e1_terms.append(size * float(d @ total) / (norm * total_norm))
+    e1 = float(sum(e1_terms))
+    if criterion == "e1":
+        return e1
+    if e1 == 0.0:
+        raise ClusteringError("H criteria undefined: E1 is zero")
+    if criterion == "h1":
+        i1 = criterion_value(matrix, labels, "i1")
+        return i1 / e1
+    i2 = float(norms.sum())
+    return i2 / e1

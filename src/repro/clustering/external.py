@@ -1,0 +1,125 @@
+"""External clustering-quality indexes.
+
+The paper (§2 III) notes that "there exist two kinds of quality indexes:
+external and internal.  External indexes use pre-labelled data sets with
+'known' cluster configurations" — and then builds its contribution on
+internal ones, since a new candidate term has no gold senses.
+
+The external indexes still matter for *validating the substrate*: on the
+simulated MSH-WSD data the gold sense labels are known, so purity, the
+(adjusted) Rand index, and normalised mutual information measure how well
+the CLUTO-like algorithms actually recover senses — independent of any
+internal index.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ClusteringError
+
+
+def _check_pair(labels_pred, labels_true) -> tuple[np.ndarray, np.ndarray]:
+    pred = np.asarray(labels_pred)
+    true = np.asarray(labels_true)
+    if pred.shape != true.shape or pred.ndim != 1:
+        raise ClusteringError(
+            f"label arrays must be 1-D and aligned, got {pred.shape} vs {true.shape}"
+        )
+    if pred.shape[0] == 0:
+        raise ClusteringError("label arrays must be non-empty")
+    return pred, true
+
+
+def contingency_table(labels_pred, labels_true) -> np.ndarray:
+    """Counts ``C[i, j]`` = objects in predicted cluster i with true label j."""
+    pred, true = _check_pair(labels_pred, labels_true)
+    pred_ids = {label: i for i, label in enumerate(np.unique(pred).tolist())}
+    true_ids = {label: j for j, label in enumerate(np.unique(true).tolist())}
+    table = np.zeros((len(pred_ids), len(true_ids)), dtype=np.int64)
+    for p, t in zip(pred, true):
+        table[pred_ids[p], true_ids[t]] += 1
+    return table
+
+
+def purity(labels_pred, labels_true) -> float:
+    """Fraction of objects in their cluster's majority true class (max 1)."""
+    table = contingency_table(labels_pred, labels_true)
+    return float(table.max(axis=1).sum() / table.sum())
+
+
+def rand_index(labels_pred, labels_true) -> float:
+    """Fraction of object pairs on which the two labelings agree."""
+    pred, true = _check_pair(labels_pred, labels_true)
+    n = pred.shape[0]
+    if n < 2:
+        return 1.0
+    same_pred = pred[:, None] == pred[None, :]
+    same_true = true[:, None] == true[None, :]
+    mask = ~np.eye(n, dtype=bool)
+    return float((same_pred == same_true)[mask].mean())
+
+
+def adjusted_rand_index(labels_pred, labels_true) -> float:
+    """Rand index corrected for chance (0 ≈ random, 1 = identical)."""
+    table = contingency_table(labels_pred, labels_true)
+    n = table.sum()
+
+    def comb2(x: np.ndarray) -> np.ndarray:
+        return x * (x - 1) / 2.0
+
+    sum_cells = comb2(table.astype(np.float64)).sum()
+    sum_rows = comb2(table.sum(axis=1).astype(np.float64)).sum()
+    sum_cols = comb2(table.sum(axis=0).astype(np.float64)).sum()
+    total = comb2(np.array([float(n)]))[0]
+    expected = sum_rows * sum_cols / total if total > 0 else 0.0
+    max_index = (sum_rows + sum_cols) / 2.0
+    if max_index == expected:
+        return 1.0 if sum_cells == expected else 0.0
+    return float((sum_cells - expected) / (max_index - expected))
+
+
+def normalized_mutual_information(labels_pred, labels_true) -> float:
+    """NMI with arithmetic-mean normalisation (0 = independent, 1 = equal)."""
+    table = contingency_table(labels_pred, labels_true).astype(np.float64)
+    n = table.sum()
+    p_joint = table / n
+    p_rows = p_joint.sum(axis=1, keepdims=True)
+    p_cols = p_joint.sum(axis=0, keepdims=True)
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = p_joint * np.log(p_joint / (p_rows @ p_cols))
+    mi = float(np.nansum(terms))
+
+    def entropy(p: np.ndarray) -> float:
+        p = p[p > 0]
+        return float(-(p * np.log(p)).sum())
+
+    h_rows = entropy(p_rows.ravel())
+    h_cols = entropy(p_cols.ravel())
+    denom = (h_rows + h_cols) / 2.0
+    if denom == 0.0:
+        return 1.0
+    return max(0.0, min(1.0, mi / denom))
+
+
+EXTERNAL_INDEXES = {
+    "purity": purity,
+    "rand": rand_index,
+    "ari": adjusted_rand_index,
+    "nmi": normalized_mutual_information,
+}
+
+
+def compute_external_index(name: str, labels_pred, labels_true) -> float:
+    """Dispatch by name (``purity``, ``rand``, ``ari``, ``nmi``)."""
+    try:
+        fn = EXTERNAL_INDEXES[name]
+    except KeyError:
+        raise ClusteringError(
+            f"unknown external index {name!r}; "
+            f"options: {', '.join(sorted(EXTERNAL_INDEXES))}"
+        ) from None
+    return fn(labels_pred, labels_true)

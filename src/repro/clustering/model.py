@@ -1,0 +1,112 @@
+"""Clustering result objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.clustering.similarity import isim_esim
+from repro.errors import ClusteringError
+
+
+@dataclass(frozen=True)
+class ClusterStats:
+    """Per-cluster statistics of a solution (sizes, ISIM, ESIM).
+
+    These are exactly the quantities the paper's Table 2 indexes are
+    defined over.
+    """
+
+    sizes: np.ndarray
+    isim: np.ndarray
+    esim: np.ndarray
+
+    @classmethod
+    def from_labels(cls, matrix, labels: np.ndarray) -> "ClusterStats":
+        """Measure statistics for ``labels`` over unit-row ``matrix``."""
+        sizes, isim, esim = isim_esim(matrix, labels)
+        return cls(sizes=sizes, isim=isim, esim=esim)
+
+    @property
+    def k(self) -> int:
+        """Number of clusters."""
+        return int(self.sizes.shape[0])
+
+    @property
+    def n(self) -> int:
+        """Number of objects."""
+        return int(self.sizes.sum())
+
+    def mean_isim(self) -> float:
+        """Average ISIM over clusters (the paper's a_k)."""
+        return float(self.isim.mean())
+
+    def mean_esim(self) -> float:
+        """Average ESIM over clusters (the paper's b_k)."""
+        return float(self.esim.mean())
+
+
+@dataclass(frozen=True)
+class ClusterSolution:
+    """A clustering: labels plus the algorithm that produced them.
+
+    Attributes
+    ----------
+    labels:
+        Cluster id (0-based, contiguous) per object.
+    k:
+        Number of clusters.
+    algorithm:
+        Name of the producing algorithm (``"rb"``, ``"direct"``, ...).
+    stats:
+        Lazily attached :class:`ClusterStats` (see :meth:`with_stats`).
+    """
+
+    labels: np.ndarray
+    k: int
+    algorithm: str = "unknown"
+    stats: ClusterStats | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        labels = np.asarray(self.labels)
+        if labels.ndim != 1:
+            raise ClusteringError("labels must be one-dimensional")
+        if labels.size and int(labels.max()) >= self.k:
+            raise ClusteringError(
+                f"label {int(labels.max())} out of range for k={self.k}"
+            )
+        if labels.size and int(labels.min()) < 0:
+            raise ClusteringError("labels must be non-negative")
+
+    def with_stats(self, matrix) -> "ClusterSolution":
+        """Return a copy with :class:`ClusterStats` measured on ``matrix``."""
+        return ClusterSolution(
+            labels=self.labels,
+            k=self.k,
+            algorithm=self.algorithm,
+            stats=ClusterStats.from_labels(matrix, self.labels),
+        )
+
+    def cluster_members(self, cluster_id: int) -> np.ndarray:
+        """Indices of objects assigned to ``cluster_id``."""
+        if not 0 <= cluster_id < self.k:
+            raise ClusteringError(f"cluster id {cluster_id} out of range")
+        return np.where(np.asarray(self.labels) == cluster_id)[0]
+
+    def sizes(self) -> np.ndarray:
+        """Object count per cluster id."""
+        return np.bincount(np.asarray(self.labels), minlength=self.k)
+
+
+def relabel_contiguous(labels: np.ndarray) -> tuple[np.ndarray, int]:
+    """Map arbitrary labels to contiguous 0..k-1 (stable by first appearance)."""
+    labels = np.asarray(labels)
+    mapping: dict[int, int] = {}
+    out = np.empty_like(labels)
+    for idx, lab in enumerate(labels):
+        key = int(lab)
+        if key not in mapping:
+            mapping[key] = len(mapping)
+        out[idx] = mapping[key]
+    return out, len(mapping)

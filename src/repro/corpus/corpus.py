@@ -1,0 +1,147 @@
+"""The Corpus container and term-context retrieval.
+
+Steps II–IV all start from "the context of a term in the corpus": token
+windows around the term's occurrences.  :meth:`Corpus.contexts_for_term`
+is the single implementation of that retrieval, so polysemy features,
+sense induction, and semantic linkage agree on what a context is.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.corpus.document import Document
+from repro.errors import CorpusError
+
+
+@dataclass(frozen=True)
+class TermContext:
+    """One occurrence context of a term.
+
+    Attributes
+    ----------
+    doc_id:
+        Document the occurrence was found in.
+    tokens:
+        The window tokens with the term occurrence itself removed (its
+        presence in every context carries no disambiguation signal).
+    position:
+        Token offset of the occurrence within the flattened document.
+    """
+
+    doc_id: str
+    tokens: tuple[str, ...]
+    position: int
+
+
+class Corpus:
+    """An ordered collection of :class:`Document` objects.
+
+    >>> corpus = Corpus([Document("d1", [["wound", "heals"]])])
+    >>> corpus.n_documents()
+    1
+    """
+
+    def __init__(self, documents: Iterable[Document] = ()) -> None:
+        self._documents: list[Document] = list(documents)
+        ids = [d.doc_id for d in self._documents]
+        if len(ids) != len(set(ids)):
+            raise CorpusError("duplicate document ids in corpus")
+
+    # -- container basics ----------------------------------------------------
+
+    def add(self, document: Document) -> None:
+        """Append ``document`` (ids must stay unique)."""
+        if any(d.doc_id == document.doc_id for d in self._documents):
+            raise CorpusError(f"duplicate document id {document.doc_id!r}")
+        self._documents.append(document)
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._documents)
+
+    def __getitem__(self, index: int) -> Document:
+        return self._documents[index]
+
+    def document(self, doc_id: str) -> Document:
+        """The document with ``doc_id`` (raises CorpusError if absent)."""
+        for doc in self._documents:
+            if doc.doc_id == doc_id:
+                return doc
+        raise CorpusError(f"unknown document id {doc_id!r}")
+
+    def n_documents(self) -> int:
+        """Number of documents."""
+        return len(self._documents)
+
+    def n_tokens(self) -> int:
+        """Total token count over all documents."""
+        return sum(doc.n_tokens() for doc in self._documents)
+
+    def token_documents(self) -> list[list[str]]:
+        """Flat token list per document (the vectoriser input shape)."""
+        return [doc.tokens() for doc in self._documents]
+
+    def sentence_documents(self) -> list[list[str]]:
+        """All sentences of the corpus as independent token lists."""
+        return [s for doc in self._documents for s in doc.sentences]
+
+    # -- term occurrence retrieval ------------------------------------------
+
+    def contexts_for_term(
+        self,
+        term: str | Sequence[str],
+        *,
+        window: int = 10,
+    ) -> list[TermContext]:
+        """Token windows around each occurrence of ``term``.
+
+        Parameters
+        ----------
+        term:
+            The term as a string (split on spaces) or a token sequence.
+        window:
+            Number of tokens kept on each side of the occurrence.
+        """
+        if isinstance(term, str):
+            needle = tuple(term.lower().split())
+        else:
+            needle = tuple(t.lower() for t in term)
+        if not needle:
+            raise CorpusError("term must contain at least one token")
+        if window < 1:
+            raise CorpusError(f"window must be >= 1, got {window}")
+
+        span = len(needle)
+        contexts: list[TermContext] = []
+        for doc in self._documents:
+            tokens = doc.tokens()
+            n = len(tokens)
+            i = 0
+            while i <= n - span:
+                if tuple(tokens[i : i + span]) == needle:
+                    left = tokens[max(0, i - window) : i]
+                    right = tokens[i + span : i + span + window]
+                    contexts.append(
+                        TermContext(
+                            doc_id=doc.doc_id,
+                            tokens=tuple(left + right),
+                            position=i,
+                        )
+                    )
+                    i += span
+                else:
+                    i += 1
+        return contexts
+
+    def term_frequency(self, term: str | Sequence[str]) -> int:
+        """Number of occurrences of ``term`` in the corpus."""
+        return len(self.contexts_for_term(term, window=1))
+
+    def document_frequency(self, term: str | Sequence[str]) -> int:
+        """Number of documents containing ``term`` at least once."""
+        contexts = self.contexts_for_term(term, window=1)
+        return len({c.doc_id for c in contexts})

@@ -1,0 +1,61 @@
+"""The Document data model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.text.sentences import split_sentences
+from repro.text.tokenizer import tokenize_lower
+
+
+@dataclass
+class Document:
+    """A tokenised document (e.g. one PubMed abstract).
+
+    Parameters
+    ----------
+    doc_id:
+        Stable identifier (e.g. ``"PMID:12345"`` or a generated id).
+    sentences:
+        Token lists, one per sentence.  Tokens are stored lower-cased.
+    concept_ids:
+        The ontology concepts this document is "about" (generation ground
+        truth; empty for real text).
+    language:
+        ISO 639-1 code.
+    """
+
+    doc_id: str
+    sentences: list[list[str]]
+    concept_ids: list[str] = field(default_factory=list)
+    language: str = "en"
+
+    @classmethod
+    def from_text(
+        cls,
+        doc_id: str,
+        text: str,
+        *,
+        concept_ids: list[str] | None = None,
+        language: str = "en",
+    ) -> "Document":
+        """Build a document by sentence-splitting and tokenising raw text."""
+        sentences = [tokenize_lower(s) for s in split_sentences(text)]
+        return cls(
+            doc_id=doc_id,
+            sentences=[s for s in sentences if s],
+            concept_ids=concept_ids or [],
+            language=language,
+        )
+
+    def tokens(self) -> list[str]:
+        """All tokens in order (sentence boundaries flattened)."""
+        return [token for sentence in self.sentences for token in sentence]
+
+    def n_tokens(self) -> int:
+        """Total token count."""
+        return sum(len(s) for s in self.sentences)
+
+    def text(self) -> str:
+        """Reconstructed plain text (one period-terminated line per sentence)."""
+        return " ".join(" ".join(sentence) + "." for sentence in self.sentences)

@@ -1,0 +1,50 @@
+"""Corpus serialisation: JSON-lines, one document per line."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.corpus.corpus import Corpus
+from repro.corpus.document import Document
+from repro.errors import CorpusError
+
+
+def write_corpus_jsonl(corpus: Corpus, path: str | Path) -> None:
+    """Write ``corpus`` to ``path``, one JSON document per line."""
+    with open(path, "w") as handle:
+        for doc in corpus:
+            handle.write(
+                json.dumps(
+                    {
+                        "doc_id": doc.doc_id,
+                        "sentences": doc.sentences,
+                        "concept_ids": doc.concept_ids,
+                        "language": doc.language,
+                    }
+                )
+            )
+            handle.write("\n")
+
+
+def read_corpus_jsonl(path: str | Path) -> Corpus:
+    """Read a corpus previously written by :func:`write_corpus_jsonl`."""
+    corpus = Corpus()
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise CorpusError(f"bad JSON on line {line_no}: {exc}") from exc
+            corpus.add(
+                Document(
+                    doc_id=payload["doc_id"],
+                    sentences=[list(s) for s in payload["sentences"]],
+                    concept_ids=list(payload.get("concept_ids", [])),
+                    language=payload.get("language", "en"),
+                )
+            )
+    return corpus

@@ -1,0 +1,218 @@
+"""Synthetic PubMed: topic-model-driven abstract generation.
+
+The paper retrieves the PubMed contexts of candidate terms (333 M tokens
+for Step IV).  :class:`PubMedSimulator` generates abstracts with the three
+statistical properties that retrieval exploits:
+
+1. an abstract about concept *c* samples content words from *c*'s topic,
+   so two terms of the same concept have near-identical context
+   distributions (what makes synonyms rank first in Table 3);
+2. topics are correlated along hierarchy edges (fathers/sons rank next);
+3. sentences mention the concept's terms — and, with configurable
+   probability, terms of *related* and *random* concepts — producing the
+   term co-occurrence graph Step IV restricts to the MeSH neighbourhood.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.corpus import Corpus
+from repro.corpus.document import Document
+from repro.corpus.topics import BackgroundVocabulary, ConceptTopicModel
+from repro.errors import ValidationError
+from repro.lexicon import BioLexicon
+from repro.ontology.model import Ontology
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class PubMedSpec:
+    """Generation parameters of the synthetic PubMed corpus.
+
+    Parameters
+    ----------
+    sentences_per_doc:
+        Inclusive (lo, hi) sentence-count range per abstract.
+    tokens_per_sentence:
+        Inclusive (lo, hi) content-token range per sentence.
+    background_fraction:
+        Share of tokens drawn from the shared background vocabulary (the
+        rest come from the concept topic).  Higher = noisier contexts.
+    mention_prob:
+        Probability that a sentence mentions a term of the abstract's
+        concept.
+    related_mention_prob:
+        Probability that a sentence also mentions a term of a father/son
+        concept (creates the MeSH-neighbourhood co-occurrence edges).
+    noise_mention_prob:
+        Probability of mentioning a random unrelated concept's term
+        (creates distractor edges).
+    """
+
+    sentences_per_doc: tuple[int, int] = (4, 8)
+    tokens_per_sentence: tuple[int, int] = (9, 16)
+    background_fraction: float = 0.45
+    mention_prob: float = 0.7
+    related_mention_prob: float = 0.25
+    noise_mention_prob: float = 0.08
+
+    def __post_init__(self) -> None:
+        for name in ("sentences_per_doc", "tokens_per_sentence"):
+            lo, hi = getattr(self, name)
+            if not 1 <= lo <= hi:
+                raise ValidationError(f"{name} must satisfy 1 <= lo <= hi")
+        for name in (
+            "background_fraction",
+            "mention_prob",
+            "related_mention_prob",
+            "noise_mention_prob",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValidationError(f"{name} must be in [0, 1], got {value}")
+
+
+class PubMedSimulator:
+    """Generate a PubMed-like corpus for an ontology.
+
+    Parameters
+    ----------
+    ontology:
+        Source of concepts, terms, and the hierarchy.
+    lexicon:
+        The shared :class:`~repro.lexicon.BioLexicon` (pass the instance
+        used to generate the ontology so the POS lexicon covers all words).
+    spec:
+        Generation parameters.
+    topic_model:
+        Reuse an existing :class:`ConceptTopicModel`; built on demand
+        otherwise.
+    seed:
+        RNG seed.
+    """
+
+    def __init__(
+        self,
+        ontology: Ontology,
+        lexicon: BioLexicon,
+        *,
+        spec: PubMedSpec | None = None,
+        topic_model: ConceptTopicModel | None = None,
+        background: BackgroundVocabulary | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.ontology = ontology
+        self.lexicon = lexicon
+        self.spec = spec if spec is not None else PubMedSpec()
+        self._rng = ensure_rng(seed)
+        self.topic_model = (
+            topic_model
+            if topic_model is not None
+            else ConceptTopicModel(ontology, lexicon, seed=self._rng)
+        )
+        self.background = (
+            background
+            if background is not None
+            else BackgroundVocabulary(lexicon, seed=self._rng)
+        )
+        self._concept_ids = ontology.concept_ids()
+
+    # -- term helpers ----------------------------------------------------------
+
+    def _random_term_tokens(self, concept_id: str) -> list[str]:
+        terms = self.ontology.concept(concept_id).all_terms()
+        term = terms[int(self._rng.integers(0, len(terms)))]
+        return term.split()
+
+    def _related_concepts(self, concept_id: str) -> list[str]:
+        return self.ontology.fathers(concept_id) + self.ontology.sons(concept_id)
+
+    # -- generation -----------------------------------------------------------
+
+    def _sentence(self, concept_id: str) -> list[str]:
+        spec = self.spec
+        rng = self._rng
+        lo, hi = spec.tokens_per_sentence
+        n_tokens = int(rng.integers(lo, hi + 1))
+        n_bg = int(round(spec.background_fraction * n_tokens))
+        topic = self.topic_model.topic(concept_id)
+        tokens = self.background.sample(rng, n_bg)
+        tokens += topic.sample_signature(rng, n_tokens - n_bg)
+        order = rng.permutation(len(tokens))
+        tokens = [tokens[int(i)] for i in order]
+
+        insertions: list[list[str]] = []
+        if rng.random() < spec.mention_prob:
+            insertions.append(self._random_term_tokens(concept_id))
+        related = self._related_concepts(concept_id)
+        if related and rng.random() < spec.related_mention_prob:
+            other = related[int(rng.integers(0, len(related)))]
+            insertions.append(self._random_term_tokens(other))
+        if rng.random() < spec.noise_mention_prob:
+            noise = self._concept_ids[int(rng.integers(0, len(self._concept_ids)))]
+            insertions.append(self._random_term_tokens(noise))
+        for mention in insertions:
+            at = int(rng.integers(0, len(tokens) + 1))
+            tokens[at:at] = mention
+        return tokens
+
+    def generate_abstract(self, concept_id: str, doc_id: str) -> Document:
+        """One abstract about ``concept_id``."""
+        lo, hi = self.spec.sentences_per_doc
+        n_sentences = int(self._rng.integers(lo, hi + 1))
+        sentences = [self._sentence(concept_id) for _ in range(n_sentences)]
+        self.ontology.concept(concept_id)  # validate the id early
+        return Document(
+            doc_id=doc_id,
+            sentences=sentences,
+            concept_ids=[concept_id],
+            language="en",
+        )
+
+    def generate(
+        self,
+        n_documents: int,
+        *,
+        concept_ids: list[str] | None = None,
+        doc_prefix: str = "pm",
+    ) -> Corpus:
+        """A corpus of ``n_documents`` abstracts over ``concept_ids``.
+
+        Concepts are drawn uniformly from ``concept_ids`` (default: every
+        concept of the ontology), so each concept accumulates several
+        abstracts worth of context.
+        """
+        if n_documents < 1:
+            raise ValidationError(f"n_documents must be >= 1, got {n_documents}")
+        pool = concept_ids if concept_ids is not None else self._concept_ids
+        if not pool:
+            raise ValidationError("no concepts to generate about")
+        corpus = Corpus()
+        for i in range(n_documents):
+            concept = pool[int(self._rng.integers(0, len(pool)))]
+            corpus.add(self.generate_abstract(concept, f"{doc_prefix}:{i:06d}"))
+        return corpus
+
+    def generate_balanced(
+        self,
+        docs_per_concept: int,
+        *,
+        concept_ids: list[str] | None = None,
+        doc_prefix: str = "pm",
+    ) -> Corpus:
+        """A corpus with exactly ``docs_per_concept`` abstracts per concept."""
+        if docs_per_concept < 1:
+            raise ValidationError(
+                f"docs_per_concept must be >= 1, got {docs_per_concept}"
+            )
+        pool = concept_ids if concept_ids is not None else self._concept_ids
+        corpus = Corpus()
+        counter = 0
+        for concept in pool:
+            for _ in range(docs_per_concept):
+                corpus.add(self.generate_abstract(concept, f"{doc_prefix}:{counter:06d}"))
+                counter += 1
+        return corpus

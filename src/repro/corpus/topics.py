@@ -1,0 +1,212 @@
+"""Hierarchy-correlated concept topics driving text generation.
+
+Every synthetic document is sampled from a **topic**: a weighted vocabulary
+over signature (concept-specific) words and a shared Zipfian background.
+Topics of ontologically related concepts share signature words — a son
+inherits a fraction of its father's signature — so that the cosine
+geometry the paper's Steps III/IV rely on ("semantically close terms have
+similar contexts") holds in the generated corpus by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.lexicon import BioLexicon
+from repro.ontology.model import Ontology
+from repro.utils.rng import ensure_rng
+from repro.utils.zipf import zipf_weights
+
+
+@dataclass(frozen=True)
+class Topic:
+    """A unigram language model: signature words + shared background.
+
+    Attributes
+    ----------
+    name:
+        Identifier (typically a concept id or ``"term::sense0"``).
+    signature:
+        Concept-specific content words, most characteristic first.
+    signature_weights:
+        Normalised sampling weights aligned with ``signature``.
+    """
+
+    name: str
+    signature: tuple[str, ...]
+    signature_weights: np.ndarray
+
+    def sample_signature(self, rng: np.random.Generator, size: int) -> list[str]:
+        """Draw ``size`` signature words (with replacement)."""
+        idx = rng.choice(len(self.signature), size=size, p=self.signature_weights)
+        return [self.signature[int(i)] for i in idx]
+
+
+def make_topic(name: str, words: list[str]) -> Topic:
+    """Build a topic whose word weights decay Zipf-style with rank."""
+    if not words:
+        raise ValidationError(f"topic {name!r} needs at least one word")
+    return Topic(
+        name=name,
+        signature=tuple(words),
+        signature_weights=zipf_weights(len(words), exponent=0.8),
+    )
+
+
+class ConceptTopicModel:
+    """One topic per ontology concept, correlated along hierarchy edges.
+
+    Parameters
+    ----------
+    ontology:
+        The ontology to cover.
+    lexicon:
+        Word source (shared with the ontology generator so POS is known).
+    signature_size:
+        Words per concept signature.
+    inherit_fraction:
+        Fraction of a son's signature copied from a random father
+        (the knob controlling how similar related concepts' contexts are).
+    seed:
+        RNG seed.
+
+    Notes
+    -----
+    The signature of every concept always contains the content words of
+    the concept's own terms (e.g. "corneal", "injury"), so a term's name
+    is echoed by its context distribution the way titles echo abstracts
+    in real PubMed.
+    """
+
+    def __init__(
+        self,
+        ontology: Ontology,
+        lexicon: BioLexicon,
+        *,
+        signature_size: int = 24,
+        inherit_fraction: float = 0.4,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if signature_size < 4:
+            raise ValidationError(
+                f"signature_size must be >= 4, got {signature_size}"
+            )
+        if not 0.0 <= inherit_fraction < 1.0:
+            raise ValidationError("inherit_fraction must be in [0, 1)")
+        self.ontology = ontology
+        self.lexicon = lexicon
+        self.signature_size = signature_size
+        self.inherit_fraction = inherit_fraction
+        self._rng = ensure_rng(seed)
+        self._topics: dict[str, Topic] = {}
+        self._build()
+
+    def _term_words(self, concept_id: str) -> list[str]:
+        words: list[str] = []
+        for term in self.ontology.concept(concept_id).all_terms():
+            for word in term.split():
+                if len(word) > 2 and word not in words:
+                    words.append(word)
+        return words
+
+    def _build(self) -> None:
+        rng = self._rng
+        # Topological order: fathers before sons, so inheritance can copy.
+        order: list[str] = []
+        seen: set[str] = set()
+        frontier = self.ontology.roots()
+        while frontier:
+            next_frontier: list[str] = []
+            for cid in frontier:
+                if cid in seen:
+                    continue
+                if any(f not in seen for f in self.ontology.fathers(cid)):
+                    next_frontier.append(cid)
+                    continue
+                seen.add(cid)
+                order.append(cid)
+                next_frontier.extend(self.ontology.sons(cid))
+            frontier = next_frontier
+
+        for cid in order:
+            words = self._term_words(cid)
+            fathers = [f for f in self.ontology.fathers(cid) if f in self._topics]
+            n_inherit = int(round(self.inherit_fraction * self.signature_size))
+            if fathers and n_inherit:
+                father = fathers[int(rng.integers(0, len(fathers)))]
+                father_sig = list(self._topics[father].signature)
+                take = min(n_inherit, len(father_sig))
+                picked = rng.choice(len(father_sig), size=take, replace=False)
+                for idx in picked:
+                    word = father_sig[int(idx)]
+                    if word not in words:
+                        words.append(word)
+            while len(words) < self.signature_size:
+                word = self.lexicon.new_noun() if rng.random() < 0.7 else (
+                    self.lexicon.new_adjective()
+                )
+                if word not in words:
+                    words.append(word)
+            self._topics[cid] = make_topic(cid, words[: self.signature_size])
+
+    def topic(self, concept_id: str) -> Topic:
+        """The topic of ``concept_id``."""
+        try:
+            return self._topics[concept_id]
+        except KeyError:
+            raise ValidationError(
+                f"no topic for concept {concept_id!r}"
+            ) from None
+
+    def topics(self) -> dict[str, Topic]:
+        """All topics keyed by concept id (a shallow copy)."""
+        return dict(self._topics)
+
+    def signature_overlap(self, a: str, b: str) -> float:
+        """Jaccard overlap of two concepts' signatures (a generation probe)."""
+        sa = set(self.topic(a).signature)
+        sb = set(self.topic(b).signature)
+        union = sa | sb
+        return len(sa & sb) / len(union) if union else 0.0
+
+
+class BackgroundVocabulary:
+    """The shared Zipfian background every document samples from.
+
+    Parameters
+    ----------
+    lexicon:
+        Source of the core/filler inventories.
+    size:
+        Number of distinct background words (padded with minted nouns).
+    seed:
+        RNG seed for padding.
+    """
+
+    def __init__(
+        self,
+        lexicon: BioLexicon,
+        *,
+        size: int = 400,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        rng = ensure_rng(seed)
+        words = list(
+            dict.fromkeys(
+                list(lexicon.filler_nouns())
+                + list(lexicon.core_verbs())
+                + list(lexicon.core_adverbs())
+            )
+        )
+        while len(words) < size:
+            words.append(lexicon.new_noun() if rng.random() < 0.6 else lexicon.new_verb())
+        self.words = tuple(words[:size])
+        self._weights = zipf_weights(len(self.words), exponent=1.1)
+
+    def sample(self, rng: np.random.Generator, size: int) -> list[str]:
+        """Draw ``size`` background words (with replacement)."""
+        idx = rng.choice(len(self.words), size=size, p=self._weights)
+        return [self.words[int(i)] for i in idx]

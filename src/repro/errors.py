@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming from this package with a single ``except`` clause
+while still letting programming errors (``TypeError`` on wrong argument
+types, for instance) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument value is outside its documented domain."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model method requiring a fitted estimator was called before ``fit``."""
+
+
+class ConvergenceWarning(UserWarning):
+    """An iterative optimiser stopped at its iteration cap before converging."""
+
+
+class OntologyError(ReproError):
+    """The ontology structure is inconsistent (unknown ids, cycles, ...)."""
+
+
+class CorpusError(ReproError):
+    """A corpus or document is malformed or empty where content is required."""
+
+
+class ClusteringError(ReproError):
+    """A clustering request cannot be satisfied (e.g. k larger than n)."""
+
+
+class ExtractionError(ReproError):
+    """Term extraction failed (empty corpus, unknown measure name, ...)."""
+
+
+class LinkageError(ReproError):
+    """Semantic linkage failed (candidate without context, empty ontology)."""

@@ -1,0 +1,19 @@
+"""Evaluation: the paper's reported numbers and the experiment runners."""
+
+from repro.eval import paper
+from repro.eval.experiments import (
+    run_linkage_precision_experiment,
+    run_polysemy_detection_experiment,
+    run_sense_number_experiment,
+    run_table1_experiment,
+    run_table3_experiment,
+)
+
+__all__ = [
+    "paper",
+    "run_linkage_precision_experiment",
+    "run_polysemy_detection_experiment",
+    "run_sense_number_experiment",
+    "run_table1_experiment",
+    "run_table3_experiment",
+]

@@ -1,0 +1,65 @@
+"""Every number the paper reports, as constants.
+
+Benchmarks print these next to the measured values so EXPERIMENTS.md can
+record paper-vs-measured for each table; nothing in the library reads
+them to *produce* results.
+"""
+
+from __future__ import annotations
+
+#: Table 1 — polysemic-term counts per sense bin (5 stands for "5+").
+TABLE1_POLYSEMY_COUNTS: dict[tuple[str, str], dict[int, int]] = {
+    ("umls", "en"): {2: 54_257, 3: 7_770, 4: 1_842, 5: 1_677},
+    ("umls", "fr"): {2: 1_292, 3: 36, 4: 1, 5: 1},
+    ("umls", "es"): {2: 10_906, 3: 414, 4: 56, 5: 18},
+    ("mesh", "en"): {2: 178, 3: 1, 4: 0, 5: 0},
+    ("mesh", "fr"): {2: 11, 3: 0, 4: 0, 5: 0},
+    ("mesh", "es"): {2: 0, 3: 0, 4: 0, 5: 0},
+}
+
+#: §1 prose: the English UMLS holds ~9 919 000 distinct terms...
+UMLS_EN_TOTAL_TERMS = 9_919_000
+#: ...i.e. roughly one polysemic term per 200 terms.
+UMLS_EN_POLYSEMY_RATE = 1 / 200
+
+#: §2(II) prose — polysemy detection effectiveness with the 23 features.
+POLYSEMY_DETECTION_F_MEASURE = 0.98
+N_DIRECT_FEATURES = 11
+N_GRAPH_FEATURES = 12
+
+#: §3(i) — number-of-senses prediction on MSH WSD.
+MSHWSD_N_ENTITIES = 203
+SENSE_PREDICTION_BEST_ACCURACY = 0.931
+SENSE_PREDICTION_BEST_INDEX = "fk"
+#: The five CLUTO algorithms the paper sweeps.
+SENSE_PREDICTION_ALGORITHMS = ("rb", "rbr", "direct", "agglo", "graph")
+
+#: §3(ii) — semantic linkage corpus: 60 terms added to MeSH 2009–2015,
+#: contexts totalling 333 073 311 tokens.
+LINKAGE_N_TERMS = 60
+LINKAGE_CORPUS_TOKENS = 333_073_311
+LINKAGE_YEARS = (2009, 2015)
+
+#: Table 3 — top-10 propositions for "corneal injuries" (term, cosine);
+#: rows marked correct in the paper are flagged.
+TABLE3_PROPOSITIONS: list[tuple[str, float, bool]] = [
+    ("corneal injury", 0.4251, True),
+    ("corneal damage", 0.4181, True),
+    ("chemical burns", 0.4081, False),
+    ("corneal diseases", 0.3696, True),
+    ("corneal ulcer", 0.3689, False),
+    ("eye injuries", 0.3681, True),
+    ("amniotic membrane", 0.3639, False),
+    ("re-epithelialization", 0.3588, False),
+    ("corneal trauma", 0.3582, True),
+    ("wound", 0.3472, False),
+]
+TABLE3_CORRECT_IN_TOP10 = 5
+
+#: Table 4 — fraction of the 60 terms with ≥1 correct proposition.
+TABLE4_PRECISION_AT: dict[int, float] = {
+    1: 0.333,
+    2: 0.400,
+    5: 0.500,
+    10: 0.583,
+}

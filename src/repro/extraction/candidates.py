@@ -1,0 +1,169 @@
+"""Candidate-term harvesting: POS-pattern filtering plus counting.
+
+Produces the :class:`ExtractionContext` every ranking measure consumes:
+candidate phrases (with frequency, document frequency, per-document
+counts, best matching pattern weight) and corpus-level statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.corpus.corpus import Corpus
+from repro.errors import ExtractionError
+from repro.text.ngrams import extract_pattern_phrases
+from repro.text.patterns import TermPatternMatcher
+from repro.text.postag import LexiconTagger
+
+
+@dataclass
+class CandidateStats:
+    """Counters for one candidate term.
+
+    Attributes
+    ----------
+    tokens:
+        The candidate as a lower-cased token tuple.
+    frequency:
+        Total occurrences in the corpus.
+    pattern_weight:
+        Weight of its (best) matching POS pattern — LIDF-value's
+        linguistic-probability component.
+    per_doc:
+        Occurrences per document id (Okapi's per-document tf).
+    """
+
+    tokens: tuple[str, ...]
+    frequency: int = 0
+    pattern_weight: float = 0.0
+    per_doc: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def doc_frequency(self) -> int:
+        """Number of documents containing the candidate."""
+        return len(self.per_doc)
+
+    @property
+    def length(self) -> int:
+        """Candidate length in tokens."""
+        return len(self.tokens)
+
+    def text(self) -> str:
+        """The candidate as a plain string."""
+        return " ".join(self.tokens)
+
+
+@dataclass
+class ExtractionContext:
+    """Everything the measures need about a corpus's candidates.
+
+    Attributes
+    ----------
+    candidates:
+        token-tuple → :class:`CandidateStats`.
+    n_documents:
+        Corpus size.
+    doc_lengths:
+        Token count per document id.
+    language:
+        The corpus language (selects patterns/stopwords downstream).
+    """
+
+    candidates: dict[tuple[str, ...], CandidateStats]
+    n_documents: int
+    doc_lengths: dict[str, int]
+    language: str = "en"
+
+    @property
+    def avg_doc_length(self) -> float:
+        """Mean document length in tokens."""
+        if not self.doc_lengths:
+            return 0.0
+        return sum(self.doc_lengths.values()) / len(self.doc_lengths)
+
+    def nested_in(self, tokens: tuple[str, ...]) -> list[CandidateStats]:
+        """Candidates that strictly contain ``tokens`` as a sub-sequence.
+
+        Used by C-value's nested-term correction.
+        """
+        span = len(tokens)
+        out = []
+        for other in self.candidates.values():
+            if other.length <= span:
+                continue
+            window = other.tokens
+            if any(
+                window[i : i + span] == tokens
+                for i in range(other.length - span + 1)
+            ):
+                out.append(other)
+        return out
+
+
+def harvest_candidates(
+    corpus: Corpus,
+    *,
+    tagger: LexiconTagger | None = None,
+    matcher: TermPatternMatcher | None = None,
+    language: str = "en",
+    min_frequency: int = 1,
+    stop_words: frozenset[str] | set[str] | None = None,
+) -> ExtractionContext:
+    """Scan ``corpus`` and build the :class:`ExtractionContext`.
+
+    Parameters
+    ----------
+    corpus:
+        The documents to mine.
+    tagger:
+        POS tagger; defaults to a bare suffix-rule tagger (pass one
+        seeded with the generator's POS lexicon for gold tags).
+    matcher:
+        Pattern inventory; defaults to the language's standard patterns.
+    min_frequency:
+        Candidates occurring fewer times are dropped.
+    stop_words:
+        Domain stop list (BioTex ships one for general-academic
+        vocabulary: "study", "results", ...).  Candidates containing any
+        stoplisted word are dropped, as are degenerate candidates that
+        repeat a token ("study study").
+    """
+    if corpus.n_documents() == 0:
+        raise ExtractionError("cannot extract terms from an empty corpus")
+    if min_frequency < 1:
+        raise ExtractionError(f"min_frequency must be >= 1, got {min_frequency}")
+    tagger = tagger if tagger is not None else LexiconTagger(language=language)
+    matcher = matcher if matcher is not None else TermPatternMatcher(language=language)
+    stop = frozenset(w.lower() for w in stop_words) if stop_words else frozenset()
+
+    candidates: dict[tuple[str, ...], CandidateStats] = {}
+    doc_lengths: dict[str, int] = {}
+    for doc in corpus:
+        doc_lengths[doc.doc_id] = doc.n_tokens()
+        for sentence in doc.sentences:
+            tagged = tagger.tag(sentence)
+            for phrase, weight in extract_pattern_phrases(tagged, matcher):
+                if stop and any(word in stop for word in phrase):
+                    continue
+                if len(set(phrase)) != len(phrase):
+                    continue
+                stats = candidates.get(phrase)
+                if stats is None:
+                    stats = CandidateStats(tokens=phrase)
+                    candidates[phrase] = stats
+                stats.frequency += 1
+                stats.pattern_weight = max(stats.pattern_weight, weight)
+                stats.per_doc[doc.doc_id] = stats.per_doc.get(doc.doc_id, 0) + 1
+
+    if min_frequency > 1:
+        candidates = {
+            tokens: stats
+            for tokens, stats in candidates.items()
+            if stats.frequency >= min_frequency
+        }
+    return ExtractionContext(
+        candidates=candidates,
+        n_documents=corpus.n_documents(),
+        doc_lengths=doc_lengths,
+        language=language,
+    )

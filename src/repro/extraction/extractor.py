@@ -1,0 +1,137 @@
+"""The BioTex pipeline: harvest candidates, rank them, emit candidate terms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.corpus.corpus import Corpus
+from repro.errors import ExtractionError
+from repro.extraction.candidates import ExtractionContext, harvest_candidates
+from repro.extraction.measures import MEASURE_NAMES, compute_measure
+from repro.text.patterns import TermPatternMatcher
+from repro.text.postag import LexiconTagger
+
+
+@dataclass(frozen=True)
+class RankedTerm:
+    """A candidate term with its ranking score."""
+
+    term: str
+    tokens: tuple[str, ...]
+    score: float
+    frequency: int
+    rank: int
+
+
+class BioTexExtractor:
+    """End-to-end Step I: corpus in, ranked candidate terms out.
+
+    Parameters
+    ----------
+    language:
+        ``"en"``, ``"fr"``, or ``"es"`` — selects patterns and stopwords.
+    measure:
+        Ranking measure (default the paper's flagship ``lidf_value``).
+    tagger:
+        POS tagger.  For generated corpora pass
+        ``LexiconTagger(lexicon.pos_lexicon)`` so tags are gold.
+    matcher:
+        POS pattern inventory (defaults to the language's).
+    min_frequency:
+        Minimum corpus frequency for a candidate to be ranked.
+    min_length:
+        Minimum candidate length in tokens (2 skips single words, which
+        is how BioTex is typically run for ontology enrichment).
+    stop_words:
+        Domain stop list; candidates containing any of these words are
+        dropped at harvest time.
+
+    Example
+    -------
+    >>> from repro.corpus.document import Document
+    >>> from repro.corpus.corpus import Corpus
+    >>> corpus = Corpus([Document.from_text("d", "Corneal injury heals.")])
+    >>> extractor = BioTexExtractor(measure="tf_idf", min_length=2)
+    >>> [t.term for t in extractor.extract(corpus)][:1]
+    ['corneal injury']
+    """
+
+    def __init__(
+        self,
+        *,
+        language: str = "en",
+        measure: str = "lidf_value",
+        tagger: LexiconTagger | None = None,
+        matcher: TermPatternMatcher | None = None,
+        min_frequency: int = 1,
+        min_length: int = 1,
+        stop_words: frozenset[str] | set[str] | None = None,
+    ) -> None:
+        if measure not in MEASURE_NAMES:
+            raise ExtractionError(
+                f"unknown measure {measure!r}; options: {', '.join(MEASURE_NAMES)}"
+            )
+        if min_length < 1:
+            raise ExtractionError(f"min_length must be >= 1, got {min_length}")
+        self.language = language
+        self.measure = measure
+        self.tagger = tagger
+        self.matcher = matcher
+        self.min_frequency = min_frequency
+        self.min_length = min_length
+        self.stop_words = stop_words
+        self.context_: ExtractionContext | None = None
+
+    def build_context(self, corpus: Corpus) -> ExtractionContext:
+        """Harvest candidates from ``corpus`` (kept on ``context_``)."""
+        context = harvest_candidates(
+            corpus,
+            tagger=self.tagger,
+            matcher=self.matcher,
+            language=self.language,
+            min_frequency=self.min_frequency,
+            stop_words=self.stop_words,
+        )
+        self.context_ = context
+        return context
+
+    def extract(
+        self,
+        corpus: Corpus,
+        *,
+        top_k: int | None = None,
+        measure: str | None = None,
+    ) -> list[RankedTerm]:
+        """Extract and rank candidate terms from ``corpus``.
+
+        Parameters
+        ----------
+        top_k:
+            Keep only the best ``top_k`` candidates (None = all).
+        measure:
+            Override the instance's ranking measure for this call.
+        """
+        measure = measure if measure is not None else self.measure
+        context = self.build_context(corpus)
+        scores = compute_measure(measure, context)
+        eligible = [
+            (tokens, score)
+            for tokens, score in scores.items()
+            if len(tokens) >= self.min_length
+        ]
+        # Stable, fully deterministic order: score desc, then term text.
+        eligible.sort(key=lambda pair: (-pair[1], pair[0]))
+        if top_k is not None:
+            if top_k < 1:
+                raise ExtractionError(f"top_k must be >= 1, got {top_k}")
+            eligible = eligible[:top_k]
+        return [
+            RankedTerm(
+                term=" ".join(tokens),
+                tokens=tokens,
+                score=float(score),
+                frequency=context.candidates[tokens].frequency,
+                rank=rank,
+            )
+            for rank, (tokens, score) in enumerate(eligible, start=1)
+        ]

@@ -1,0 +1,218 @@
+"""Biomedical word and term minting.
+
+Both synthetic substrates — the MeSH/UMLS-like ontologies and the
+PubMed-like corpus — need large inventories of plausible biomedical words
+with known part of speech.  :class:`BioLexicon` mints them by composing
+Greek/Latin medical morphemes (the way real biomedical terminology is
+built: "kerat" + "itis" → "keratitis"), guaranteeing uniqueness and
+recording gold POS tags for the tagger.
+
+A small hand-written core of *real* words (cornea, injury, wound, ...) is
+included so the paper's running example ("corneal injuries", Table 3) can
+be expressed with its true MeSH names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+# Medical roots (combining forms).  Composition with the suffix banks below
+# yields tens of thousands of distinct well-formed words.
+_ROOTS = (
+    "cardi", "derm", "gastr", "hepat", "nephr", "neur", "oste", "pulmon",
+    "corne", "ocul", "retin", "kerat", "vascul", "hemat", "onc", "cyt",
+    "path", "arthr", "enter", "col", "bronch", "thorac", "crani", "myel",
+    "angi", "aden", "chondr", "fibr", "gloss", "hist", "lact", "lymph",
+    "mening", "muc", "necr", "odont", "ophthalm", "ot", "phleb", "pneum",
+    "proct", "rhin", "scler", "splen", "stomat", "thromb", "tox", "trache",
+    "ur", "ventricul", "cerebr", "cervic", "cholecyst", "cost", "cutane",
+    "dactyl", "encephal", "gingiv", "gluc", "glyc", "hyster", "irid",
+    "laryng", "mamm", "mast", "metr", "morph", "myc", "myos", "nas",
+    "orchi", "oss", "palat", "pancreat", "pericardi", "periton", "phalang",
+    "pharyng", "pleur", "pod", "rect", "ren", "salping", "sarc", "sept",
+    "sinus", "spondyl", "stern", "tars", "tend", "thyr", "tympan", "vesic",
+)
+
+_PREFIXES = (
+    "", "", "", "hyper", "hypo", "peri", "endo", "epi", "intra", "inter",
+    "sub", "supra", "trans", "para", "poly", "micro", "macro", "neo",
+    "pseudo", "anti", "dys", "a", "bi", "hemi", "pan", "re", "de",
+)
+
+_NOUN_SUFFIXES = (
+    "itis", "osis", "oma", "opathy", "ectomy", "ostomy", "otomy", "ography",
+    "oscopy", "emia", "ology", "ocyte", "in", "ase", "ol", "ide", "ine",
+    "ogen", "oblast", "algia", "iasis", "ism", "ation", "ment", "ance",
+    "ia", "ity", "plasty", "plasia", "trophy", "genesis", "lysis",
+)
+
+_ADJ_SUFFIXES = ("al", "ic", "ar", "ous", "oid", "ary", "ative", "able", "ile")
+
+_VERB_SUFFIXES = ("ize", "ate", "ify")
+
+# Real-word core: keeps generated text anchored to the paper's examples.
+_CORE_NOUNS = (
+    "cornea", "injury", "wound", "trauma", "damage", "burn", "ulcer",
+    "membrane", "epithelium", "healing", "disease", "infection", "lesion",
+    "surgery", "treatment", "therapy", "patient", "tissue", "cell", "gene",
+    "protein", "receptor", "tumor", "cancer", "syndrome", "disorder",
+    "diagnosis", "prognosis", "symptom", "inflammation", "eye", "retina",
+    "lens", "vision", "blindness", "transplantation", "graft", "suture",
+    "abrasion", "erosion", "scar", "stroma", "laceration", "perforation",
+)
+
+_CORE_ADJECTIVES = (
+    "corneal", "ocular", "retinal", "chemical", "acute", "chronic",
+    "clinical", "surgical", "epithelial", "amniotic", "traumatic", "severe",
+    "superficial", "deep", "bilateral", "therapeutic", "topical", "visual",
+    "infectious", "inflammatory", "vascular", "cellular", "molecular",
+)
+
+_CORE_VERBS = (
+    "treat", "heal", "induce", "inhibit", "activate", "regulate", "observe",
+    "measure", "report", "describe", "evaluate", "assess", "compare",
+    "improve", "reduce", "increase", "suggest", "demonstrate", "perform",
+    "require", "associate", "indicate", "reveal", "examine", "confirm",
+)
+
+_CORE_ADVERBS = (
+    "significantly", "rapidly", "frequently", "typically", "clinically",
+    "substantially", "markedly", "previously", "consistently", "notably",
+)
+
+# General-academic filler nouns used by the sentence templates.
+_FILLER_NOUNS = (
+    "study", "results", "patients", "analysis", "group", "method", "data",
+    "effect", "level", "rate", "outcome", "response", "model", "role",
+    "function", "expression", "mechanism", "activity", "risk", "factor",
+)
+
+
+@dataclass
+class MintedWord:
+    """A generated word with its gold part of speech."""
+
+    text: str
+    tag: str
+
+
+@dataclass
+class BioLexicon:
+    """Deterministic generator of unique biomedical words.
+
+    Parameters
+    ----------
+    seed:
+        Seed (or generator) controlling the minting order.
+
+    Notes
+    -----
+    All minted and core words are recorded in :attr:`pos_lexicon`, a
+    ``word → coarse tag`` mapping suitable for
+    :class:`repro.text.postag.LexiconTagger`.
+    """
+
+    seed: int | np.random.Generator | None = None
+    _rng: np.random.Generator = field(init=False, repr=False)
+    _used: set[str] = field(init=False, repr=False)
+    pos_lexicon: dict[str, str] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = ensure_rng(self.seed)
+        self._used = set()
+        self.pos_lexicon = {}
+        for word in _CORE_NOUNS + _FILLER_NOUNS:
+            self._register(word, "NOUN")
+        for word in _CORE_ADJECTIVES:
+            self._register(word, "ADJ")
+        for word in _CORE_VERBS:
+            self._register(word, "VERB")
+        for word in _CORE_ADVERBS:
+            self._register(word, "ADV")
+
+    def _register(self, word: str, tag: str) -> None:
+        self._used.add(word)
+        self.pos_lexicon[word] = tag
+
+    # -- word minting -----------------------------------------------------
+
+    def _choice(self, options: tuple[str, ...]) -> str:
+        return options[int(self._rng.integers(0, len(options)))]
+
+    def _mint(self, suffixes: tuple[str, ...], tag: str) -> str:
+        for _ in range(10_000):
+            prefix = self._choice(_PREFIXES)
+            root = self._choice(_ROOTS)
+            suffix = self._choice(suffixes)
+            # Avoid awkward vowel collisions at the joins.
+            if root[-1] in "aeiou" and suffix and suffix[0] in "aeiou":
+                root = root[:-1]
+            word = f"{prefix}{root}{suffix}"
+            if len(word) >= 4 and word not in self._used:
+                self._register(word, tag)
+                return word
+        raise RuntimeError("exhausted morphological space; lower the demand")
+
+    def new_noun(self) -> str:
+        """Mint a fresh unique noun."""
+        return self._mint(_NOUN_SUFFIXES, "NOUN")
+
+    def new_adjective(self) -> str:
+        """Mint a fresh unique adjective."""
+        return self._mint(_ADJ_SUFFIXES, "ADJ")
+
+    def new_verb(self) -> str:
+        """Mint a fresh unique verb."""
+        return self._mint(_VERB_SUFFIXES, "VERB")
+
+    # -- term minting ---------------------------------------------------------
+
+    def new_term(self, n_words: int | None = None) -> tuple[str, ...]:
+        """Mint a multi-word biomedical term as a token tuple.
+
+        Patterns follow the distribution of biomedical terminology:
+        1-word (NOUN), 2-word (ADJ NOUN / NOUN NOUN), 3-word
+        (ADJ NOUN NOUN or ADJ ADJ NOUN).
+        """
+        if n_words is None:
+            n_words = int(self._rng.choice([1, 2, 2, 2, 3]))
+        if n_words < 1:
+            raise ValueError(f"n_words must be >= 1, got {n_words}")
+        if n_words == 1:
+            return (self.new_noun(),)
+        if n_words == 2:
+            if self._rng.random() < 0.7:
+                return (self.new_adjective(), self.new_noun())
+            return (self.new_noun(), self.new_noun())
+        head = [self.new_noun()]
+        modifiers = [
+            self.new_adjective() if self._rng.random() < 0.6 else self.new_noun()
+            for _ in range(n_words - 1)
+        ]
+        return tuple(modifiers + head)
+
+    # -- shared inventories ------------------------------------------------------
+
+    @staticmethod
+    def core_nouns() -> tuple[str, ...]:
+        """The hand-written real-word noun inventory."""
+        return _CORE_NOUNS
+
+    @staticmethod
+    def filler_nouns() -> tuple[str, ...]:
+        """General-academic nouns for sentence templates."""
+        return _FILLER_NOUNS
+
+    @staticmethod
+    def core_verbs() -> tuple[str, ...]:
+        """The hand-written real-word verb inventory."""
+        return _CORE_VERBS
+
+    @staticmethod
+    def core_adverbs() -> tuple[str, ...]:
+        """The hand-written real-word adverb inventory."""
+        return _CORE_ADVERBS

@@ -1,0 +1,32 @@
+"""Step IV — semantic linkage: positioning a candidate term in the ontology.
+
+The paper's protocol: (1) build a term co-occurrence graph from the
+corpus, keeping the candidate term's MeSH neighbourhood; (2) rank that
+neighbourhood — plus the fathers and sons of its members — by the cosine
+similarity between the candidate's context and each position's context;
+propose the top 10.
+"""
+
+from repro.linkage.context import (
+    TermContextIndex,
+    find_occurrence_records,
+    find_occurrences,
+)
+from repro.linkage.evaluation import LinkageEvaluation, evaluate_linkage
+from repro.linkage.linker import Proposition, SemanticLinker
+from repro.linkage.neighborhood import mesh_neighborhood
+from repro.linkage.relations import RELATION_TYPES, RelationTyper, TypedRelation
+
+__all__ = [
+    "LinkageEvaluation",
+    "Proposition",
+    "RELATION_TYPES",
+    "RelationTyper",
+    "SemanticLinker",
+    "TermContextIndex",
+    "TypedRelation",
+    "evaluate_linkage",
+    "find_occurrence_records",
+    "find_occurrences",
+    "mesh_neighborhood",
+]

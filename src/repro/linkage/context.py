@@ -1,0 +1,140 @@
+"""Term context vectors over a shared space.
+
+Step IV compares the candidate term's corpus context with the contexts of
+every potential position by cosine.  :class:`TermContextIndex` builds one
+aggregate context document per term — all tokens within ``window`` of any
+occurrence — and embeds them in a common TF-IDF space.
+
+:func:`find_occurrences` locates every occurrence of *many* terms in one
+pass over the corpus (longest-match-first by first token), since the
+evaluation positions dozens of terms against thousands of documents.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.corpus.corpus import Corpus
+from repro.errors import LinkageError
+from repro.ontology.model import normalize_term
+from repro.text.vectorize import TfidfVectorizer
+
+
+def find_occurrence_records(
+    corpus: Corpus,
+    terms: Iterable[str],
+    *,
+    window: int = 10,
+) -> dict[str, list[tuple[str, tuple[str, ...]]]]:
+    """(doc_id, window) records of every term of ``terms``, one corpus pass.
+
+    Returns ``{normalised term: [(doc_id, window tokens), ...]}``; the
+    occurrence tokens themselves are excluded from the window (they carry
+    no disambiguation signal).  Overlapping occurrences of different terms
+    are all reported; the longest term wins at any single start position.
+    """
+    needles: dict[str, list[tuple[str, tuple[str, ...]]]] = {}
+    by_first: dict[str, list[tuple[str, ...]]] = {}
+    for term in terms:
+        tokens = tuple(normalize_term(term).split())
+        if not tokens:
+            continue
+        needles[" ".join(tokens)] = []
+        by_first.setdefault(tokens[0], []).append(tokens)
+    for candidates in by_first.values():
+        candidates.sort(key=len, reverse=True)
+
+    for doc in corpus:
+        tokens = doc.tokens()
+        n = len(tokens)
+        for i, token in enumerate(tokens):
+            for needle in by_first.get(token, ()):
+                span = len(needle)
+                if i + span <= n and tuple(tokens[i : i + span]) == needle:
+                    left = tokens[max(0, i - window) : i]
+                    right = tokens[i + span : i + span + window]
+                    needles[" ".join(needle)].append(
+                        (doc.doc_id, tuple(left + right))
+                    )
+                    break  # longest match at this position only
+    return needles
+
+
+def find_occurrences(
+    corpus: Corpus,
+    terms: Iterable[str],
+    *,
+    window: int = 10,
+) -> dict[str, list[tuple[str, ...]]]:
+    """Context windows of every term of ``terms``, in one corpus pass.
+
+    Convenience wrapper over :func:`find_occurrence_records` that drops
+    the document ids.
+    """
+    records = find_occurrence_records(corpus, terms, window=window)
+    return {
+        term: [window_tokens for __, window_tokens in entries]
+        for term, entries in records.items()
+    }
+
+
+class TermContextIndex:
+    """Aggregate context vectors for a set of terms over a shared space.
+
+    Parameters
+    ----------
+    corpus:
+        Context source.
+    window:
+        Tokens kept each side of an occurrence.
+
+    Usage
+    -----
+    ``build(terms)`` retrieves contexts (one corpus pass) and fits the
+    TF-IDF space; ``vector(term)`` then returns the unit-norm aggregate
+    context vector, and ``cosine(a, b)`` the similarity of two terms.
+    """
+
+    def __init__(self, corpus: Corpus, *, window: int = 10) -> None:
+        self.corpus = corpus
+        self.window = window
+        self._rows: dict[str, np.ndarray] | None = None
+        self._n_contexts: dict[str, int] = {}
+
+    def build(self, terms: Sequence[str]) -> "TermContextIndex":
+        """Retrieve contexts for ``terms`` and fit the shared space."""
+        occurrences = find_occurrences(self.corpus, terms, window=self.window)
+        documents: list[list[str]] = []
+        keys: list[str] = []
+        for term, contexts in occurrences.items():
+            keys.append(term)
+            self._n_contexts[term] = len(contexts)
+            documents.append([token for ctx in contexts for token in ctx])
+        vectorizer = TfidfVectorizer(stop_language=None)
+        matrix = vectorizer.fit_transform(documents).toarray()
+        self._rows = {key: matrix[i] for i, key in enumerate(keys)}
+        return self
+
+    def _require_built(self) -> dict[str, np.ndarray]:
+        if self._rows is None:
+            raise LinkageError("TermContextIndex.build() must run first")
+        return self._rows
+
+    def n_contexts(self, term: str) -> int:
+        """Number of occurrences found for ``term``."""
+        self._require_built()
+        return self._n_contexts.get(normalize_term(term), 0)
+
+    def vector(self, term: str) -> np.ndarray:
+        """Unit-norm aggregate context vector of ``term``."""
+        rows = self._require_built()
+        key = normalize_term(term)
+        if key not in rows:
+            raise LinkageError(f"term {term!r} was not indexed")
+        return rows[key]
+
+    def cosine(self, term_a: str, term_b: str) -> float:
+        """Cosine similarity between two indexed terms' contexts."""
+        return float(self.vector(term_a) @ self.vector(term_b))

@@ -1,0 +1,118 @@
+"""Linkage evaluation: the paper's Table 4 protocol.
+
+For each held-out term (a term added to MeSH between two releases), the
+linker proposes 10 positions; a term scores a *hit at k* when at least one
+of its top-k propositions is a correct paradigmatic relation — a synonym,
+a father, or a son of the term's true concept.  Table 4 reports the
+fraction of terms with a hit at k ∈ {1, 2, 5, 10}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from repro.errors import LinkageError
+from repro.linkage.linker import Proposition, SemanticLinker
+from repro.ontology.model import Ontology, normalize_term
+
+
+def gold_positions(ontology: Ontology, concept_id: str, candidate: str) -> set[str]:
+    """The correct positions of ``candidate``: synonyms, fathers, sons."""
+    key = normalize_term(candidate)
+    gold: set[str] = set()
+    concept = ontology.concept(concept_id)
+    gold.update(concept.all_terms())
+    for father in ontology.fathers(concept_id):
+        gold.update(ontology.concept(father).all_terms())
+    for son in ontology.sons(concept_id):
+        gold.update(ontology.concept(son).all_terms())
+    gold.discard(key)
+    return gold
+
+
+@dataclass
+class TermLinkageOutcome:
+    """Evaluation record for one held-out term."""
+
+    term: str
+    concept_id: str
+    propositions: list[Proposition]
+    gold: set[str]
+    error: str | None = None
+
+    def hit_at(self, k: int) -> bool:
+        """True when a correct position appears in the top k propositions."""
+        return any(
+            normalize_term(p.term) in self.gold for p in self.propositions[:k]
+        )
+
+    def correct_in_top(self, k: int) -> int:
+        """Number of correct positions among the top k propositions."""
+        return sum(
+            1 for p in self.propositions[:k] if normalize_term(p.term) in self.gold
+        )
+
+
+@dataclass
+class LinkageEvaluation:
+    """Aggregated Table 4 numbers over all evaluated terms."""
+
+    outcomes: list[TermLinkageOutcome] = field(default_factory=list)
+    ks: tuple[int, ...] = (1, 2, 5, 10)
+
+    @property
+    def n_terms(self) -> int:
+        """Number of evaluated terms (failed linkings count as misses)."""
+        return len(self.outcomes)
+
+    def precision_at(self, k: int) -> float:
+        """Fraction of terms with at least one correct top-k proposition."""
+        if not self.outcomes:
+            return 0.0
+        hits = sum(1 for outcome in self.outcomes if outcome.hit_at(k))
+        return hits / len(self.outcomes)
+
+    def as_row(self) -> dict[int, float]:
+        """``{k: precision}`` for the configured cutoffs — Table 4's row."""
+        return {k: self.precision_at(k) for k in self.ks}
+
+
+def evaluate_linkage(
+    linker: SemanticLinker,
+    held_out: Sequence,
+    *,
+    ks: tuple[int, ...] = (1, 2, 5, 10),
+) -> LinkageEvaluation:
+    """Run the Table 4 protocol.
+
+    Parameters
+    ----------
+    linker:
+        A configured :class:`SemanticLinker` whose ontology still
+        *contains* the held-out concepts (the paper evaluates against
+        MeSH 2015) — the candidate term itself is excluded from the
+        propositions by the linker.
+    held_out:
+        :class:`~repro.ontology.snapshot.HeldOutTerm` records (term +
+        true concept id).
+    """
+    evaluation = LinkageEvaluation(ks=ks)
+    for held in held_out:
+        gold = gold_positions(linker.ontology, held.concept_id, held.term)
+        try:
+            propositions = linker.propose(held.term)
+            error = None
+        except LinkageError as exc:
+            propositions = []
+            error = str(exc)
+        evaluation.outcomes.append(
+            TermLinkageOutcome(
+                term=held.term,
+                concept_id=held.concept_id,
+                propositions=propositions,
+                gold=gold,
+                error=error,
+            )
+        )
+    return evaluation

@@ -1,0 +1,92 @@
+"""The estimator API shared by every classifier in :mod:`repro.ml`.
+
+Follows the fit/predict convention: ``fit(X, y)`` returns ``self``;
+``predict(X)`` returns labels; ``predict_proba(X)`` (where supported)
+returns an (n, n_classes) row-stochastic matrix whose columns align with
+``classes_``.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.errors import NotFittedError, ValidationError
+
+
+class BaseClassifier:
+    """Common plumbing: input checking, label encoding, clone support."""
+
+    #: Attribute set by fit; used to detect unfitted use.
+    classes_: np.ndarray | None = None
+
+    # -- shared validation -------------------------------------------------
+
+    @staticmethod
+    def _check_X(X) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValidationError(f"X must be 2-D, got shape {X.shape}")
+        if X.shape[0] == 0:
+            raise ValidationError("X must contain at least one sample")
+        if not np.all(np.isfinite(X)):
+            raise ValidationError("X contains NaN or infinite values")
+        return X
+
+    def _check_X_y(self, X, y) -> tuple[np.ndarray, np.ndarray]:
+        X = self._check_X(X)
+        y = np.asarray(y)
+        if y.ndim != 1:
+            raise ValidationError(f"y must be 1-D, got shape {y.shape}")
+        if y.shape[0] != X.shape[0]:
+            raise ValidationError(
+                f"X has {X.shape[0]} samples but y has {y.shape[0]}"
+            )
+        return X, y
+
+    def _encode_labels(self, y: np.ndarray) -> np.ndarray:
+        """Store ``classes_`` and return y as indices into it."""
+        classes, encoded = np.unique(y, return_inverse=True)
+        if classes.shape[0] < 2:
+            raise ValidationError("need at least two classes to fit a classifier")
+        self.classes_ = classes
+        return encoded
+
+    def _require_fitted(self) -> None:
+        if self.classes_ is None:
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before prediction"
+            )
+
+    # -- API ------------------------------------------------------------------
+
+    def fit(self, X, y) -> "BaseClassifier":
+        """Train on (X, y); must be overridden."""
+        raise NotImplementedError
+
+    def predict(self, X) -> np.ndarray:
+        """Predict labels; default routes through :meth:`predict_proba`."""
+        self._require_fitted()
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Class-probability estimates; override where supported."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement predict_proba"
+        )
+
+    def get_params(self) -> dict:
+        """Constructor parameters (every public non-fitted attribute)."""
+        return {
+            key: value
+            for key, value in vars(self).items()
+            if not key.endswith("_") and not key.startswith("_")
+        }
+
+
+def clone(estimator: BaseClassifier) -> BaseClassifier:
+    """A fresh unfitted copy of ``estimator`` with the same parameters."""
+    fresh = type(estimator)(**copy.deepcopy(estimator.get_params()))
+    return fresh

@@ -1,0 +1,81 @@
+"""Random forest: bagged CART trees with per-split feature sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.ml.base import BaseClassifier
+from repro.ml.tree import DecisionTreeClassifier
+from repro.utils.rng import ensure_rng, spawn_rng
+
+
+class RandomForestClassifier(BaseClassifier):
+    """Bootstrap-aggregated decision trees (probability averaging).
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees.
+    max_depth / min_samples_split / criterion:
+        Passed to each tree.
+    max_features:
+        Features sampled per split (default ``"sqrt"``).
+    seed:
+        RNG seed for bootstraps and per-tree feature sampling.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        criterion: str = "gini",
+        max_features: int | str | None = "sqrt",
+        seed: int | None = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValidationError(f"n_estimators must be >= 1, got {n_estimators}")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.criterion = criterion
+        self.max_features = max_features
+        self.seed = seed
+        self.classes_ = None
+        self.estimators_: list[DecisionTreeClassifier] = []
+
+    def fit(self, X, y) -> "RandomForestClassifier":
+        """Fit ``n_estimators`` trees on bootstrap resamples of (X, y)."""
+        X, y = self._check_X_y(X, y)
+        self._encode_labels(y)  # sets classes_
+        rng = ensure_rng(self.seed)
+        tree_rngs = spawn_rng(rng, self.n_estimators)
+        n = X.shape[0]
+        self.estimators_ = []
+        for tree_rng in tree_rngs:
+            idx = tree_rng.integers(0, n, size=n)
+            while np.unique(y[idx]).shape[0] < 2:
+                idx = tree_rng.integers(0, n, size=n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                criterion=self.criterion,
+                max_features=self.max_features,
+                seed=int(tree_rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X[idx], y[idx])
+            self.estimators_.append(tree)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Average of tree probabilities, aligned to forest ``classes_``."""
+        self._require_fitted()
+        X = self._check_X(X)
+        out = np.zeros((X.shape[0], self.classes_.shape[0]))
+        class_pos = {label: i for i, label in enumerate(self.classes_.tolist())}
+        for tree in self.estimators_:
+            proba = tree.predict_proba(X)
+            for j, label in enumerate(tree.classes_.tolist()):
+                out[:, class_pos[label]] += proba[:, j]
+        return out / len(self.estimators_)

@@ -1,0 +1,87 @@
+"""Multinomial logistic regression trained by batch gradient descent."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.ml.base import BaseClassifier
+
+
+def _softmax(z: np.ndarray) -> np.ndarray:
+    z = z - z.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class LogisticRegression(BaseClassifier):
+    """Multinomial logistic regression with L2 regularisation.
+
+    Parameters
+    ----------
+    learning_rate:
+        Gradient-descent step size.
+    l2:
+        L2 penalty strength on the weights (bias unpenalised).
+    max_iter:
+        Maximum full-batch iterations.
+    tol:
+        Stop when the max absolute weight update falls below this.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.5,
+        l2: float = 1e-3,
+        max_iter: int = 500,
+        tol: float = 1e-6,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValidationError(f"learning_rate must be > 0, got {learning_rate}")
+        if l2 < 0:
+            raise ValidationError(f"l2 must be >= 0, got {l2}")
+        if max_iter < 1:
+            raise ValidationError(f"max_iter must be >= 1, got {max_iter}")
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.max_iter = max_iter
+        self.tol = tol
+        self.classes_ = None
+        self.coef_: np.ndarray | None = None
+        self.intercept_: np.ndarray | None = None
+        self.n_iter_: int | None = None
+
+    def fit(self, X, y) -> "LogisticRegression":
+        """Minimise the L2-regularised multinomial cross-entropy."""
+        X, y = self._check_X_y(X, y)
+        encoded = self._encode_labels(y)
+        n, d = X.shape
+        k = self.classes_.shape[0]
+        onehot = np.zeros((n, k))
+        onehot[np.arange(n), encoded] = 1.0
+
+        weights = np.zeros((d, k))
+        bias = np.zeros(k)
+        for iteration in range(1, self.max_iter + 1):
+            proba = _softmax(X @ weights + bias)
+            error = proba - onehot
+            grad_w = X.T @ error / n + self.l2 * weights
+            grad_b = error.mean(axis=0)
+            weights -= self.learning_rate * grad_w
+            bias -= self.learning_rate * grad_b
+            if float(np.abs(grad_w).max()) * self.learning_rate < self.tol:
+                break
+        self.coef_ = weights
+        self.intercept_ = bias
+        self.n_iter_ = iteration
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        """Raw class scores (pre-softmax)."""
+        self._require_fitted()
+        X = self._check_X(X)
+        return X @ self.coef_ + self.intercept_
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Softmax class probabilities."""
+        return _softmax(self.decision_function(X))

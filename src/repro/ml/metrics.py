@@ -1,0 +1,100 @@
+"""Classification metrics: accuracy, precision/recall/F1, confusion matrix.
+
+The paper reports polysemy detection quality as an F-measure; these are
+the standard binary/multiclass definitions with explicit averaging.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def _check_pair(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValidationError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if y_true.ndim != 1:
+        raise ValidationError("labels must be 1-D")
+    if y_true.shape[0] == 0:
+        raise ValidationError("labels must be non-empty")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exact label matches."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float((y_true == y_pred).mean())
+
+
+def confusion_matrix(y_true, y_pred, *, labels=None) -> np.ndarray:
+    """Counts ``C[i, j]`` = samples of true class i predicted as class j."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    else:
+        labels = np.asarray(labels)
+    index = {label: i for i, label in enumerate(labels.tolist())}
+    matrix = np.zeros((len(labels), len(labels)), dtype=np.int64)
+    for t, p in zip(y_true, y_pred):
+        matrix[index[t], index[p]] += 1
+    return matrix
+
+
+def precision_recall_f1(
+    y_true, y_pred, *, positive=None, average: str = "binary"
+) -> tuple[float, float, float]:
+    """Precision, recall, and F1.
+
+    Parameters
+    ----------
+    positive:
+        The positive label for ``average="binary"``; defaults to the
+        largest label value (so 1 for 0/1 and True for booleans).
+    average:
+        ``"binary"`` (one positive class) or ``"macro"`` (unweighted mean
+        of per-class scores).
+    """
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    if average not in ("binary", "macro"):
+        raise ValidationError(f"average must be binary|macro, got {average!r}")
+
+    def prf_for(label) -> tuple[float, float, float]:
+        tp = float(np.sum((y_true == label) & (y_pred == label)))
+        fp = float(np.sum((y_true != label) & (y_pred == label)))
+        fn = float(np.sum((y_true == label) & (y_pred != label)))
+        precision = tp / (tp + fp) if tp + fp > 0 else 0.0
+        recall = tp / (tp + fn) if tp + fn > 0 else 0.0
+        f1 = (
+            2 * precision * recall / (precision + recall)
+            if precision + recall > 0
+            else 0.0
+        )
+        return precision, recall, f1
+
+    if average == "binary":
+        if positive is None:
+            positive = np.unique(y_true).max()
+        return prf_for(positive)
+    labels = np.unique(y_true)
+    scores = np.array([prf_for(label) for label in labels])
+    return tuple(float(v) for v in scores.mean(axis=0))
+
+
+def precision_score(y_true, y_pred, *, positive=None) -> float:
+    """Binary precision (see :func:`precision_recall_f1`)."""
+    return precision_recall_f1(y_true, y_pred, positive=positive)[0]
+
+
+def recall_score(y_true, y_pred, *, positive=None) -> float:
+    """Binary recall (see :func:`precision_recall_f1`)."""
+    return precision_recall_f1(y_true, y_pred, positive=positive)[1]
+
+
+def f1_score(y_true, y_pred, *, positive=None, average: str = "binary") -> float:
+    """F1 (binary by default; ``average="macro"`` for multiclass)."""
+    return precision_recall_f1(y_true, y_pred, positive=positive, average=average)[2]

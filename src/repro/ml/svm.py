@@ -1,0 +1,101 @@
+"""Linear SVM trained with the Pegasos stochastic sub-gradient method.
+
+Binary hinge-loss SVM; multiclass is handled one-vs-rest.  Pegasos
+(Shalev-Shwartz et al. 2011) needs no QP solver, which keeps the
+dependency footprint at numpy only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.ml.base import BaseClassifier
+from repro.utils.rng import ensure_rng
+
+
+def _pegasos_binary(
+    X: np.ndarray,
+    y_signed: np.ndarray,
+    lam: float,
+    n_epochs: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, float]:
+    """Train one hinge-loss separator; returns (weights, bias)."""
+    n, d = X.shape
+    w = np.zeros(d)
+    b = 0.0
+    t = 0
+    for __ in range(n_epochs):
+        order = rng.permutation(n)
+        for i in order:
+            t += 1
+            eta = 1.0 / (lam * t)
+            margin = y_signed[i] * (X[i] @ w + b)
+            w *= 1.0 - eta * lam
+            if margin < 1.0:
+                w += eta * y_signed[i] * X[i]
+                b += eta * y_signed[i]
+    return w, b
+
+
+class LinearSVC(BaseClassifier):
+    """Linear SVM (Pegasos), one-vs-rest for multiclass.
+
+    Parameters
+    ----------
+    lam:
+        Regularisation strength (Pegasos λ); smaller = larger margins
+        violations allowed.
+    n_epochs:
+        Passes over the data per binary problem.
+    seed:
+        RNG seed for the sampling order.
+    """
+
+    def __init__(
+        self, lam: float = 1e-3, n_epochs: int = 20, seed: int | None = None
+    ) -> None:
+        if lam <= 0:
+            raise ValidationError(f"lam must be > 0, got {lam}")
+        if n_epochs < 1:
+            raise ValidationError(f"n_epochs must be >= 1, got {n_epochs}")
+        self.lam = lam
+        self.n_epochs = n_epochs
+        self.seed = seed
+        self.classes_ = None
+        self.coef_: np.ndarray | None = None
+        self.intercept_: np.ndarray | None = None
+
+    def fit(self, X, y) -> "LinearSVC":
+        """Train one separator per class (one-vs-rest)."""
+        X, y = self._check_X_y(X, y)
+        encoded = self._encode_labels(y)
+        rng = ensure_rng(self.seed)
+        k = self.classes_.shape[0]
+        n_problems = 1 if k == 2 else k
+        self.coef_ = np.zeros((n_problems, X.shape[1]))
+        self.intercept_ = np.zeros(n_problems)
+        for problem in range(n_problems):
+            positive = problem if k > 2 else 1
+            y_signed = np.where(encoded == positive, 1.0, -1.0)
+            w, b = _pegasos_binary(X, y_signed, self.lam, self.n_epochs, rng)
+            self.coef_[problem] = w
+            self.intercept_[problem] = b
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        """Signed margins: (n,) for binary, (n, k) one-vs-rest otherwise."""
+        self._require_fitted()
+        X = self._check_X(X)
+        scores = X @ self.coef_.T + self.intercept_
+        if self.classes_.shape[0] == 2:
+            return scores.ravel()
+        return scores
+
+    def predict(self, X) -> np.ndarray:
+        """Class labels by maximum margin."""
+        scores = self.decision_function(X)
+        if self.classes_.shape[0] == 2:
+            return self.classes_[(scores > 0).astype(int)]
+        return self.classes_[np.argmax(scores, axis=1)]

@@ -1,0 +1,184 @@
+"""Random ontology generation.
+
+:class:`OntologyGenerator` builds MeSH-like ontologies: a DAG of concepts
+with preferred terms, synonyms, release years, and an injected polysemy
+profile.  Everything the downstream experiments require from real MeSH /
+UMLS is controllable here:
+
+* **hierarchy** — fathers/sons for Step IV's position candidates;
+* **synonyms** — the "correct propositions" Step IV must recover;
+* **polysemy histogram** — how many term strings name 2, 3, 4, 5+
+  concepts (Table 1's quantity);
+* **year_added** — selects the "terms added between 2009 and 2015"
+  evaluation set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.lexicon import BioLexicon
+from repro.ontology.model import Concept, Ontology
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class GeneratorSpec:
+    """Parameters of a generated ontology.
+
+    Parameters
+    ----------
+    n_concepts:
+        Number of concepts.
+    n_roots:
+        Number of hierarchy roots.
+    mean_synonyms:
+        Poisson mean of per-concept synonym counts.
+    second_father_prob:
+        Probability a non-root concept gets a second father (MeSH is a
+        DAG, not a tree).
+    polysemy_histogram:
+        ``{k: count}`` — inject ``count`` term strings that each name ``k``
+        distinct concepts, for k ≥ 2.  A key of 5 means "5 or more": the
+        actual k is drawn from {5, 6, 7}.
+    year_range:
+        Inclusive (first, last) release years; concepts are assigned years
+        uniformly, except ``recent_fraction`` forced into the final
+        ``recent_years`` window so snapshot evaluations have material.
+    recent_fraction:
+        Fraction of concepts stamped into the recent window.
+    recent_years:
+        Width (in years) of the recent window at the end of ``year_range``.
+    language:
+        Tag recorded on the ontology (``"en"``, ``"fr"``, ``"es"``).
+    """
+
+    n_concepts: int = 200
+    n_roots: int = 4
+    mean_synonyms: float = 1.2
+    second_father_prob: float = 0.15
+    polysemy_histogram: dict[int, int] = field(default_factory=dict)
+    year_range: tuple[int, int] = (1985, 2015)
+    recent_fraction: float = 0.12
+    recent_years: int = 6
+    language: str = "en"
+
+    def __post_init__(self) -> None:
+        if self.n_concepts < 1:
+            raise ValidationError(f"n_concepts must be >= 1, got {self.n_concepts}")
+        if not 1 <= self.n_roots <= self.n_concepts:
+            raise ValidationError(
+                f"n_roots must be in [1, n_concepts], got {self.n_roots}"
+            )
+        if self.mean_synonyms < 0:
+            raise ValidationError(
+                f"mean_synonyms must be >= 0, got {self.mean_synonyms}"
+            )
+        if not 0.0 <= self.second_father_prob <= 1.0:
+            raise ValidationError("second_father_prob must be in [0, 1]")
+        for k, count in self.polysemy_histogram.items():
+            if k < 2:
+                raise ValidationError(f"polysemy keys must be >= 2, got {k}")
+            if count < 0:
+                raise ValidationError(f"negative count for k={k}")
+        if self.year_range[0] > self.year_range[1]:
+            raise ValidationError(f"invalid year_range {self.year_range}")
+        if not 0.0 <= self.recent_fraction <= 1.0:
+            raise ValidationError("recent_fraction must be in [0, 1]")
+
+
+class OntologyGenerator:
+    """Generate a random MeSH-like :class:`~repro.ontology.model.Ontology`.
+
+    Parameters
+    ----------
+    spec:
+        The :class:`GeneratorSpec` describing the target ontology.
+    lexicon:
+        Optional shared :class:`~repro.lexicon.BioLexicon`; pass the same
+        instance to the corpus generator so word POS tags agree.
+    seed:
+        RNG seed for structure decisions (years, edges, polysemy targets).
+    """
+
+    def __init__(
+        self,
+        spec: GeneratorSpec,
+        *,
+        lexicon: BioLexicon | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.spec = spec
+        self._rng = ensure_rng(seed)
+        self.lexicon = lexicon if lexicon is not None else BioLexicon(seed=self._rng)
+
+    def generate(self, name: str = "generated") -> Ontology:
+        """Build and return the ontology (validated)."""
+        spec = self.spec
+        rng = self._rng
+        onto = Ontology(name)
+
+        years = self._sample_years()
+        concept_ids = [f"C{idx:06d}" for idx in range(spec.n_concepts)]
+        for idx, cid in enumerate(concept_ids):
+            term_tokens = self.lexicon.new_term()
+            concept = Concept(
+                concept_id=cid,
+                preferred_term=" ".join(term_tokens),
+                year_added=int(years[idx]),
+            )
+            n_syn = int(rng.poisson(spec.mean_synonyms))
+            for _ in range(n_syn):
+                concept.synonyms.append(" ".join(self.lexicon.new_term()))
+            if idx < spec.n_roots:
+                onto.add_concept(concept)
+            else:
+                fathers = self._pick_fathers(concept_ids[:idx])
+                onto.add_concept(concept, fathers=fathers)
+
+        self._inject_polysemy(onto, concept_ids)
+        onto.validate()
+        return onto
+
+    # -- internals ----------------------------------------------------------
+
+    def _sample_years(self) -> np.ndarray:
+        spec = self.spec
+        first, last = spec.year_range
+        rng = self._rng
+        years = rng.integers(first, last + 1, size=spec.n_concepts)
+        recent_lo = max(first, last - spec.recent_years + 1)
+        n_recent = int(round(spec.recent_fraction * spec.n_concepts))
+        if n_recent:
+            recent_idx = rng.choice(spec.n_concepts, size=n_recent, replace=False)
+            years[recent_idx] = rng.integers(recent_lo, last + 1, size=n_recent)
+        return years
+
+    def _pick_fathers(self, earlier: list[str]) -> list[str]:
+        rng = self._rng
+        # Preferential attachment flavour: later concepts tend to attach to
+        # earlier (more general) ones, giving a broad-then-deep hierarchy.
+        weights = np.arange(len(earlier), 0, -1, dtype=np.float64)
+        weights /= weights.sum()
+        first = earlier[int(rng.choice(len(earlier), p=weights))]
+        fathers = [first]
+        if len(earlier) > 1 and rng.random() < self.spec.second_father_prob:
+            second = earlier[int(rng.choice(len(earlier), p=weights))]
+            if second != first:
+                fathers.append(second)
+        return fathers
+
+    def _inject_polysemy(self, onto: Ontology, concept_ids: list[str]) -> None:
+        """Mint ambiguous term strings shared by k distinct concepts."""
+        rng = self._rng
+        for k, count in sorted(self.spec.polysemy_histogram.items()):
+            for _ in range(count):
+                actual_k = k if k < 5 else int(rng.choice([5, 6, 7], p=[0.7, 0.2, 0.1]))
+                actual_k = min(actual_k, len(concept_ids))
+                term = " ".join(self.lexicon.new_term())
+                chosen = rng.choice(len(concept_ids), size=actual_k, replace=False)
+                for concept_idx in chosen:
+                    onto.add_synonym(concept_ids[int(concept_idx)], term)

@@ -1,0 +1,132 @@
+"""Ontology serialisation: JSON and a minimal OBO-flavoured text format.
+
+JSON is the lossless round-trip format; the OBO flavour exists because
+downstream biomedical tooling speaks it and it keeps the generated
+ontologies inspectable with a pager.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import OntologyError
+from repro.ontology.model import Concept, Ontology
+
+_FORMAT_VERSION = 1
+
+
+def ontology_to_json(ontology: Ontology) -> dict:
+    """Serialise ``ontology`` to a JSON-compatible dict."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": ontology.name,
+        "concepts": [
+            {
+                "id": concept.concept_id,
+                "preferred_term": concept.preferred_term,
+                "synonyms": list(concept.synonyms),
+                "year_added": concept.year_added,
+                "tree_numbers": list(concept.tree_numbers),
+                "fathers": ontology.fathers(concept.concept_id),
+            }
+            for concept in ontology
+        ],
+    }
+
+
+def ontology_from_json(payload: dict) -> Ontology:
+    """Rebuild an :class:`Ontology` from :func:`ontology_to_json` output."""
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise OntologyError(f"unsupported ontology format version {version!r}")
+    onto = Ontology(payload.get("name", "ontology"))
+    entries = payload.get("concepts", [])
+    for entry in entries:
+        onto.add_concept(
+            Concept(
+                concept_id=entry["id"],
+                preferred_term=entry["preferred_term"],
+                synonyms=list(entry.get("synonyms", [])),
+                year_added=entry.get("year_added"),
+                tree_numbers=list(entry.get("tree_numbers", [])),
+            )
+        )
+    for entry in entries:
+        for father in entry.get("fathers", []):
+            onto.add_edge(father, entry["id"])
+    onto.validate()
+    return onto
+
+
+def write_ontology_json(ontology: Ontology, path: str | Path) -> None:
+    """Write ``ontology`` as JSON to ``path``."""
+    Path(path).write_text(
+        json.dumps(ontology_to_json(ontology), indent=2, sort_keys=True)
+    )
+
+
+def read_ontology_json(path: str | Path) -> Ontology:
+    """Read an ontology previously written by :func:`write_ontology_json`."""
+    return ontology_from_json(json.loads(Path(path).read_text()))
+
+
+def ontology_to_obo(ontology: Ontology) -> str:
+    """Render ``ontology`` in a minimal OBO-flavoured text format."""
+    lines = ["format-version: 1.2", f"ontology: {ontology.name}", ""]
+    for concept in ontology:
+        lines.append("[Term]")
+        lines.append(f"id: {concept.concept_id}")
+        lines.append(f"name: {concept.preferred_term}")
+        for synonym in concept.synonyms:
+            lines.append(f'synonym: "{synonym}" EXACT []')
+        for father in ontology.fathers(concept.concept_id):
+            lines.append(f"is_a: {father}")
+        if concept.year_added is not None:
+            lines.append(f"creation_date: {concept.year_added}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def ontology_from_obo(text: str, name: str = "obo-import") -> Ontology:
+    """Parse the OBO flavour written by :func:`ontology_to_obo`."""
+    onto = Ontology(name)
+    pending_edges: list[tuple[str, str]] = []
+    current: dict | None = None
+
+    def flush(entry: dict | None) -> None:
+        if not entry or "id" not in entry:
+            return
+        onto.add_concept(
+            Concept(
+                concept_id=entry["id"],
+                preferred_term=entry.get("name", entry["id"]),
+                synonyms=entry.get("synonyms", []),
+                year_added=entry.get("year_added"),
+            )
+        )
+        for father in entry.get("fathers", []):
+            pending_edges.append((father, entry["id"]))
+
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if line == "[Term]":
+            flush(current)
+            current = {"synonyms": [], "fathers": []}
+        elif current is not None and ": " in line:
+            key, _, value = line.partition(": ")
+            if key == "id":
+                current["id"] = value
+            elif key == "name":
+                current["name"] = value
+            elif key == "synonym":
+                current["synonyms"].append(value.split('"')[1])
+            elif key == "is_a":
+                current["fathers"].append(value.split("!")[0].strip())
+            elif key == "creation_date":
+                current["year_added"] = int(value)
+    flush(current)
+    for father, son in pending_edges:
+        onto.add_edge(father, son)
+    onto.validate()
+    return onto

@@ -1,0 +1,299 @@
+"""Core ontology data model: concepts, terms, and the hierarchy.
+
+The model follows the paper's vocabulary:
+
+* a **concept** is a node of the ontology (a MeSH descriptor, a UMLS CUI);
+* a **term** is a string naming one or more concepts (preferred term or
+  synonym); a term naming several concepts is **polysemic**;
+* **fathers** and **sons** are direct hierarchy neighbours — the paper's
+  Step IV proposes positions among "its MeSH neighbors, and the
+  fathers/sons of those neighbors".
+
+The hierarchy is a DAG (MeSH descriptors can have several fathers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Iterator
+
+from repro.errors import OntologyError
+
+
+def normalize_term(term: str) -> str:
+    """Canonical form used for term lookup: lower-case, collapsed spaces."""
+    return " ".join(term.lower().split())
+
+
+@dataclass
+class Concept:
+    """A node of the ontology.
+
+    Parameters
+    ----------
+    concept_id:
+        Unique identifier (e.g. ``"D003316"`` or ``"C0010031"``).
+    preferred_term:
+        Canonical name of the concept.
+    synonyms:
+        Alternative names (entry terms), excluding the preferred term.
+    year_added:
+        Release year the concept entered the ontology; drives snapshots.
+    tree_numbers:
+        MeSH-style hierarchical addresses, informational only.
+    """
+
+    concept_id: str
+    preferred_term: str
+    synonyms: list[str] = field(default_factory=list)
+    year_added: int | None = None
+    tree_numbers: list[str] = field(default_factory=list)
+
+    def all_terms(self) -> list[str]:
+        """Preferred term followed by synonyms (normalised, deduplicated)."""
+        seen: set[str] = set()
+        out: list[str] = []
+        for term in [self.preferred_term, *self.synonyms]:
+            norm = normalize_term(term)
+            if norm not in seen:
+                seen.add(norm)
+                out.append(norm)
+        return out
+
+
+class Ontology:
+    """A DAG of :class:`Concept` objects with a term index.
+
+    >>> onto = Ontology("demo")
+    >>> _ = onto.add_concept(Concept("C1", "eye diseases"))
+    >>> _ = onto.add_concept(Concept("C2", "corneal diseases"), fathers=["C1"])
+    >>> onto.fathers("C2")
+    ['C1']
+    >>> onto.concepts_for_term("corneal diseases")
+    ['C2']
+    """
+
+    def __init__(self, name: str = "ontology") -> None:
+        self.name = name
+        self._concepts: dict[str, Concept] = {}
+        self._fathers: dict[str, set[str]] = {}
+        self._sons: dict[str, set[str]] = {}
+        self._term_index: dict[str, set[str]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_concept(
+        self, concept: Concept, fathers: Iterable[str] = ()
+    ) -> Concept:
+        """Insert ``concept``; optionally attach it under existing fathers."""
+        cid = concept.concept_id
+        if cid in self._concepts:
+            raise OntologyError(f"duplicate concept id {cid!r}")
+        self._concepts[cid] = concept
+        self._fathers[cid] = set()
+        self._sons[cid] = set()
+        for term in concept.all_terms():
+            self._term_index.setdefault(term, set()).add(cid)
+        for father in fathers:
+            self.add_edge(father, cid)
+        return concept
+
+    def add_edge(self, father_id: str, son_id: str) -> None:
+        """Add a father → son hierarchy edge (rejects cycles)."""
+        if father_id not in self._concepts:
+            raise OntologyError(f"unknown father concept {father_id!r}")
+        if son_id not in self._concepts:
+            raise OntologyError(f"unknown son concept {son_id!r}")
+        if father_id == son_id:
+            raise OntologyError(f"self-edge on {father_id!r}")
+        if self._reaches(son_id, father_id):
+            raise OntologyError(
+                f"edge {father_id!r} -> {son_id!r} would create a cycle"
+            )
+        self._fathers[son_id].add(father_id)
+        self._sons[father_id].add(son_id)
+
+    def add_synonym(self, concept_id: str, term: str) -> None:
+        """Attach an extra synonym to an existing concept."""
+        concept = self.concept(concept_id)
+        norm = normalize_term(term)
+        if norm in concept.all_terms():
+            return
+        concept.synonyms.append(term)
+        self._term_index.setdefault(norm, set()).add(concept_id)
+
+    def _reaches(self, start: str, target: str) -> bool:
+        """True if ``target`` is reachable from ``start`` via son edges."""
+        stack = [start]
+        seen: set[str] = set()
+        while stack:
+            node = stack.pop()
+            if node == target:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._sons.get(node, ()))
+        return False
+
+    # -- lookup ----------------------------------------------------------------
+
+    def concept(self, concept_id: str) -> Concept:
+        """The concept with ``concept_id`` (raises OntologyError if absent)."""
+        try:
+            return self._concepts[concept_id]
+        except KeyError:
+            raise OntologyError(f"unknown concept id {concept_id!r}") from None
+
+    def __contains__(self, concept_id: str) -> bool:
+        return concept_id in self._concepts
+
+    def __len__(self) -> int:
+        return len(self._concepts)
+
+    def __iter__(self) -> Iterator[Concept]:
+        return iter(self._concepts.values())
+
+    def concept_ids(self) -> list[str]:
+        """All concept ids in insertion order."""
+        return list(self._concepts)
+
+    def fathers(self, concept_id: str) -> list[str]:
+        """Direct fathers of ``concept_id`` (sorted)."""
+        self.concept(concept_id)
+        return sorted(self._fathers[concept_id])
+
+    def sons(self, concept_id: str) -> list[str]:
+        """Direct sons of ``concept_id`` (sorted)."""
+        self.concept(concept_id)
+        return sorted(self._sons[concept_id])
+
+    def roots(self) -> list[str]:
+        """Concepts without fathers (sorted)."""
+        return sorted(cid for cid, f in self._fathers.items() if not f)
+
+    def ancestors(self, concept_id: str) -> set[str]:
+        """All transitive fathers of ``concept_id``."""
+        out: set[str] = set()
+        stack = list(self._fathers.get(concept_id, ()))
+        self.concept(concept_id)
+        while stack:
+            node = stack.pop()
+            if node in out:
+                continue
+            out.add(node)
+            stack.extend(self._fathers.get(node, ()))
+        return out
+
+    def depth(self, concept_id: str) -> int:
+        """Length of the shortest father-chain from a root to the concept."""
+        self.concept(concept_id)
+        frontier = {concept_id}
+        depth = 0
+        seen: set[str] = set()
+        while frontier:
+            if any(not self._fathers[node] for node in frontier):
+                return depth
+            seen.update(frontier)
+            frontier = {
+                father
+                for node in frontier
+                for father in self._fathers[node]
+                if father not in seen
+            }
+            depth += 1
+        raise OntologyError(f"no root reachable from {concept_id!r}")
+
+    # -- terms -------------------------------------------------------------------
+
+    def terms(self) -> list[str]:
+        """Every distinct (normalised) term string in the ontology."""
+        return sorted(self._term_index)
+
+    def concepts_for_term(self, term: str) -> list[str]:
+        """Concept ids named by ``term`` (empty list if unknown)."""
+        return sorted(self._term_index.get(normalize_term(term), ()))
+
+    def has_term(self, term: str) -> bool:
+        """True if ``term`` names at least one concept."""
+        return normalize_term(term) in self._term_index
+
+    def sense_count(self, term: str) -> int:
+        """Number of concepts ``term`` names (0 when unknown)."""
+        return len(self._term_index.get(normalize_term(term), ()))
+
+    def is_polysemic(self, term: str) -> bool:
+        """True if ``term`` names two or more concepts."""
+        return self.sense_count(term) >= 2
+
+    def polysemic_terms(self) -> list[str]:
+        """All terms naming at least two concepts (sorted)."""
+        return sorted(
+            term for term, cids in self._term_index.items() if len(cids) >= 2
+        )
+
+    def remove_term(self, term: str) -> None:
+        """Remove a term string from the index and its concepts' synonym lists.
+
+        Used by Step IV evaluation: the candidate term must not be findable
+        in the ontology it is being positioned into.  Removing a concept's
+        *preferred* term keeps the concept but drops the name from lookup.
+        """
+        norm = normalize_term(term)
+        cids = self._term_index.pop(norm, set())
+        for cid in cids:
+            concept = self._concepts[cid]
+            concept.synonyms = [
+                s for s in concept.synonyms if normalize_term(s) != norm
+            ]
+
+    # -- neighbourhood used by Step IV ----------------------------------------
+
+    def position_candidates(self, concept_ids: Iterable[str]) -> set[str]:
+        """Expand ``concept_ids`` with their fathers and sons (Step IV.2)."""
+        out: set[str] = set()
+        for cid in concept_ids:
+            self.concept(cid)
+            out.add(cid)
+            out.update(self._fathers[cid])
+            out.update(self._sons[cid])
+        return out
+
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`OntologyError` if broken."""
+        for cid, fathers in self._fathers.items():
+            for father in fathers:
+                if father not in self._concepts:
+                    raise OntologyError(f"dangling father {father!r} of {cid!r}")
+                if cid not in self._sons[father]:
+                    raise OntologyError(
+                        f"father/son asymmetry between {father!r} and {cid!r}"
+                    )
+        for term, cids in self._term_index.items():
+            if not cids:
+                raise OntologyError(f"term {term!r} indexes no concept")
+            for cid in cids:
+                if cid not in self._concepts:
+                    raise OntologyError(f"term {term!r} indexes unknown {cid!r}")
+        # Acyclicity: iterative DFS with colouring.
+        state: dict[str, int] = {}
+        for start in self._concepts:
+            if state.get(start):
+                continue
+            stack: list[tuple[str, Iterator[str]]] = [(start, iter(self._sons[start]))]
+            state[start] = 1
+            while stack:
+                node, sons = stack[-1]
+                advanced = False
+                for son in sons:
+                    colour = state.get(son, 0)
+                    if colour == 1:
+                        raise OntologyError(f"cycle through {son!r}")
+                    if colour == 0:
+                        state[son] = 1
+                        stack.append((son, iter(self._sons[son])))
+                        advanced = True
+                        break
+                if not advanced:
+                    state[node] = 2
+                    stack.pop()

@@ -1,0 +1,108 @@
+"""Ontology release snapshots.
+
+The paper evaluates Step IV on "60 MeSH terms that have been added between
+2009 and 2015": terms new in recent releases, positioned against the
+current ontology.  :func:`held_out_terms` selects such terms from a
+generated ontology using the ``year_added`` stamps, and
+:func:`snapshot_before` rebuilds the ontology as it looked before a cutoff
+year (used by the full-workflow simulation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ontology.model import Concept, Ontology
+
+
+@dataclass(frozen=True)
+class HeldOutTerm:
+    """An evaluation term: a concept's preferred term added in the window."""
+
+    term: str
+    concept_id: str
+    year_added: int
+
+
+def held_out_terms(
+    ontology: Ontology, start_year: int, end_year: int
+) -> list[HeldOutTerm]:
+    """Preferred terms of concepts added in ``[start_year, end_year]``.
+
+    Only concepts that still have a father or a son inside the ontology
+    are returned — a term with no structural neighbours has no "correct
+    position" to recover, matching the paper's protocol where every
+    evaluation term has synonyms/fathers in MeSH 2015.
+    """
+    if start_year > end_year:
+        raise ValueError(f"start_year {start_year} > end_year {end_year}")
+    out = []
+    for concept in ontology:
+        year = concept.year_added
+        if year is None or not start_year <= year <= end_year:
+            continue
+        cid = concept.concept_id
+        if not ontology.fathers(cid) and not ontology.sons(cid):
+            continue
+        out.append(
+            HeldOutTerm(
+                term=concept.all_terms()[0],
+                concept_id=cid,
+                year_added=year,
+            )
+        )
+    return sorted(out, key=lambda h: (h.year_added, h.term))
+
+
+def snapshot_before(ontology: Ontology, cutoff_year: int) -> Ontology:
+    """The ontology as of the release *before* ``cutoff_year``.
+
+    Concepts with ``year_added >= cutoff_year`` are dropped; hierarchy
+    edges among surviving concepts are kept; orphaned sons re-attach to
+    their nearest surviving ancestor so the snapshot stays connected the
+    way a real earlier release would be.
+    """
+    snap = Ontology(f"{ontology.name}@<{cutoff_year}")
+    survivors = {
+        c.concept_id
+        for c in ontology
+        if c.year_added is None or c.year_added < cutoff_year
+    }
+
+    def surviving_fathers(cid: str) -> set[str]:
+        """Nearest surviving ancestors through dropped intermediate nodes."""
+        out: set[str] = set()
+        stack = list(ontology.fathers(cid))
+        seen: set[str] = set()
+        while stack:
+            father = stack.pop()
+            if father in seen:
+                continue
+            seen.add(father)
+            if father in survivors:
+                out.add(father)
+            else:
+                stack.extend(ontology.fathers(father))
+        return out
+
+    for concept in ontology:
+        if concept.concept_id not in survivors:
+            continue
+        snap.add_concept(
+            Concept(
+                concept_id=concept.concept_id,
+                preferred_term=concept.preferred_term,
+                synonyms=list(concept.synonyms),
+                year_added=concept.year_added,
+                tree_numbers=list(concept.tree_numbers),
+            )
+        )
+    for concept in ontology:
+        cid = concept.concept_id
+        if cid not in survivors:
+            continue
+        for father in surviving_fathers(cid):
+            if father not in snap.fathers(cid):
+                snap.add_edge(father, cid)
+    snap.validate()
+    return snap

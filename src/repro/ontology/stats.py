@@ -1,0 +1,91 @@
+"""Polysemy statistics over ontologies — the machinery behind Table 1.
+
+The paper uses UMLS/MeSH polysemy counts to justify bounding the number of
+senses of a new term to k ∈ {2..5}.  :func:`polysemy_histogram` measures
+those counts on any :class:`~repro.ontology.model.Ontology`, and
+:class:`PolysemyStatistics` aggregates several terminologies into the
+paper's table layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ontology.model import Ontology
+from repro.utils.tables import format_table
+
+#: Bin labels of Table 1 (5 stands for "5+").
+SENSE_BINS = (2, 3, 4, 5)
+
+
+def polysemy_histogram(ontology: Ontology) -> dict[int, int]:
+    """Count polysemic terms per sense bin: {2: n2, 3: n3, 4: n4, 5: n5plus}."""
+    histogram = {k: 0 for k in SENSE_BINS}
+    for term in ontology.polysemic_terms():
+        k = ontology.sense_count(term)
+        histogram[min(k, 5)] += 1
+    return histogram
+
+
+@dataclass
+class PolysemyStatistics:
+    """Aggregated polysemy statistics over several terminologies.
+
+    Attributes
+    ----------
+    histograms:
+        ``(source, language) → {k: count}`` as measured by
+        :func:`polysemy_histogram`.
+    total_terms:
+        ``(source, language) → number of distinct terms``.
+    """
+
+    histograms: dict[tuple[str, str], dict[int, int]]
+    total_terms: dict[tuple[str, str], int]
+
+    @classmethod
+    def measure(
+        cls, ontologies: dict[tuple[str, str], Ontology]
+    ) -> "PolysemyStatistics":
+        """Measure statistics off generated/loaded ontologies."""
+        histograms = {}
+        totals = {}
+        for key, onto in ontologies.items():
+            histograms[key] = polysemy_histogram(onto)
+            totals[key] = len(onto.terms())
+        return cls(histograms=histograms, total_terms=totals)
+
+    def n_polysemic(self, key: tuple[str, str]) -> int:
+        """Total polysemic terms for one terminology."""
+        return sum(self.histograms[key].values())
+
+    def polysemy_ratio(self, key: tuple[str, str]) -> float:
+        """Fraction of distinct terms that are polysemic."""
+        total = self.total_terms[key]
+        return self.n_polysemic(key) / total if total else 0.0
+
+    def dominant_bin_share(self, key: tuple[str, str]) -> float:
+        """Share of polysemic terms in the k=2 bin (the paper's '2 to 5' point)."""
+        n = self.n_polysemic(key)
+        return self.histograms[key].get(2, 0) / n if n else 0.0
+
+    def to_table(self, *, title: str | None = None) -> str:
+        """Render in the layout of the paper's Table 1."""
+        sources = sorted({source for source, _lang in self.histograms})
+        languages = ("en", "fr", "es")
+        headers = ["k"] + [
+            f"{source.upper()} {lang.upper()}"
+            for source in sources
+            for lang in languages
+            if (source, lang) in self.histograms
+        ]
+        rows = []
+        for k in SENSE_BINS:
+            label = f"{k}" if k < 5 else "5+"
+            row: list[object] = [label]
+            for source in sources:
+                for lang in languages:
+                    if (source, lang) in self.histograms:
+                        row.append(self.histograms[(source, lang)].get(k, 0))
+            rows.append(row)
+        return format_table(headers, rows, title=title)

@@ -1,0 +1,178 @@
+"""Synthetic UMLS metathesaurus calibrated to the paper's Table 1.
+
+Table 1 of the paper counts polysemic terms (terms naming 2, 3, 4, 5+
+concepts) in UMLS and MeSH for English, French, and Spanish.  The real
+UMLS is licence-gated and ~9.9 M terms; this module generates a
+metathesaurus whose polysemy *distribution* matches the published
+marginals at a configurable scale, so the downstream statistics pipeline
+(:mod:`repro.ontology.stats`) and the k ∈ {2..5} design decision can be
+exercised end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.lexicon import BioLexicon
+from repro.ontology.generator import GeneratorSpec, OntologyGenerator
+from repro.ontology.model import Ontology
+from repro.utils.rng import ensure_rng, spawn_rng
+
+# Table 1 of the paper, verbatim: polysemic-term counts per sense count k.
+# Keys: (source, language) → {k: count}; 5 stands for "5+".
+PAPER_TABLE1: dict[tuple[str, str], dict[int, int]] = {
+    ("umls", "en"): {2: 54_257, 3: 7_770, 4: 1_842, 5: 1_677},
+    ("umls", "fr"): {2: 1_292, 3: 36, 4: 1, 5: 1},
+    ("umls", "es"): {2: 10_906, 3: 414, 4: 56, 5: 18},
+    ("mesh", "en"): {2: 178, 3: 1, 4: 0, 5: 0},
+    ("mesh", "fr"): {2: 11, 3: 0, 4: 0, 5: 0},
+    ("mesh", "es"): {2: 0, 3: 0, 4: 0, 5: 0},
+}
+
+# Total distinct terms per source/language.  The paper gives the English
+# UMLS total (~9 919 000); the others are order-of-magnitude figures from
+# the 2015AB UMLS release notes and the MeSH/DeCS translations, recorded
+# here only to preserve the "1 polysemic term per ~200 terms" ratio.
+PAPER_TOTAL_TERMS: dict[tuple[str, str], int] = {
+    ("umls", "en"): 9_919_000,
+    ("umls", "fr"): 180_000,
+    ("umls", "es"): 1_200_000,
+    ("mesh", "en"): 87_000,
+    ("mesh", "fr"): 86_000,
+    ("mesh", "es"): 77_000,
+}
+
+
+@dataclass(frozen=True)
+class PolysemyProfile:
+    """Polysemy calibration for one (source, language) terminology.
+
+    Parameters
+    ----------
+    source / language:
+        e.g. ``"umls"`` / ``"en"``.
+    total_terms:
+        Target number of distinct term strings.
+    histogram:
+        ``{k: count}`` of polysemic terms (k = 5 means "5 or more").
+    """
+
+    source: str
+    language: str
+    total_terms: int
+    histogram: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.total_terms < 1:
+            raise ValidationError(f"total_terms must be >= 1, got {self.total_terms}")
+        n_polysemic = sum(self.histogram.values())
+        if n_polysemic > self.total_terms:
+            raise ValidationError(
+                f"histogram holds {n_polysemic} polysemic terms but "
+                f"total_terms is only {self.total_terms}"
+            )
+
+    def n_polysemic(self) -> int:
+        """Total number of polysemic term strings."""
+        return sum(self.histogram.values())
+
+    def polysemy_ratio(self) -> float:
+        """Fraction of terms that are polysemic (≈ 1/200 for UMLS-EN)."""
+        return self.n_polysemic() / self.total_terms
+
+    def scaled(self, scale: float) -> "PolysemyProfile":
+        """A down-scaled profile preserving the distribution shape.
+
+        Counts are divided by ``scale`` and rounded; very small counts are
+        kept at ≥ 1 whenever the original count was non-zero, so the shape
+        of Table 1 survives aggressive scaling.
+        """
+        if scale <= 0:
+            raise ValidationError(f"scale must be > 0, got {scale}")
+        histogram = {
+            k: max(1, round(count / scale)) if count else 0
+            for k, count in self.histogram.items()
+        }
+        total = max(sum(histogram.values()) + 1, round(self.total_terms / scale))
+        return PolysemyProfile(self.source, self.language, total, histogram)
+
+
+def paper_profiles(scale: float = 1.0) -> dict[tuple[str, str], PolysemyProfile]:
+    """The six Table 1 profiles, optionally down-scaled by ``scale``."""
+    profiles = {}
+    for key, histogram in PAPER_TABLE1.items():
+        source, language = key
+        profile = PolysemyProfile(
+            source=source,
+            language=language,
+            total_terms=PAPER_TOTAL_TERMS[key],
+            histogram=dict(histogram),
+        )
+        profiles[key] = profile.scaled(scale) if scale != 1.0 else profile
+    return profiles
+
+
+class SyntheticMetathesaurus:
+    """Generate per-language terminologies matching given polysemy profiles.
+
+    Parameters
+    ----------
+    profiles:
+        Profiles to realise (default: all six of Table 1 at ``scale``).
+    scale:
+        Down-scaling factor applied when ``profiles`` is None;
+        the default 1000 keeps the biggest terminology under ~10k terms.
+    seed:
+        RNG seed.
+
+    Notes
+    -----
+    Each profile becomes a full :class:`~repro.ontology.model.Ontology`
+    (concepts + hierarchy + synonym index), not just a histogram — the
+    polysemy statistics of Table 1 are then *measured* off the generated
+    structure by :mod:`repro.ontology.stats`, exercising the same code
+    path a real UMLS load would.
+    """
+
+    def __init__(
+        self,
+        profiles: dict[tuple[str, str], PolysemyProfile] | None = None,
+        *,
+        scale: float = 1000.0,
+        seed: int | np.random.Generator | None = None,
+        mean_synonyms: float = 1.0,
+    ) -> None:
+        self.profiles = profiles if profiles is not None else paper_profiles(scale)
+        self.mean_synonyms = mean_synonyms
+        self._rng = ensure_rng(seed)
+
+    def generate(self) -> dict[tuple[str, str], Ontology]:
+        """Build one ontology per profile, keyed by (source, language)."""
+        out: dict[tuple[str, str], Ontology] = {}
+        children = spawn_rng(self._rng, n=len(self.profiles))
+        for child, (key, profile) in zip(children, sorted(self.profiles.items())):
+            out[key] = self._generate_one(profile, child)
+        return out
+
+    def _generate_one(
+        self, profile: PolysemyProfile, rng: np.random.Generator
+    ) -> Ontology:
+        # Terms per concept ≈ 1 preferred + mean_synonyms synonyms; solve
+        # for the concept count that lands near the target total terms.
+        terms_per_concept = 1.0 + self.mean_synonyms
+        n_needed = max(profile.n_polysemic() * 7 + 10, 20)
+        n_concepts = max(int(profile.total_terms / terms_per_concept), n_needed)
+        spec = GeneratorSpec(
+            n_concepts=n_concepts,
+            n_roots=max(2, n_concepts // 500),
+            mean_synonyms=self.mean_synonyms,
+            polysemy_histogram=dict(profile.histogram),
+            language=profile.language,
+        )
+        generator = OntologyGenerator(
+            spec, lexicon=BioLexicon(seed=rng), seed=rng
+        )
+        return generator.generate(f"{profile.source}-{profile.language}")

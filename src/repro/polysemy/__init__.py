@@ -1,0 +1,35 @@
+"""Step II — polysemy detection.
+
+"This step seeks to predict if candidate terms are polysemic. ... Totally,
+23 features were proposed, 11 direct and 12 from the induced graph.  Their
+effectiveness showed an F-measure of 98%."
+
+:mod:`repro.polysemy.direct_features` implements the 11 text-statistical
+features, :mod:`repro.polysemy.graph_features` the 12 features of the
+term's induced co-occurrence graph, and :class:`PolysemyDetector` wraps a
+:mod:`repro.ml` classifier over the assembled 23-dimensional vectors.
+"""
+
+from repro.polysemy.dataset import (
+    PolysemyDataset,
+    build_entity_polysemy_dataset,
+    build_polysemy_dataset,
+)
+from repro.polysemy.detector import PolysemyDetector
+from repro.polysemy.features import (
+    ALL_FEATURE_NAMES,
+    DIRECT_FEATURE_NAMES,
+    GRAPH_FEATURE_NAMES,
+    PolysemyFeatureExtractor,
+)
+
+__all__ = [
+    "ALL_FEATURE_NAMES",
+    "DIRECT_FEATURE_NAMES",
+    "GRAPH_FEATURE_NAMES",
+    "PolysemyDataset",
+    "PolysemyDetector",
+    "PolysemyFeatureExtractor",
+    "build_entity_polysemy_dataset",
+    "build_polysemy_dataset",
+]

@@ -1,0 +1,133 @@
+"""The 12 graph polysemy features.
+
+The paper extracts 12 of its 23 features "from a graph itself induced from
+the text corpus".  Here the graph for a term is the co-occurrence graph of
+its context words: nodes are words appearing in the term's contexts,
+edges weight within-context co-occurrence.  For a monosemous term this
+graph is one dense community; for a polysemic term it splits into one
+community per sense — community structure, connectivity, and degree
+statistics capture that.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import networkx as nx
+import numpy as np
+
+#: Feature names in vector order.
+GRAPH_FEATURE_NAMES = (
+    "log_n_nodes",
+    "log_n_edges",
+    "density",
+    "mean_degree",
+    "degree_entropy",
+    "avg_clustering",
+    "transitivity",
+    "n_components",
+    "largest_component_fraction",
+    "n_communities",
+    "modularity",
+    "community_size_entropy",
+)
+
+
+def build_context_graph(
+    contexts: Sequence[Sequence[str]],
+    *,
+    window: int = 4,
+    min_weight: float = 1.0,
+) -> nx.Graph:
+    """Co-occurrence graph over the words of ``contexts``.
+
+    A sliding window of ``window`` tokens inside each context adds edges;
+    edges below ``min_weight`` total are pruned.
+    """
+    graph = nx.Graph()
+    for context in contexts:
+        tokens = list(context)
+        n = len(tokens)
+        for i, left in enumerate(tokens):
+            graph.add_node(left)
+            for j in range(i + 1, min(i + window, n)):
+                right = tokens[j]
+                if left == right:
+                    continue
+                if graph.has_edge(left, right):
+                    graph[left][right]["weight"] += 1.0
+                else:
+                    graph.add_edge(left, right, weight=1.0)
+    if min_weight > 1.0:
+        drop = [
+            (u, v) for u, v, w in graph.edges(data="weight") if w < min_weight
+        ]
+        graph.remove_edges_from(drop)
+        graph.remove_nodes_from([n for n in graph if graph.degree(n) == 0])
+    return graph
+
+
+def _entropy(values: np.ndarray) -> float:
+    total = values.sum()
+    if total <= 0 or values.size <= 1:
+        return 0.0
+    probs = values / total
+    probs = probs[probs > 0]
+    entropy = float(-(probs * np.log2(probs)).sum())
+    max_entropy = math.log2(values.size)
+    return entropy / max_entropy if max_entropy > 0 else 0.0
+
+
+def graph_features(graph: nx.Graph) -> np.ndarray:
+    """The 12-dimensional feature vector of a term's context graph."""
+    n_nodes = graph.number_of_nodes()
+    n_edges = graph.number_of_edges()
+    if n_nodes == 0:
+        return np.zeros(len(GRAPH_FEATURE_NAMES), dtype=np.float64)
+
+    degrees = np.array([d for __, d in graph.degree()], dtype=np.float64)
+    density = nx.density(graph) if n_nodes > 1 else 0.0
+    mean_degree = float(degrees.mean())
+    degree_entropy = _entropy(degrees)
+    avg_clustering = nx.average_clustering(graph) if n_nodes > 1 else 0.0
+    transitivity = nx.transitivity(graph) if n_nodes > 2 else 0.0
+
+    components = list(nx.connected_components(graph))
+    n_components = len(components)
+    largest_fraction = max(len(c) for c in components) / n_nodes
+
+    if n_edges > 0:
+        communities = list(
+            nx.algorithms.community.greedy_modularity_communities(
+                graph, weight="weight"
+            )
+        )
+        n_communities = len(communities)
+        modularity = nx.algorithms.community.modularity(
+            graph, communities, weight="weight"
+        )
+        community_sizes = np.array([len(c) for c in communities], dtype=np.float64)
+        community_entropy = _entropy(community_sizes)
+    else:
+        n_communities = n_components
+        modularity = 0.0
+        community_entropy = 0.0
+
+    return np.array(
+        [
+            math.log1p(n_nodes),
+            math.log1p(n_edges),
+            density,
+            mean_degree,
+            degree_entropy,
+            avg_clustering,
+            transitivity,
+            float(n_components),
+            largest_fraction,
+            float(n_communities),
+            float(modularity),
+            community_entropy,
+        ],
+        dtype=np.float64,
+    )

@@ -1,0 +1,121 @@
+"""Ready-made synthetic scenarios combining ontology + corpus + lexicon.
+
+Examples, tests, and benchmarks all need the same setup dance: mint a
+lexicon, generate an ontology over it, generate a PubMed-like corpus over
+both.  These helpers keep that dance in one place so every entry point
+agrees on how a scenario is wired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.corpus.corpus import Corpus
+from repro.corpus.pubmed import PubMedSimulator, PubMedSpec
+from repro.lexicon import BioLexicon
+from repro.ontology.generator import GeneratorSpec, OntologyGenerator
+from repro.ontology.mesh import assign_tree_numbers, make_eye_fragment
+from repro.ontology.model import Ontology
+
+
+@dataclass(frozen=True)
+class EnrichmentScenario:
+    """A generated ontology with a matching PubMed-like corpus.
+
+    Attributes
+    ----------
+    ontology:
+        The MeSH-like target ontology.
+    corpus:
+        Abstracts whose topics follow the ontology's concepts.
+    pos_lexicon:
+        Gold ``word → POS`` mapping covering every generated word (feed
+        it to taggers for gold tagging).
+    """
+
+    ontology: Ontology
+    corpus: Corpus
+    pos_lexicon: dict[str, str]
+
+
+def make_enrichment_scenario(
+    *,
+    seed: int = 0,
+    n_concepts: int = 60,
+    docs_per_concept: int = 8,
+    polysemy_histogram: dict[int, int] | None = None,
+    mean_synonyms: float = 1.0,
+    recent_fraction: float = 0.15,
+    inherit_fraction: float = 0.4,
+    spec: PubMedSpec | None = None,
+) -> EnrichmentScenario:
+    """A general-purpose scenario for the full workflow.
+
+    Parameters mirror the generator knobs; defaults produce a ~60-concept
+    ontology with a corpus of ``60 × docs_per_concept`` abstracts in a
+    couple of seconds.  ``inherit_fraction`` controls how similar related
+    concepts' contexts are (higher = more confusable siblings).
+    """
+    from repro.corpus.topics import ConceptTopicModel
+
+    lexicon = BioLexicon(seed=seed)
+    generator_spec = GeneratorSpec(
+        n_concepts=n_concepts,
+        n_roots=max(2, n_concepts // 20),
+        mean_synonyms=mean_synonyms,
+        polysemy_histogram=polysemy_histogram
+        or {2: max(2, n_concepts // 10), 3: max(1, n_concepts // 30)},
+        recent_fraction=recent_fraction,
+    )
+    ontology = OntologyGenerator(
+        generator_spec, lexicon=lexicon, seed=seed
+    ).generate()
+    assign_tree_numbers(ontology)
+    topic_model = ConceptTopicModel(
+        ontology, lexicon, inherit_fraction=inherit_fraction, seed=seed
+    )
+    simulator = PubMedSimulator(
+        ontology,
+        lexicon,
+        spec=spec
+        or PubMedSpec(mention_prob=0.85, related_mention_prob=0.3),
+        topic_model=topic_model,
+        seed=seed,
+    )
+    corpus = simulator.generate_balanced(docs_per_concept)
+    return EnrichmentScenario(
+        ontology=ontology, corpus=corpus, pos_lexicon=dict(lexicon.pos_lexicon)
+    )
+
+
+def make_corneal_scenario(
+    *,
+    seed: int = 0,
+    docs_per_concept: int = 20,
+    spec: PubMedSpec | None = None,
+) -> EnrichmentScenario:
+    """The paper's running example: the real MeSH eye fragment.
+
+    "corneal injuries" (added to MeSH between 2009 and 2015, synonyms
+    corneal injury / corneal damage / corneal trauma, fathers corneal
+    diseases and eye injuries) plus the surrounding descriptors that
+    appear in the paper's Table 3, with a generated PubMed-like context
+    corpus.
+    """
+    ontology = make_eye_fragment()
+    lexicon = BioLexicon(seed=seed)
+    simulator = PubMedSimulator(
+        ontology,
+        lexicon,
+        spec=spec
+        or PubMedSpec(
+            mention_prob=0.85,
+            related_mention_prob=0.35,
+            noise_mention_prob=0.05,
+        ),
+        seed=seed,
+    )
+    corpus = simulator.generate_balanced(docs_per_concept)
+    return EnrichmentScenario(
+        ontology=ontology, corpus=corpus, pos_lexicon=dict(lexicon.pos_lexicon)
+    )

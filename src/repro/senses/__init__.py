@@ -1,0 +1,39 @@
+"""Step III — term sense induction.
+
+Two tasks, as in the paper:
+
+(a) **Number of senses prediction** — for terms flagged polysemic, sweep
+    k ∈ {2..5} (the bound justified by Table 1), cluster the term's
+    contexts at each k, score each solution with an internal index
+    (Table 2), and pick the arg-optimum
+    (:class:`~repro.senses.predictor.SenseCountPredictor`).
+
+(b) **Clustering for concept induction** — cluster the contexts with the
+    predicted k (k = 1 for monosemous terms) and represent each induced
+    concept by its most important features
+    (:class:`~repro.senses.induction.SenseInducer`).
+
+The corpus is represented "of two different manners": bag-of-words and
+graph (:mod:`repro.senses.representation`).
+"""
+
+from repro.senses.induction import InducedSense, SenseInducer, SenseInductionResult
+from repro.senses.predictor import KPrediction, SenseCountPredictor
+from repro.senses.representation import (
+    REPRESENTATION_NAMES,
+    bow_representation,
+    graph_representation,
+    represent_contexts,
+)
+
+__all__ = [
+    "InducedSense",
+    "KPrediction",
+    "REPRESENTATION_NAMES",
+    "SenseCountPredictor",
+    "SenseInducer",
+    "SenseInductionResult",
+    "bow_representation",
+    "graph_representation",
+    "represent_contexts",
+]

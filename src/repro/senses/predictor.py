@@ -1,0 +1,119 @@
+"""Number-of-senses prediction (Step III, task a).
+
+Sweep k over the candidate range (2..5 per the paper's UMLS argument),
+cluster the term's contexts at each k with a CLUTO-style algorithm, score
+every solution with an internal index from Table 2, and return the
+arg-optimum of the index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.clustering.algorithms import ALGORITHM_NAMES, cluster
+from repro.clustering.indexes import INDEX_DIRECTIONS, compute_index, index_names
+from repro.errors import ClusteringError, ValidationError
+from repro.senses.representation import REPRESENTATION_NAMES, represent_contexts
+from repro.utils.rng import ensure_rng, spawn_rng
+
+
+@dataclass(frozen=True)
+class KPrediction:
+    """Outcome of a number-of-senses prediction.
+
+    Attributes
+    ----------
+    k:
+        The predicted number of senses.
+    index_values:
+        ``{k: index value}`` over the swept range.
+    labels_by_k:
+        Cluster labels of each swept solution (for reuse by induction).
+    """
+
+    k: int
+    index_values: dict[int, float]
+    labels_by_k: dict[int, np.ndarray]
+
+
+class SenseCountPredictor:
+    """Predict how many senses a term's contexts exhibit.
+
+    Parameters
+    ----------
+    algorithm:
+        One of the paper's five: ``rb``, ``rbr``, ``direct``, ``agglo``,
+        ``graph``.
+    index:
+        Internal index to optimise (paper's ``ak``..``fk`` or a baseline;
+        the paper's best is ``fk``).
+    representation:
+        ``"bow"`` or ``"graph"`` context representation.
+    k_range:
+        Candidate sense counts (paper: 2..5, from Table 1).
+    seed:
+        RNG seed shared across the sweep.
+    """
+
+    def __init__(
+        self,
+        *,
+        algorithm: str = "rb",
+        index: str = "fk",
+        representation: str = "bow",
+        k_range: Sequence[int] = (2, 3, 4, 5),
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if algorithm not in ALGORITHM_NAMES:
+            raise ValidationError(
+                f"unknown algorithm {algorithm!r}; options: {', '.join(ALGORITHM_NAMES)}"
+            )
+        if index not in index_names():
+            raise ValidationError(
+                f"unknown index {index!r}; options: {', '.join(index_names())}"
+            )
+        if representation not in REPRESENTATION_NAMES:
+            raise ValidationError(
+                f"unknown representation {representation!r}; "
+                f"options: {', '.join(REPRESENTATION_NAMES)}"
+            )
+        k_range = tuple(int(k) for k in k_range)
+        if not k_range or any(k < 2 for k in k_range):
+            raise ValidationError("k_range must contain integers >= 2")
+        self.algorithm = algorithm
+        self.index = index
+        self.representation = representation
+        self.k_range = k_range
+        self._seed = seed
+
+    def predict_from_matrix(self, matrix: np.ndarray) -> KPrediction:
+        """Predict k from an already-built context matrix."""
+        n = matrix.shape[0]
+        feasible = [k for k in self.k_range if k <= n]
+        if not feasible:
+            raise ClusteringError(
+                f"no feasible k in {self.k_range} for {n} contexts"
+            )
+        rng = ensure_rng(self._seed)
+        child_rngs = spawn_rng(rng, len(feasible))
+        values: dict[int, float] = {}
+        labels: dict[int, np.ndarray] = {}
+        for child, k in zip(child_rngs, feasible):
+            solution = cluster(matrix, k, method=self.algorithm, seed=child)
+            values[k] = compute_index(
+                self.index, matrix, solution.labels, stats=solution.stats
+            )
+            labels[k] = solution.labels
+        direction = INDEX_DIRECTIONS[self.index]
+        chooser = max if direction == "max" else min
+        # Deterministic tie-break: smallest k wins on equal index values.
+        best_k = chooser(sorted(values), key=lambda k: (values[k], -k) if direction == "max" else (values[k], k))
+        return KPrediction(k=int(best_k), index_values=values, labels_by_k=labels)
+
+    def predict(self, contexts: Sequence[Sequence[str]]) -> KPrediction:
+        """Predict k from raw token contexts."""
+        matrix = represent_contexts(contexts, self.representation)
+        return self.predict_from_matrix(matrix)

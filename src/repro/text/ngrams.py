@@ -1,0 +1,77 @@
+"""N-gram and pattern-filtered phrase extraction.
+
+Step I harvests multi-word candidate terms from text.  Two strategies are
+provided: plain n-grams (used by frequency-only baselines) and
+POS-pattern-filtered phrases (used by BioTex-style measures, which only
+keep sequences whose tag string matches a known biomedical term pattern).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.text.postag import TaggedToken
+from repro.text.patterns import TermPatternMatcher
+from repro.text.stopwords import stopwords_for
+
+
+def extract_ngrams(
+    tokens: Sequence[str],
+    *,
+    min_n: int = 1,
+    max_n: int = 4,
+    language: str | None = "en",
+) -> list[tuple[str, ...]]:
+    """Return all n-grams of ``tokens`` with ``min_n <= n <= max_n``.
+
+    When ``language`` is given, n-grams that start or end with a stopword
+    are dropped (interior stopwords are allowed: "degeneration of retina").
+    Tokens are lower-cased.
+    """
+    if min_n < 1:
+        raise ValueError(f"min_n must be >= 1, got {min_n}")
+    if max_n < min_n:
+        raise ValueError(f"max_n ({max_n}) must be >= min_n ({min_n})")
+    stop = stopwords_for(language) if language else frozenset()
+    lower = [t.lower() for t in tokens]
+    out: list[tuple[str, ...]] = []
+    n_tokens = len(lower)
+    for n in range(min_n, max_n + 1):
+        for i in range(n_tokens - n + 1):
+            gram = tuple(lower[i : i + n])
+            if stop and (gram[0] in stop or gram[-1] in stop):
+                continue
+            out.append(gram)
+    return out
+
+
+def extract_pattern_phrases(
+    tagged: Sequence[TaggedToken],
+    matcher: TermPatternMatcher,
+) -> list[tuple[tuple[str, ...], float]]:
+    """Return (phrase, pattern weight) for tag windows matching ``matcher``.
+
+    Phrases are lower-cased token tuples.  A window is every contiguous
+    span of length ``matcher.min_length .. matcher.max_length``.
+    """
+    out: list[tuple[tuple[str, ...], float]] = []
+    n = len(tagged)
+    for length in range(matcher.min_length, matcher.max_length + 1):
+        for i in range(n - length + 1):
+            window = tagged[i : i + length]
+            weight = matcher.weight([t.tag for t in window])
+            if weight is None:
+                continue
+            phrase = tuple(t.text.lower() for t in window)
+            out.append((phrase, weight))
+    return out
+
+
+def phrase_frequencies(
+    phrases: Iterable[tuple[str, ...]],
+) -> dict[tuple[str, ...], int]:
+    """Count occurrences of each phrase."""
+    counts: dict[tuple[str, ...], int] = {}
+    for phrase in phrases:
+        counts[phrase] = counts.get(phrase, 0) + 1
+    return counts

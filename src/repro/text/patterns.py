@@ -1,0 +1,142 @@
+"""Part-of-speech patterns for biomedical term candidates.
+
+BioTex (the paper's Step I tool) filters multi-word candidates through a
+ranked list of POS patterns learned from UMLS term annotations — patterns
+like ``NOUN NOUN`` or ``ADJ NOUN`` account for the vast majority of
+biomedical terms.  We ship the high-coverage head of that list per
+language with weights that decay with rank; the LIDF-value measure
+(:mod:`repro.extraction.lidf`) consumes the weight as its probability
+component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.utils.validation import check_in_options
+
+
+@dataclass(frozen=True)
+class TermPattern:
+    """A POS-sequence pattern with its rank-derived weight."""
+
+    tags: tuple[str, ...]
+    weight: float
+
+    def __len__(self) -> int:
+        return len(self.tags)
+
+
+# Pattern inventories, most frequent first.  English biomedical terminology
+# is noun-phrase final ("corneal injuries": ADJ NOUN); French and Spanish
+# are head-initial with prepositional attachments ("maladie de la cornée":
+# NOUN ADP DET NOUN).
+_PATTERNS_EN: tuple[tuple[str, ...], ...] = (
+    ("NOUN",),
+    ("NOUN", "NOUN"),
+    ("ADJ", "NOUN"),
+    ("NOUN", "NOUN", "NOUN"),
+    ("ADJ", "NOUN", "NOUN"),
+    ("ADJ", "ADJ", "NOUN"),
+    ("NOUN", "ADP", "NOUN"),
+    ("NOUN", "ADJ"),
+    ("ADJ", "NOUN", "NOUN", "NOUN"),
+    ("NOUN", "NOUN", "NOUN", "NOUN"),
+    ("NOUN", "ADP", "ADJ", "NOUN"),
+    ("ADJ", "ADJ", "NOUN", "NOUN"),
+)
+
+_PATTERNS_FR: tuple[tuple[str, ...], ...] = (
+    ("NOUN",),
+    ("NOUN", "ADJ"),
+    ("NOUN", "ADP", "NOUN"),
+    ("NOUN", "ADJ", "ADJ"),
+    ("NOUN", "ADP", "DET", "NOUN"),
+    ("ADJ", "NOUN"),
+    ("NOUN", "NOUN"),
+    ("NOUN", "ADP", "NOUN", "ADJ"),
+    ("NOUN", "ADJ", "ADP", "NOUN"),
+)
+
+_PATTERNS_ES: tuple[tuple[str, ...], ...] = (
+    ("NOUN",),
+    ("NOUN", "ADJ"),
+    ("NOUN", "ADP", "NOUN"),
+    ("NOUN", "ADJ", "ADJ"),
+    ("NOUN", "ADP", "DET", "NOUN"),
+    ("ADJ", "NOUN"),
+    ("NOUN", "NOUN"),
+    ("NOUN", "ADP", "NOUN", "ADJ"),
+)
+
+_BY_LANGUAGE = {"en": _PATTERNS_EN, "fr": _PATTERNS_FR, "es": _PATTERNS_ES}
+
+
+def default_patterns(language: str = "en") -> list[TermPattern]:
+    """Return the ranked pattern list for ``language`` with decaying weights.
+
+    The weight of the pattern at rank r (1-based) is ``1 / r`` normalised so
+    the best pattern has weight 1.0 — mirroring how BioTex turns the ranked
+    UMLS pattern list into the probability used inside LIDF-value.
+    """
+    check_in_options(language, "language", _BY_LANGUAGE)
+    raw = _BY_LANGUAGE[language]
+    return [
+        TermPattern(tags=tags, weight=1.0 / (rank + 1))
+        for rank, tags in enumerate(raw)
+    ]
+
+
+class TermPatternMatcher:
+    """Match tagged-token windows against a pattern inventory.
+
+    Parameters
+    ----------
+    patterns:
+        Patterns to match; defaults to :func:`default_patterns` for the
+        language.
+    language:
+        ``"en"``, ``"fr"`` or ``"es"``.
+    min_length / max_length:
+        Bounds (in tokens) on accepted candidates.
+    """
+
+    def __init__(
+        self,
+        patterns: Sequence[TermPattern] | None = None,
+        *,
+        language: str = "en",
+        min_length: int = 1,
+        max_length: int = 4,
+    ) -> None:
+        if patterns is None:
+            patterns = default_patterns(language)
+        if min_length < 1:
+            raise ValueError(f"min_length must be >= 1, got {min_length}")
+        if max_length < min_length:
+            raise ValueError(
+                f"max_length ({max_length}) must be >= min_length ({min_length})"
+            )
+        self._by_tags: dict[tuple[str, ...], float] = {}
+        for pattern in patterns:
+            if not (min_length <= len(pattern) <= max_length):
+                continue
+            existing = self._by_tags.get(pattern.tags)
+            if existing is None or pattern.weight > existing:
+                self._by_tags[pattern.tags] = pattern.weight
+        self.min_length = min_length
+        self.max_length = max_length
+
+    def weight(self, tags: Sequence[str]) -> float | None:
+        """Weight of the pattern exactly matching ``tags``, or None."""
+        return self._by_tags.get(tuple(tags))
+
+    def matches(self, tags: Sequence[str]) -> bool:
+        """True if ``tags`` exactly matches a known pattern."""
+        return tuple(tags) in self._by_tags
+
+    @property
+    def patterns(self) -> list[TermPattern]:
+        """The pattern inventory currently in use."""
+        return [TermPattern(tags, w) for tags, w in sorted(self._by_tags.items())]

@@ -1,0 +1,70 @@
+"""Sentence splitting.
+
+Rule-based splitter good enough for generated and real biomedical
+abstracts: it splits on sentence-final punctuation followed by whitespace
+and an upper-case/digit start, while protecting common abbreviations
+("e.g.", "Dr.", "Fig.") and decimal numbers ("p < 0.05").
+"""
+
+from __future__ import annotations
+
+import re
+
+# Abbreviations that should not terminate a sentence even when followed by
+# whitespace and a capital letter.
+_ABBREVIATIONS = frozenset(
+    {
+        "e.g",
+        "i.e",
+        "etc",
+        "vs",
+        "cf",
+        "al",  # "et al."
+        "dr",
+        "mr",
+        "mrs",
+        "ms",
+        "prof",
+        "fig",
+        "figs",
+        "eq",
+        "no",
+        "resp",
+        "approx",
+        "ca",
+        "inc",
+        "st",
+    }
+)
+
+_BOUNDARY_RE = re.compile(r"([.!?])\s+(?=[A-Z0-9À-Ö])")
+
+
+def split_sentences(text: str) -> list[str]:
+    """Split ``text`` into sentences.
+
+    >>> split_sentences("Wound healed. Cornea was clear.")
+    ['Wound healed.', 'Cornea was clear.']
+    """
+    if not isinstance(text, str):
+        raise TypeError(f"text must be str, got {type(text).__name__}")
+    text = text.strip()
+    if not text:
+        return []
+
+    sentences: list[str] = []
+    start = 0
+    for match in _BOUNDARY_RE.finditer(text):
+        end = match.end(1)
+        candidate = text[start:end]
+        last_word = candidate.rsplit(None, 1)[-1] if candidate.split() else ""
+        core = last_word.strip(".!?()[]{}\"',;:").lower()
+        # Do not break after protected abbreviations or single initials.
+        if core in _ABBREVIATIONS or (len(core) == 1 and core.isalpha()):
+            continue
+        sentences.append(candidate.strip())
+        start = match.end()
+    tail = text[start:].strip()
+    if tail:
+        sentences.append(tail)
+    return sentences

@@ -1,0 +1,259 @@
+"""Stemmers for English, French, and Spanish.
+
+English uses a full Porter (1980) stemmer implemented from the original
+paper's five-step description.  French and Spanish use light suffix
+strippers in the spirit of Savoy's light stemmers — plural and a few
+derivational endings — which is what term-matching across morphological
+variants actually needs here ("injuries" → "injuri" ← "injury").
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_in_options
+
+_VOWELS = frozenset("aeiou")
+
+
+def _is_consonant(word: str, i: int) -> bool:
+    ch = word[i]
+    if ch in _VOWELS:
+        return False
+    if ch == "y":
+        return i == 0 or not _is_consonant(word, i - 1)
+    return True
+
+
+class PorterStemmer:
+    """The classic Porter stemming algorithm for English.
+
+    >>> PorterStemmer().stem("epithelializations")
+    'epitheli'
+    """
+
+    def stem(self, word: str) -> str:
+        """Return the Porter stem of ``word`` (lower-cased)."""
+        word = word.lower()
+        if len(word) <= 2:
+            return word
+        word = self._step1a(word)
+        word = self._step1b(word)
+        word = self._step1c(word)
+        word = self._step2(word)
+        word = self._step3(word)
+        word = self._step4(word)
+        word = self._step5a(word)
+        word = self._step5b(word)
+        return word
+
+    # -- measure and predicates -------------------------------------------
+
+    def _measure(self, stem: str) -> int:
+        """Porter's m: the number of VC sequences in the stem."""
+        m = 0
+        prev_vowel = False
+        for i in range(len(stem)):
+            vowel = not _is_consonant(stem, i)
+            if prev_vowel and not vowel:
+                m += 1
+            prev_vowel = vowel
+        return m
+
+    def _contains_vowel(self, stem: str) -> bool:
+        return any(not _is_consonant(stem, i) for i in range(len(stem)))
+
+    def _ends_double_consonant(self, word: str) -> bool:
+        return (
+            len(word) >= 2
+            and word[-1] == word[-2]
+            and _is_consonant(word, len(word) - 1)
+        )
+
+    def _ends_cvc(self, word: str) -> bool:
+        if len(word) < 3:
+            return False
+        c1 = _is_consonant(word, len(word) - 3)
+        v = not _is_consonant(word, len(word) - 2)
+        c2 = _is_consonant(word, len(word) - 1)
+        return c1 and v and c2 and word[-1] not in "wxy"
+
+    # -- steps --------------------------------------------------------------
+
+    def _step1a(self, word: str) -> str:
+        if word.endswith("sses"):
+            return word[:-2]
+        if word.endswith("ies"):
+            return word[:-2]
+        if word.endswith("ss"):
+            return word
+        if word.endswith("s"):
+            return word[:-1]
+        return word
+
+    def _step1b(self, word: str) -> str:
+        if word.endswith("eed"):
+            stem = word[:-3]
+            if self._measure(stem) > 0:
+                return word[:-1]
+            return word
+        flag = False
+        if word.endswith("ed") and self._contains_vowel(word[:-2]):
+            word = word[:-2]
+            flag = True
+        elif word.endswith("ing") and self._contains_vowel(word[:-3]):
+            word = word[:-3]
+            flag = True
+        if flag:
+            if word.endswith(("at", "bl", "iz")):
+                return word + "e"
+            if self._ends_double_consonant(word) and word[-1] not in "lsz":
+                return word[:-1]
+            if self._measure(word) == 1 and self._ends_cvc(word):
+                return word + "e"
+        return word
+
+    def _step1c(self, word: str) -> str:
+        if word.endswith("y") and self._contains_vowel(word[:-1]):
+            return word[:-1] + "i"
+        return word
+
+    _STEP2_SUFFIXES = (
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("abli", "able"),
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+    )
+
+    def _step2(self, word: str) -> str:
+        for suffix, replacement in self._STEP2_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: -len(suffix)]
+                if self._measure(stem) > 0:
+                    return stem + replacement
+                return word
+        return word
+
+    _STEP3_SUFFIXES = (
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    )
+
+    def _step3(self, word: str) -> str:
+        for suffix, replacement in self._STEP3_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: -len(suffix)]
+                if self._measure(stem) > 0:
+                    return stem + replacement
+                return word
+        return word
+
+    _STEP4_SUFFIXES = (
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+        "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    )
+
+    def _step4(self, word: str) -> str:
+        if word.endswith("ion"):
+            stem = word[:-3]
+            if stem and stem[-1] in "st" and self._measure(stem) > 1:
+                return stem
+            return word
+        for suffix in self._STEP4_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: -len(suffix)]
+                if self._measure(stem) > 1:
+                    return stem
+                return word
+        return word
+
+    def _step5a(self, word: str) -> str:
+        if word.endswith("e"):
+            stem = word[:-1]
+            m = self._measure(stem)
+            if m > 1 or (m == 1 and not self._ends_cvc(stem)):
+                return stem
+        return word
+
+    def _step5b(self, word: str) -> str:
+        if (
+            self._measure(word) > 1
+            and self._ends_double_consonant(word)
+            and word.endswith("l")
+        ):
+            return word[:-1]
+        return word
+
+
+# Light suffix strippers for French / Spanish, longest-suffix-first.
+_FRENCH_SUFFIXES = (
+    "issements", "issement", "atrices", "atrice", "ateurs", "ateur",
+    "logies", "logie", "emments", "emment", "ements", "ement", "euses",
+    "euse", "istes", "iste", "ables", "able", "ances", "ance", "ences",
+    "ence", "ités", "ité", "ives", "ive", "eaux", "aux", "ées", "ée",
+    "és", "é", "es", "s",
+)
+
+_SPANISH_SUFFIXES = (
+    "amientos", "amiento", "imientos", "imiento", "aciones", "ación",
+    "logías", "logía", "idades", "idad", "mente", "istas", "ista",
+    "ables", "able", "ibles", "ible", "ancias", "ancia", "encias",
+    "encia", "adores", "adora", "ador", "osas", "osa", "osos", "oso",
+    "ivas", "iva", "ivos", "ivo", "es", "as", "os", "a", "o", "s",
+)
+
+_MIN_STEM = 3
+
+_porter = PorterStemmer()
+
+
+def _strip_suffixes(word: str, suffixes: tuple[str, ...]) -> str:
+    for suffix in suffixes:
+        if word.endswith(suffix) and len(word) - len(suffix) >= _MIN_STEM:
+            return word[: -len(suffix)]
+    return word
+
+
+def _stem_light(word: str, suffixes: tuple[str, ...], final_vowels: str) -> str:
+    """Savoy-style light stemming: plural, derivational suffix, final vowel.
+
+    The trailing-vowel strip is what conflates singular/plural pairs whose
+    plural form loses the vowel together with the plural marker
+    ("maladies" → "maladi" ← "maladie").
+    """
+    if word.endswith(("s", "x")) and len(word) - 1 >= _MIN_STEM:
+        word = word[:-1]
+    word = _strip_suffixes(word, suffixes)
+    if word and word[-1] in final_vowels and len(word) - 1 >= _MIN_STEM:
+        word = word[:-1]
+    return word
+
+
+def stem(word: str, language: str = "en") -> str:
+    """Stem ``word`` for ``language`` (``"en"`` Porter, ``"fr"``/``"es"`` light)."""
+    check_in_options(language, "language", ("en", "fr", "es"))
+    word = word.lower()
+    if language == "en":
+        return _porter.stem(word)
+    if language == "fr":
+        return _stem_light(word, _FRENCH_SUFFIXES, "eé")
+    return _stem_light(word, _SPANISH_SUFFIXES, "aeo")

@@ -1,0 +1,83 @@
+"""Stopword lists for English, French, and Spanish.
+
+The paper's workflow runs in all three languages; term extraction and the
+context vectors of Steps II–IV strip stopwords first.  The lists below are
+compact, hand-curated function-word inventories (determiners, prepositions,
+pronouns, auxiliaries, common adverbs) — enough for specialised biomedical
+text where content words dominate.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_in_options
+
+_ENGLISH = frozenset(
+    """
+    a an the this that these those some any each every no all both few many
+    such same other another and or but nor so yet if then else when while
+    because although though since unless until whether as of in on at by
+    for with about against between into through during before after above
+    below to from up down out off over under again further once here there
+    where why how what which who whom whose i you he she it we they me him
+    her us them my your his its our their mine yours hers ours theirs
+    myself yourself himself herself itself ourselves themselves be am is
+    are was were been being have has had having do does did doing will
+    would shall should may might must can could not only own very too also
+    just than more most less least much now ever never always often
+    sometimes rather quite almost nearly well even still however therefore
+    thus hence moreover furthermore meanwhile instead otherwise per via
+    among amongst within without upon onto toward towards across along
+    around behind beside besides despite except near
+    """.split()
+)
+
+_FRENCH = frozenset(
+    """
+    le la les un une des du de d l au aux ce cet cette ces mon ton son ma
+    ta sa mes tes ses notre votre leur nos vos leurs que qui quoi dont où
+    et ou mais donc or ni car si quand comme lorsque puisque quoique je tu
+    il elle on nous vous ils elles me te se moi toi soi lui y en ne pas
+    plus moins très peu beaucoup trop assez aussi encore déjà jamais
+    toujours souvent parfois être suis es est sommes êtes sont était
+    étaient été étant avoir ai as a avons avez ont avait avaient eu ayant
+    faire fait faisait pour par dans sur sous vers chez entre contre avant
+    après depuis pendant sans avec selon malgré parmi durant dès cela ceci
+    ça celui celle ceux celles autre autres même mêmes tout toute tous
+    toutes quel quelle quels quelles chaque plusieurs certains certaines
+    aucun aucune tel telle tels telles
+    """.split()
+)
+
+_SPANISH = frozenset(
+    """
+    el la los las un una unos unas lo al del de este esta estos estas ese
+    esa esos esas aquel aquella aquellos aquellas mi tu su mis tus sus
+    nuestro nuestra nuestros nuestras vuestro vuestra que quien quienes
+    cuyo cuya donde y e o u pero sino aunque porque pues si cuando como
+    mientras yo tú él ella ello nosotros vosotros ellos ellas me te se nos
+    os le les no ni sí más menos muy mucho mucha muchos muchas
+    poco poca pocos pocas demasiado también tampoco ya jamás nunca siempre
+    a ante bajo cabe con contra desde durante en entre hacia hasta para
+    por según sin sobre tras ser soy eres es somos sois son era eran fue
+    fueron sido siendo estar estoy estás está estamos estáis están estaba
+    estaban estado haber he has ha hemos habéis han había habían habido
+    hacer hace hacía hecho otro otra otros otras mismo misma mismos mismas
+    todo toda todos todas cada cual cuales algún alguna algunos algunas
+    ningún ninguna tal tales
+    """.split()
+)
+
+_BY_LANGUAGE = {"en": _ENGLISH, "fr": _FRENCH, "es": _SPANISH}
+
+SUPPORTED_LANGUAGES = tuple(sorted(_BY_LANGUAGE))
+
+
+def stopwords_for(language: str = "en") -> frozenset[str]:
+    """Return the stopword set for ``language`` (``"en"``, ``"fr"``, ``"es"``)."""
+    check_in_options(language, "language", _BY_LANGUAGE)
+    return _BY_LANGUAGE[language]
+
+
+def is_stopword(token: str, language: str = "en") -> bool:
+    """True if ``token`` (case-insensitive) is a stopword of ``language``."""
+    return token.lower() in stopwords_for(language)

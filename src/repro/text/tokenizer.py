@@ -1,0 +1,36 @@
+"""Word tokenisation.
+
+A small rule-based tokenizer tuned for biomedical abstracts: it keeps
+intra-word hyphens and apostrophes ("re-epithelialization", "crohn's"),
+splits off surrounding punctuation, and preserves alphanumeric mixtures
+("il-2", "p53") that are common in biomedical text and must survive intact
+for term extraction to work.
+"""
+
+from __future__ import annotations
+
+import re
+
+_TOKEN_RE = re.compile(
+    r"""
+    [A-Za-zÀ-ÖØ-öø-ÿ0-9]+            # alnum core (latin-1 accents included)
+    (?:['’\-][A-Za-zÀ-ÖØ-öø-ÿ0-9]+)* # optional apostrophe/hyphen joins
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> list[str]:
+    """Split ``text`` into word tokens, preserving case.
+
+    >>> tokenize("Corneal re-epithelialization (in rats).")
+    ['Corneal', 're-epithelialization', 'in', 'rats']
+    """
+    if not isinstance(text, str):
+        raise TypeError(f"text must be str, got {type(text).__name__}")
+    return _TOKEN_RE.findall(text)
+
+
+def tokenize_lower(text: str) -> list[str]:
+    """Split ``text`` into lower-cased word tokens."""
+    return [token.lower() for token in tokenize(text)]

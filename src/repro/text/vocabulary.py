@@ -1,0 +1,80 @@
+"""Token ↔ integer-id mapping shared by the vectorisers and graph builders."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+
+class Vocabulary:
+    """A bidirectional, insertion-ordered token ↔ id mapping.
+
+    >>> vocab = Vocabulary()
+    >>> vocab.add("cornea")
+    0
+    >>> vocab.add("injury")
+    1
+    >>> vocab["cornea"]
+    0
+    >>> vocab.token(1)
+    'injury'
+    """
+
+    def __init__(self, tokens: Iterable[str] = ()) -> None:
+        self._index: dict[str, int] = {}
+        self._tokens: list[str] = []
+        for token in tokens:
+            self.add(token)
+
+    def add(self, token: str) -> int:
+        """Insert ``token`` if new; return its id either way."""
+        existing = self._index.get(token)
+        if existing is not None:
+            return existing
+        idx = len(self._tokens)
+        self._index[token] = idx
+        self._tokens.append(token)
+        return idx
+
+    def get(self, token: str, default: int | None = None) -> int | None:
+        """Id of ``token`` or ``default`` when unknown."""
+        return self._index.get(token, default)
+
+    def token(self, idx: int) -> str:
+        """Token with id ``idx``."""
+        return self._tokens[idx]
+
+    def __getitem__(self, token: str) -> int:
+        return self._index[token]
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._index
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tokens)
+
+    def tokens(self) -> list[str]:
+        """All tokens in id order (a copy)."""
+        return list(self._tokens)
+
+    def freeze(self) -> "FrozenVocabulary":
+        """Return an immutable view that rejects further additions."""
+        return FrozenVocabulary(self)
+
+
+class FrozenVocabulary(Vocabulary):
+    """A :class:`Vocabulary` that raises on :meth:`add` of unseen tokens."""
+
+    def __init__(self, base: Vocabulary) -> None:
+        super().__init__()
+        self._index = dict(base._index)
+        self._tokens = list(base._tokens)
+
+    def add(self, token: str) -> int:
+        """Look up ``token``; raise ``KeyError`` instead of inserting."""
+        existing = self._index.get(token)
+        if existing is None:
+            raise KeyError(f"vocabulary is frozen; unknown token {token!r}")
+        return existing

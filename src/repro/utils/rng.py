@@ -1,0 +1,42 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library accepts a ``seed`` argument that
+may be ``None``, an ``int``, or an already-constructed
+:class:`numpy.random.Generator`.  :func:`ensure_rng` normalises all three to
+a ``Generator`` so downstream code never has to branch, and
+:func:`spawn_rng` derives independent child generators for sub-components so
+that adding a consumer of randomness in one place does not perturb the
+stream seen elsewhere (which would silently change benchmark tables).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for fresh OS entropy, an ``int`` for a reproducible stream,
+        or an existing ``Generator`` which is returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(
+        f"seed must be None, an int, or a numpy Generator, got {type(seed).__name__}"
+    )
+
+
+def spawn_rng(rng: np.random.Generator, n: int = 1) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators from ``rng``."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

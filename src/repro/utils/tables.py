@@ -1,0 +1,70 @@
+"""Fixed-width text-table rendering.
+
+Benchmarks print the reproduced paper tables with this helper so the output
+lines up with the layout of the original paper tables and diffs cleanly
+between runs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def _cell(value: object, width: int, align: str) -> str:
+    text = f"{value}"
+    if align == "right":
+        return text.rjust(width)
+    if align == "center":
+        return text.center(width)
+    return text.ljust(width)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    aligns: Sequence[str] | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width text table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row values; each row must have ``len(headers)`` entries.
+    title:
+        Optional single-line title rendered above the table.
+    aligns:
+        Per-column alignment, each one of ``"left" | "right" | "center"``.
+        Defaults to left for the first column and right for the rest, which
+        suits "label, number, number, ..." tables.
+    """
+    n_cols = len(headers)
+    for row in rows:
+        if len(row) != n_cols:
+            raise ValueError(
+                f"row has {len(row)} cells but table has {n_cols} columns: {row!r}"
+            )
+    if aligns is None:
+        aligns = ["left"] + ["right"] * (n_cols - 1)
+    if len(aligns) != n_cols:
+        raise ValueError(f"aligns has {len(aligns)} entries for {n_cols} columns")
+
+    widths = [len(str(h)) for h in headers]
+    for row in rows:
+        for j, value in enumerate(row):
+            widths[j] = max(widths[j], len(f"{value}"))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(_cell(h, widths[j], "center") for j, h in enumerate(headers)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(
+            " | ".join(_cell(v, widths[j], aligns[j]) for j, v in enumerate(row))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Zipf / power-law sampling helpers used by the synthetic-data generators.
+
+Natural-language token frequencies are famously Zipfian; the corpus and
+terminology generators use these helpers so the synthetic PubMed corpus has
+a realistic rank-frequency profile (a handful of very common words, a long
+tail of rare ones) — several extraction measures (IDF, Okapi) only behave
+meaningfully on such a profile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive, check_positive_int
+
+
+def zipf_weights(n: int, exponent: float = 1.0) -> np.ndarray:
+    """Return normalised Zipf weights ``w_r ∝ 1 / r**exponent`` for ranks 1..n."""
+    n = check_positive_int(n, "n")
+    exponent = check_positive(exponent, "exponent")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    weights /= weights.sum()
+    return weights
+
+
+def zipf_sample(
+    n_items: int,
+    size: int,
+    *,
+    exponent: float = 1.0,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Sample ``size`` item indices in ``[0, n_items)`` with Zipf weights."""
+    rng = ensure_rng(seed)
+    weights = zipf_weights(n_items, exponent)
+    return rng.choice(n_items, size=size, p=weights)

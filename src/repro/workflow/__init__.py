@@ -1,0 +1,12 @@
+"""The assembled four-step enrichment workflow (the paper's contribution)."""
+
+from repro.workflow.config import EnrichmentConfig
+from repro.workflow.pipeline import OntologyEnricher
+from repro.workflow.report import EnrichmentReport, TermReport
+
+__all__ = [
+    "EnrichmentConfig",
+    "EnrichmentReport",
+    "OntologyEnricher",
+    "TermReport",
+]

@@ -1,0 +1,70 @@
+"""Configuration of the end-to-end enrichment workflow."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class EnrichmentConfig:
+    """Knobs of the four workflow steps.
+
+    Parameters
+    ----------
+    language:
+        Corpus/ontology language (``"en"``, ``"fr"``, ``"es"``).
+    extraction_measure:
+        Step I ranking measure (see
+        :data:`repro.extraction.measures.MEASURE_NAMES`).
+    n_candidates:
+        How many top-ranked candidate terms to push through Steps II–IV.
+    min_term_length:
+        Minimum candidate length in tokens (2 = multi-word terms only).
+    min_contexts:
+        Candidates with fewer corpus contexts are skipped (not enough
+        signal for polysemy detection or linkage).
+    polysemy_classifier:
+        Step II classifier registry name.
+    sense_algorithm / sense_index / sense_representation:
+        Step III clustering algorithm, internal index, and context
+        representation (paper defaults: rb + f_k + bag-of-words).
+    context_window:
+        Tokens kept each side of a term occurrence.
+    top_k_positions:
+        Step IV proposition-list length (paper: 10).
+    expand_hierarchy:
+        Step IV.2 father/son expansion of the neighbourhood.
+    seed:
+        Workflow-level RNG seed.
+    """
+
+    language: str = "en"
+    extraction_measure: str = "lidf_value"
+    n_candidates: int = 20
+    min_term_length: int = 2
+    min_contexts: int = 4
+    polysemy_classifier: str = "forest"
+    sense_algorithm: str = "rb"
+    sense_index: str = "fk"
+    sense_representation: str = "bow"
+    context_window: int = 10
+    top_k_positions: int = 10
+    expand_hierarchy: bool = True
+    seed: int = 0
+    skip_known_terms: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_candidates < 1:
+            raise ValidationError(
+                f"n_candidates must be >= 1, got {self.n_candidates}"
+            )
+        if self.min_contexts < 1:
+            raise ValidationError(
+                f"min_contexts must be >= 1, got {self.min_contexts}"
+            )
+        if self.top_k_positions < 1:
+            raise ValidationError(
+                f"top_k_positions must be >= 1, got {self.top_k_positions}"
+            )

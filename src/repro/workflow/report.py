@@ -1,0 +1,94 @@
+"""Result objects of the enrichment workflow."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.linkage.linker import Proposition
+from repro.senses.induction import SenseInductionResult
+from repro.utils.tables import format_table
+
+
+@dataclass
+class TermReport:
+    """Everything the workflow decided about one candidate term.
+
+    Attributes
+    ----------
+    term:
+        The candidate term (Step I output).
+    extraction_score / extraction_rank:
+        Step I evidence.
+    n_contexts:
+        Corpus occurrences found.
+    polysemic:
+        Step II verdict (None when the step was skipped).
+    senses:
+        Step III result (None when skipped).
+    propositions:
+        Step IV ranked ontology positions.
+    skipped_reason:
+        Why the term never reached the end (too few contexts, already in
+        the ontology, linkage failure), or None for complete rows.
+    """
+
+    term: str
+    extraction_score: float
+    extraction_rank: int
+    n_contexts: int = 0
+    polysemic: bool | None = None
+    senses: SenseInductionResult | None = None
+    propositions: list[Proposition] = field(default_factory=list)
+    skipped_reason: str | None = None
+
+    @property
+    def completed(self) -> bool:
+        """True when the term went through all four steps."""
+        return self.skipped_reason is None
+
+    @property
+    def n_senses(self) -> int:
+        """Number of induced senses (0 when Step III did not run)."""
+        return self.senses.k if self.senses is not None else 0
+
+
+@dataclass
+class EnrichmentReport:
+    """The workflow's full output: one :class:`TermReport` per candidate."""
+
+    terms: list[TermReport] = field(default_factory=list)
+
+    @property
+    def n_candidates(self) -> int:
+        """Number of candidates examined."""
+        return len(self.terms)
+
+    def completed_terms(self) -> list[TermReport]:
+        """Candidates that produced propositions."""
+        return [t for t in self.terms if t.completed]
+
+    def polysemic_terms(self) -> list[TermReport]:
+        """Candidates Step II flagged as polysemic."""
+        return [t for t in self.terms if t.polysemic]
+
+    def to_table(self, *, max_rows: int | None = None) -> str:
+        """Human-readable summary table."""
+        rows = []
+        for report in self.terms[:max_rows]:
+            best = report.propositions[0].term if report.propositions else "-"
+            rows.append(
+                [
+                    report.term,
+                    f"{report.extraction_score:.3f}",
+                    report.n_contexts,
+                    {True: "yes", False: "no", None: "-"}[report.polysemic],
+                    report.n_senses or "-",
+                    best,
+                    report.skipped_reason or "ok",
+                ]
+            )
+        return format_table(
+            ["candidate", "score", "ctx", "polysemic", "k", "best position", "status"],
+            rows,
+            title="Enrichment report",
+        )

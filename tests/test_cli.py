@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def scenario_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("scenario")
+    code = main(
+        [
+            "generate",
+            "--output", str(out),
+            "--concepts", "25",
+            "--docs-per-concept", "3",
+            "--seed", "3",
+        ]
+    )
+    assert code == 0
+    return out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "--output", "x"])
+        assert args.concepts == 60
+        assert args.seed == 0
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestGenerate:
+    def test_writes_both_files(self, scenario_dir):
+        ontology_path = scenario_dir / "ontology.json"
+        corpus_path = scenario_dir / "corpus.jsonl"
+        assert ontology_path.exists() and corpus_path.exists()
+        payload = json.loads(ontology_path.read_text())
+        assert len(payload["concepts"]) == 25
+        assert sum(1 for __ in corpus_path.open()) == 75
+
+    def test_output_dir_created(self, tmp_path):
+        target = tmp_path / "deep" / "dir"
+        code = main(
+            ["generate", "--output", str(target), "--concepts", "5",
+             "--docs-per-concept", "1"]
+        )
+        assert code == 0
+        assert (target / "ontology.json").exists()
+
+
+class TestLinkAndEvaluate:
+    def test_link_prints_table(self, scenario_dir, capsys):
+        payload = json.loads((scenario_dir / "ontology.json").read_text())
+        term = payload["concepts"][5]["preferred_term"]
+        code = main(
+            [
+                "link",
+                "--ontology", str(scenario_dir / "ontology.json"),
+                "--corpus", str(scenario_dir / "corpus.jsonl"),
+                "--term", term,
+                "--top-k", "5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Propositions" in out
+        assert "cosine" in out
+
+    def test_evaluate_runs(self, scenario_dir, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--ontology", str(scenario_dir / "ontology.json"),
+                "--corpus", str(scenario_dir / "corpus.jsonl"),
+                "--max-terms", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Top 10" in out
+
+    def test_evaluate_empty_window_fails(self, scenario_dir, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--ontology", str(scenario_dir / "ontology.json"),
+                "--corpus", str(scenario_dir / "corpus.jsonl"),
+                "--start-year", "2050",
+                "--end-year", "2060",
+            ]
+        )
+        assert code == 1
+
+
+class TestEnrich:
+    def test_enrich_prints_report(self, scenario_dir, capsys):
+        code = main(
+            [
+                "enrich",
+                "--ontology", str(scenario_dir / "ontology.json"),
+                "--corpus", str(scenario_dir / "corpus.jsonl"),
+                "--candidates", "3",
+                "--top-k", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Enrichment report" in out

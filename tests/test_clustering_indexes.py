@@ -1,0 +1,175 @@
+"""Tests for repro.clustering.indexes (the paper's Table 2 + baselines)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.clustering.indexes import (
+    BASELINE_INDEXES,
+    INDEX_DIRECTIONS,
+    PAPER_INDEXES,
+    ak_index,
+    bk_index,
+    ck_index,
+    compute_index,
+    ek_index,
+    fk_index,
+    index_names,
+)
+from repro.clustering.model import ClusterStats
+from repro.errors import ClusteringError
+
+
+def blobs(k=3, n_per=10, d=12, noise=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = np.zeros((k, d))
+    for i in range(k):
+        centers[i, i * (d // k) : (i + 1) * (d // k)] = 1.0
+    rows, labels = [], []
+    for i in range(k):
+        for _ in range(n_per):
+            rows.append(centers[i] + noise * np.abs(rng.normal(size=d)))
+            labels.append(i)
+    return np.array(rows), np.array(labels)
+
+
+def stats_for(matrix, labels):
+    return ClusterStats.from_labels(matrix, labels)
+
+
+class TestRegistry:
+    def test_names_and_directions_complete(self):
+        for name in index_names():
+            assert name in INDEX_DIRECTIONS
+        assert index_names(include_baselines=False) == PAPER_INDEXES
+        assert set(BASELINE_INDEXES) <= set(index_names())
+
+    def test_directions(self):
+        assert INDEX_DIRECTIONS["ak"] == "max"
+        assert INDEX_DIRECTIONS["bk"] == "min"
+        assert INDEX_DIRECTIONS["fk"] == "max"
+        assert INDEX_DIRECTIONS["davies_bouldin"] == "min"
+
+    def test_unknown_index(self):
+        matrix, labels = blobs()
+        with pytest.raises(ClusteringError, match="unknown index"):
+            compute_index("zk", matrix, labels)
+
+
+class TestPaperIndexes:
+    def test_ak_perfect_clusters(self):
+        matrix, labels = blobs(noise=0.0)
+        assert ak_index(stats_for(matrix, labels)) == pytest.approx(1.0)
+
+    def test_bk_low_for_separated(self):
+        matrix, labels = blobs(noise=0.0)
+        assert bk_index(stats_for(matrix, labels)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_ck_positive_for_good_split_negative_for_bad(self):
+        matrix, labels = blobs(k=2, noise=0.0)
+        good = ck_index(stats_for(matrix, labels))
+        rng = np.random.default_rng(0)
+        bad_labels = rng.integers(0, 2, size=labels.shape[0])
+        bad_labels[:2] = [0, 1]
+        bad = ck_index(stats_for(matrix, bad_labels))
+        assert good > bad
+
+    def test_ek_saturates_on_zero_esim(self):
+        matrix, labels = blobs(k=2, noise=0.0)
+        assert ek_index(stats_for(matrix, labels)) == math.inf
+
+    def test_ek_ratio_greater_for_better_split(self):
+        matrix, labels = blobs(k=2, noise=0.3, seed=3)
+        good = ek_index(stats_for(matrix, labels))
+        bad_labels = np.array([0, 1] * (labels.shape[0] // 2))
+        bad = ek_index(stats_for(matrix, bad_labels))
+        assert good > bad
+
+    def test_fk_divides_by_log10k(self):
+        matrix, labels = blobs(k=2, noise=0.0)
+        stats = stats_for(matrix, labels)
+        assert fk_index(stats) == pytest.approx(
+            stats.mean_isim() / math.log10(2)
+        )
+
+    def test_fk_requires_k_at_least_two(self):
+        matrix, __ = blobs(k=2, noise=0.0)
+        labels = np.zeros(matrix.shape[0], dtype=int)
+        with pytest.raises(ClusteringError):
+            fk_index(stats_for(matrix, labels))
+
+    def test_paper_notation_variants_differ_but_correlate(self):
+        matrix, labels = blobs(k=3, noise=0.4, seed=5)
+        stats = stats_for(matrix, labels)
+        sensible = ck_index(stats, paper_notation=False)
+        printed = ck_index(stats, paper_notation=True)
+        # Both readings must at least agree on the sign for a decent split.
+        assert (sensible > 0) == (printed > 0)
+
+    def test_compute_index_uses_prebuilt_stats(self):
+        matrix, labels = blobs(k=2)
+        stats = stats_for(matrix, labels)
+        direct = compute_index("ak", matrix, labels, stats=stats)
+        assert direct == pytest.approx(ak_index(stats))
+
+
+class TestIndexSelectionBehaviour:
+    """The selection behaviour the paper's §3(i) experiment relies on."""
+
+    def _index_curve(self, name, matrix, true_k, k_range=(2, 3, 4, 5)):
+        from repro.clustering.algorithms import cluster
+
+        values = {}
+        for k in k_range:
+            solution = cluster(matrix, k, method="rbr", seed=0)
+            values[k] = compute_index(
+                name, matrix, solution.labels, stats=solution.stats
+            )
+        return values
+
+    def test_fk_picks_true_k_two(self):
+        matrix, __ = blobs(k=2, n_per=15, noise=0.25, seed=7)
+        curve = self._index_curve("fk", matrix, 2)
+        assert max(curve, key=curve.get) == 2
+
+    def test_ak_monotone_nondecreasing_in_k(self):
+        matrix, __ = blobs(k=2, n_per=15, noise=0.3, seed=8)
+        curve = self._index_curve("ak", matrix, 2)
+        values = [curve[k] for k in sorted(curve)]
+        assert values[-1] >= values[0]
+
+
+class TestBaselines:
+    def test_silhouette_prefers_true_k(self):
+        matrix, labels = blobs(k=3, noise=0.1, seed=9)
+        good = compute_index("silhouette", matrix, labels)
+        bad_labels = np.array([0, 1] * (labels.shape[0] // 2))
+        bad = compute_index("silhouette", matrix, bad_labels)
+        assert good > bad
+
+    def test_silhouette_range(self):
+        matrix, labels = blobs(k=2, noise=0.2, seed=10)
+        value = compute_index("silhouette", matrix, labels)
+        assert -1.0 <= value <= 1.0
+
+    def test_calinski_harabasz_higher_for_true_split(self):
+        matrix, labels = blobs(k=2, noise=0.2, seed=11)
+        good = compute_index("calinski_harabasz", matrix, labels)
+        bad_labels = np.array([0, 1] * (labels.shape[0] // 2))
+        bad = compute_index("calinski_harabasz", matrix, bad_labels)
+        assert good > bad
+
+    def test_davies_bouldin_lower_for_true_split(self):
+        matrix, labels = blobs(k=2, noise=0.2, seed=12)
+        good = compute_index("davies_bouldin", matrix, labels)
+        bad_labels = np.array([0, 1] * (labels.shape[0] // 2))
+        bad = compute_index("davies_bouldin", matrix, bad_labels)
+        assert good < bad
+
+    def test_single_cluster_rejected(self):
+        matrix, __ = blobs(k=2)
+        ones = np.zeros(matrix.shape[0], dtype=int)
+        for name in ("silhouette", "calinski_harabasz", "davies_bouldin"):
+            with pytest.raises(ClusteringError):
+                compute_index(name, matrix, ones)

@@ -1,0 +1,250 @@
+"""Tests for repro.lexicon, repro.corpus.topics, pubmed, mshwsd."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.mshwsd import MSHWSD_SENSE_DISTRIBUTION, MshWsdEntity, MshWsdSimulator
+from repro.corpus.pubmed import PubMedSimulator, PubMedSpec
+from repro.corpus.topics import (
+    BackgroundVocabulary,
+    ConceptTopicModel,
+    make_topic,
+)
+from repro.errors import ValidationError
+from repro.lexicon import BioLexicon
+from repro.ontology.generator import GeneratorSpec, OntologyGenerator
+from repro.utils.rng import ensure_rng
+
+
+class TestBioLexicon:
+    def test_minted_words_unique(self):
+        lex = BioLexicon(seed=0)
+        minted = {lex.new_noun() for _ in range(300)}
+        assert len(minted) == 300
+
+    def test_minted_pos_recorded(self):
+        lex = BioLexicon(seed=0)
+        noun = lex.new_noun()
+        adj = lex.new_adjective()
+        verb = lex.new_verb()
+        assert lex.pos_lexicon[noun] == "NOUN"
+        assert lex.pos_lexicon[adj] == "ADJ"
+        assert lex.pos_lexicon[verb] == "VERB"
+
+    def test_core_words_present(self):
+        lex = BioLexicon(seed=0)
+        assert lex.pos_lexicon["cornea"] == "NOUN"
+        assert lex.pos_lexicon["corneal"] == "ADJ"
+
+    def test_terms_follow_patterns(self):
+        lex = BioLexicon(seed=1)
+        term2 = lex.new_term(2)
+        assert len(term2) == 2
+        tags = [lex.pos_lexicon[w] for w in term2]
+        assert tags in (["ADJ", "NOUN"], ["NOUN", "NOUN"])
+        term3 = lex.new_term(3)
+        assert lex.pos_lexicon[term3[-1]] == "NOUN"
+
+    def test_deterministic(self):
+        a = BioLexicon(seed=5)
+        b = BioLexicon(seed=5)
+        assert [a.new_noun() for _ in range(10)] == [b.new_noun() for _ in range(10)]
+
+    def test_bad_term_size(self):
+        with pytest.raises(ValueError):
+            BioLexicon(seed=0).new_term(0)
+
+
+def tiny_ontology_and_lexicon(seed=0):
+    lexicon = BioLexicon(seed=seed)
+    spec = GeneratorSpec(n_concepts=12, n_roots=2, mean_synonyms=0.5)
+    onto = OntologyGenerator(spec, lexicon=lexicon, seed=seed).generate()
+    return onto, lexicon
+
+
+class TestTopics:
+    def test_make_topic_weights_normalised(self):
+        topic = make_topic("t", ["a", "b", "c"])
+        assert topic.signature_weights.sum() == pytest.approx(1.0)
+
+    def test_make_topic_empty_raises(self):
+        with pytest.raises(ValidationError):
+            make_topic("t", [])
+
+    def test_topic_sampling_stays_in_signature(self):
+        topic = make_topic("t", ["a", "b", "c"])
+        words = topic.sample_signature(ensure_rng(0), 50)
+        assert set(words) <= {"a", "b", "c"}
+
+    def test_model_covers_every_concept(self):
+        onto, lexicon = tiny_ontology_and_lexicon()
+        model = ConceptTopicModel(onto, lexicon, seed=0)
+        for cid in onto.concept_ids():
+            assert model.topic(cid).signature
+
+    def test_signature_contains_term_words(self):
+        onto, lexicon = tiny_ontology_and_lexicon()
+        model = ConceptTopicModel(onto, lexicon, seed=0)
+        for cid in onto.concept_ids():
+            first_term_words = [
+                w for w in onto.concept(cid).preferred_term.split() if len(w) > 2
+            ]
+            signature = set(model.topic(cid).signature)
+            assert set(first_term_words) <= signature
+
+    def test_father_son_overlap_exceeds_random_pairs(self):
+        onto, lexicon = tiny_ontology_and_lexicon(seed=3)
+        model = ConceptTopicModel(onto, lexicon, inherit_fraction=0.5, seed=3)
+        related, unrelated = [], []
+        cids = onto.concept_ids()
+        for cid in cids:
+            for father in onto.fathers(cid):
+                related.append(model.signature_overlap(cid, father))
+        for a in cids[:6]:
+            for b in cids[6:]:
+                if a not in onto.fathers(b) and b not in onto.fathers(a):
+                    unrelated.append(model.signature_overlap(a, b))
+        assert np.mean(related) > np.mean(unrelated)
+
+    def test_unknown_concept_raises(self):
+        onto, lexicon = tiny_ontology_and_lexicon()
+        model = ConceptTopicModel(onto, lexicon, seed=0)
+        with pytest.raises(ValidationError):
+            model.topic("missing")
+
+    def test_invalid_params(self):
+        onto, lexicon = tiny_ontology_and_lexicon()
+        with pytest.raises(ValidationError):
+            ConceptTopicModel(onto, lexicon, signature_size=2)
+        with pytest.raises(ValidationError):
+            ConceptTopicModel(onto, lexicon, inherit_fraction=1.0)
+
+    def test_background_vocabulary(self):
+        lexicon = BioLexicon(seed=0)
+        bg = BackgroundVocabulary(lexicon, size=100, seed=0)
+        assert len(bg.words) == 100
+        sample = bg.sample(ensure_rng(0), 30)
+        assert set(sample) <= set(bg.words)
+
+
+class TestPubMedSimulator:
+    def test_spec_validation(self):
+        with pytest.raises(ValidationError):
+            PubMedSpec(sentences_per_doc=(0, 3))
+        with pytest.raises(ValidationError):
+            PubMedSpec(background_fraction=1.5)
+
+    def test_generate_shapes(self):
+        onto, lexicon = tiny_ontology_and_lexicon()
+        sim = PubMedSimulator(onto, lexicon, seed=0)
+        corpus = sim.generate(20)
+        assert corpus.n_documents() == 20
+        lo, hi = sim.spec.sentences_per_doc
+        for doc in corpus:
+            assert lo <= len(doc.sentences) <= hi
+            assert doc.concept_ids and doc.concept_ids[0] in onto
+
+    def test_documents_mention_their_concept_terms(self):
+        onto, lexicon = tiny_ontology_and_lexicon(seed=1)
+        sim = PubMedSimulator(
+            onto, lexicon, spec=PubMedSpec(mention_prob=1.0), seed=1
+        )
+        corpus = sim.generate_balanced(2)
+        mentioned = 0
+        for doc in corpus:
+            concept = onto.concept(doc.concept_ids[0])
+            text = " ".join(doc.tokens())
+            if any(term in text for term in concept.all_terms()):
+                mentioned += 1
+        assert mentioned == corpus.n_documents()
+
+    def test_balanced_coverage(self):
+        onto, lexicon = tiny_ontology_and_lexicon(seed=2)
+        sim = PubMedSimulator(onto, lexicon, seed=2)
+        corpus = sim.generate_balanced(3)
+        counts = {}
+        for doc in corpus:
+            counts[doc.concept_ids[0]] = counts.get(doc.concept_ids[0], 0) + 1
+        assert all(v == 3 for v in counts.values())
+        assert len(counts) == len(onto)
+
+    def test_deterministic(self):
+        onto_a, lex_a = tiny_ontology_and_lexicon(seed=4)
+        onto_b, lex_b = tiny_ontology_and_lexicon(seed=4)
+        corpus_a = PubMedSimulator(onto_a, lex_a, seed=9).generate(5)
+        corpus_b = PubMedSimulator(onto_b, lex_b, seed=9).generate(5)
+        assert [d.tokens() for d in corpus_a] == [d.tokens() for d in corpus_b]
+
+    def test_bad_generate_args(self):
+        onto, lexicon = tiny_ontology_and_lexicon()
+        sim = PubMedSimulator(onto, lexicon, seed=0)
+        with pytest.raises(ValidationError):
+            sim.generate(0)
+        with pytest.raises(ValidationError):
+            sim.generate(5, concept_ids=[])
+        with pytest.raises(ValidationError):
+            sim.generate_balanced(0)
+
+
+class TestMshWsdSimulator:
+    def test_default_distribution_matches_real_dataset_shape(self):
+        assert sum(MSHWSD_SENSE_DISTRIBUTION.values()) == 203
+        mean_k = sum(k * n for k, n in MSHWSD_SENSE_DISTRIBUTION.items()) / 203
+        assert 2.0 < mean_k < 2.2
+
+    def test_generate_counts(self):
+        sim = MshWsdSimulator(n_entities=12, contexts_per_sense=5, seed=0)
+        entities = sim.generate()
+        assert len(entities) == 12
+        for entity in entities:
+            assert 2 <= entity.true_k <= 5
+            assert entity.n_contexts() == entity.true_k * 5
+            assert set(entity.labels) == set(range(entity.true_k))
+
+    def test_context_lengths(self):
+        sim = MshWsdSimulator(
+            n_entities=3, contexts_per_sense=4, context_length=20, seed=1
+        )
+        for entity in sim.generate():
+            assert all(len(ctx) == 20 for ctx in entity.contexts)
+
+    def test_senses_are_separable(self):
+        sim = MshWsdSimulator(
+            n_entities=4, contexts_per_sense=10, sense_overlap=0.0, seed=2
+        )
+        for entity in sim.generate():
+            by_sense = {}
+            for ctx, label in zip(entity.contexts, entity.labels):
+                by_sense.setdefault(label, set()).update(ctx)
+            # within-sense vocabularies must differ meaningfully across senses
+            vocabularies = list(by_sense.values())
+            for i in range(len(vocabularies)):
+                for j in range(i + 1, len(vocabularies)):
+                    a, b = vocabularies[i], vocabularies[j]
+                    jaccard = len(a & b) / len(a | b)
+                    assert jaccard < 0.75
+
+    def test_deterministic(self):
+        a = MshWsdSimulator(n_entities=5, contexts_per_sense=3, seed=7).generate()
+        b = MshWsdSimulator(n_entities=5, contexts_per_sense=3, seed=7).generate()
+        assert [e.term for e in a] == [e.term for e in b]
+        assert [e.contexts for e in a] == [e.contexts for e in b]
+
+    def test_entity_alignment_enforced(self):
+        with pytest.raises(ValidationError):
+            MshWsdEntity("t", 2, contexts=[("a",)], labels=[])
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_entities": 0},
+            {"contexts_per_sense": 1},
+            {"context_length": 2},
+            {"background_fraction": 1.0},
+            {"sense_overlap": 1.0},
+            {"sense_distribution": {7: 3}},
+        ],
+    )
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ValidationError):
+            MshWsdSimulator(**kwargs)

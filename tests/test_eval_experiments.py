@@ -1,0 +1,108 @@
+"""Tests for repro.eval (paper constants + experiment runners, small sizes)."""
+
+import pytest
+
+from repro.eval import paper
+from repro.eval.experiments import (
+    run_linkage_precision_experiment,
+    run_polysemy_detection_experiment,
+    run_sense_number_experiment,
+    run_table1_experiment,
+    run_table3_experiment,
+)
+
+
+class TestPaperConstants:
+    def test_table1_totals(self):
+        en = paper.TABLE1_POLYSEMY_COUNTS[("umls", "en")]
+        assert en[2] == 54_257
+
+    def test_table3_has_ten_rows_five_correct(self):
+        assert len(paper.TABLE3_PROPOSITIONS) == 10
+        assert sum(1 for __, ___, ok in paper.TABLE3_PROPOSITIONS if ok) == 5
+        assert paper.TABLE3_CORRECT_IN_TOP10 == 5
+
+    def test_table3_cosines_descending(self):
+        cosines = [c for __, c, ___ in paper.TABLE3_PROPOSITIONS]
+        assert cosines == sorted(cosines, reverse=True)
+
+    def test_table4_monotone(self):
+        row = paper.TABLE4_PRECISION_AT
+        assert row[1] <= row[2] <= row[5] <= row[10]
+
+    def test_mshwsd_consistency(self):
+        # 189/203 two-sense entities is exactly the published 93.1 %
+        assert round(189 / 203, 3) == paper.SENSE_PREDICTION_BEST_ACCURACY
+
+
+class TestTable1Experiment:
+    def test_shapes_and_shape_match(self):
+        result = run_table1_experiment(scale=5000, seed=0)
+        stats = result.statistics
+        assert set(stats.histograms) == set(paper.TABLE1_POLYSEMY_COUNTS)
+        # scaled counts preserve the dominance of the k=2 bin
+        measured = stats.histograms[("umls", "en")]
+        assert measured[2] > measured[3] >= measured[4]
+        assert "Table 1" in result.table()
+
+    def test_deterministic(self):
+        a = run_table1_experiment(scale=5000, seed=3)
+        b = run_table1_experiment(scale=5000, seed=3)
+        assert a.statistics.histograms == b.statistics.histograms
+
+
+class TestSenseNumberExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_sense_number_experiment(
+            n_entities=8,
+            contexts_per_sense=15,
+            algorithms=("rb", "direct"),
+            representations=("bow",),
+            seed=0,
+        )
+
+    def test_grid_complete(self, result):
+        assert len(result.accuracies) == 2 * 1 * 5
+        assert all(0.0 <= v <= 1.0 for v in result.accuracies.values())
+
+    def test_k_distribution_recorded(self, result):
+        assert sum(result.k_distribution.values()) == 8
+
+    def test_best_helpers(self, result):
+        (algo, rep, index), acc = result.best()
+        assert algo in ("rb", "direct") and rep == "bow"
+        assert acc == max(result.accuracies.values())
+        by_index = result.best_by_index()
+        assert set(by_index) == {"ak", "bk", "ck", "ek", "fk"}
+
+
+class TestTable3Experiment:
+    def test_corneal_injuries_reproduction(self):
+        result = run_table3_experiment(seed=0, docs_per_concept=10)
+        assert 1 <= len(result.propositions) <= 10
+        assert result.n_correct() >= 1
+        cosines = [p.cosine for p in result.propositions]
+        assert cosines == sorted(cosines, reverse=True)
+        # gold contains the paper's synonyms and fathers
+        assert "corneal injury" in result.gold
+        assert "corneal diseases" in result.gold
+
+
+class TestLinkageExperiment:
+    def test_small_run_monotone(self):
+        evaluation = run_linkage_precision_experiment(
+            n_terms=6, n_concepts=40, docs_per_concept=4, seed=0
+        )
+        assert evaluation.n_terms == 6
+        row = evaluation.as_row()
+        assert row[1] <= row[2] <= row[5] <= row[10]
+
+
+class TestPolysemyDetectionExperiment:
+    def test_high_f_on_benchmark(self):
+        results = run_polysemy_detection_experiment(
+            classifiers=("forest",), n_entities=40, n_splits=4, seed=0
+        )
+        assert set(results) == {"forest"}
+        assert results["forest"] > 0.85

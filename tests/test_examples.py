@@ -1,0 +1,66 @@
+"""Smoke tests: every example must run end to end (at reduced sizes)."""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.fixture(autouse=True)
+def examples_on_path(monkeypatch):
+    monkeypatch.syspath_prepend(str(EXAMPLES_DIR))
+    yield
+    for name in list(sys.modules):
+        if name in {
+            "quickstart",
+            "corneal_injuries",
+            "sense_induction_demo",
+            "polysemy_screening",
+            "term_extraction_biotex",
+            "enrich_mesh_snapshot",
+        }:
+            del sys.modules[name]
+
+
+def run_example(name: str, capsys, **kwargs) -> str:
+    module = importlib.import_module(name)
+    module.main(**kwargs)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys, n_concepts=15,
+                          docs_per_concept=4)
+        assert "Enrichment report" in out
+
+    def test_corneal_injuries(self, capsys):
+        out = run_example("corneal_injuries", capsys, docs_per_concept=8)
+        assert "corneal injuries" in out
+        assert "cosine" in out
+
+    def test_sense_induction_demo(self, capsys):
+        out = run_example("sense_induction_demo", capsys, n_entities=3,
+                          contexts_per_sense=12)
+        assert "true k" in out
+        assert "sense 0" in out
+
+    def test_polysemy_screening(self, capsys):
+        out = run_example("polysemy_screening", capsys, n_entities=30)
+        assert "F-measure" in out
+        assert "confusion" in out.lower()
+
+    def test_term_extraction_biotex(self, capsys):
+        out = run_example("term_extraction_biotex", capsys, n_concepts=20,
+                          docs_per_concept=3)
+        assert "lidf_value" in out
+        assert "Top 10 candidates" in out
+
+    def test_enrich_mesh_snapshot(self, capsys):
+        out = run_example("enrich_mesh_snapshot", capsys, n_concepts=40,
+                          docs_per_concept=3)
+        assert "2009 snapshot" in out
+        assert "Top 10" in out

@@ -1,0 +1,230 @@
+"""Tests for repro.extraction (candidates, measures, extractor, evaluation)."""
+
+import math
+
+import pytest
+
+from repro.corpus.corpus import Corpus
+from repro.corpus.document import Document
+from repro.errors import ExtractionError
+from repro.extraction.candidates import harvest_candidates
+from repro.extraction.evaluation import (
+    precision_at_k,
+    precision_curve,
+    reference_terms_from_ontology,
+)
+from repro.extraction.extractor import BioTexExtractor
+from repro.extraction.measures import MEASURE_NAMES, compute_measure
+from repro.ontology.model import Concept, Ontology
+from repro.text.postag import LexiconTagger
+
+LEXICON = {
+    "corneal": "ADJ", "injury": "NOUN", "wound": "NOUN", "healing": "NOUN",
+    "eye": "NOUN", "disease": "NOUN", "patient": "NOUN", "chronic": "ADJ",
+    "heals": "VERB", "observed": "VERB", "treatment": "NOUN",
+}
+
+
+def make_corpus():
+    return Corpus(
+        [
+            Document("d1", [["corneal", "injury", "heals"],
+                            ["wound", "healing", "observed"]]),
+            Document("d2", [["corneal", "injury", "treatment"],
+                            ["chronic", "eye", "disease"]]),
+            Document("d3", [["patient", "wound", "healing"]]),
+        ]
+    )
+
+
+def make_context(min_frequency=1):
+    return harvest_candidates(
+        make_corpus(),
+        tagger=LexiconTagger(LEXICON),
+        min_frequency=min_frequency,
+    )
+
+
+class TestHarvestCandidates:
+    def test_pattern_filtered_candidates_found(self):
+        context = make_context()
+        assert ("corneal", "injury") in context.candidates
+        assert ("wound", "healing") in context.candidates
+        # verbs break the noun-phrase patterns
+        assert ("injury", "heals") not in context.candidates
+
+    def test_counts(self):
+        context = make_context()
+        ci = context.candidates[("corneal", "injury")]
+        assert ci.frequency == 2
+        assert ci.doc_frequency == 2
+        assert ci.per_doc == {"d1": 1, "d2": 1}
+
+    def test_doc_lengths_and_avg(self):
+        context = make_context()
+        assert context.doc_lengths["d1"] == 6
+        assert context.avg_doc_length == pytest.approx((6 + 6 + 3) / 3)
+
+    def test_min_frequency_filter(self):
+        context = make_context(min_frequency=2)
+        assert ("corneal", "injury") in context.candidates
+        assert ("chronic", "eye") not in context.candidates
+
+    def test_nested_in(self):
+        context = make_context()
+        containing = context.nested_in(("injury",))
+        texts = {c.text() for c in containing}
+        assert "corneal injury" in texts
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ExtractionError):
+            harvest_candidates(Corpus())
+
+    def test_bad_min_frequency(self):
+        with pytest.raises(ExtractionError):
+            harvest_candidates(make_corpus(), min_frequency=0)
+
+    def test_pattern_weight_recorded(self):
+        context = make_context()
+        assert context.candidates[("corneal", "injury")].pattern_weight > 0
+
+
+class TestMeasures:
+    def test_all_measures_cover_all_candidates(self):
+        context = make_context()
+        for name in MEASURE_NAMES:
+            scores = compute_measure(name, context)
+            assert set(scores) == set(context.candidates), name
+
+    def test_unknown_measure(self):
+        with pytest.raises(ExtractionError, match="unknown measure"):
+            compute_measure("pagerank", make_context())
+
+    def test_c_value_length_factor(self):
+        context = make_context()
+        scores = compute_measure("c_value", context)
+        # "chronic eye disease" occurs once, length 3 → log2(4)*1 = 2
+        assert scores[("chronic", "eye", "disease")] == pytest.approx(2.0)
+
+    def test_c_value_nested_correction(self):
+        context = make_context()
+        scores = compute_measure("c_value", context)
+        # "injury" (freq 2) is nested in "corneal injury" (2),
+        # "injury treatment" (1), "corneal injury treatment" (1):
+        # corrected freq = 2 - (2+1+1)/3 = 2/3 → ×log2(2) = 2/3.
+        assert scores[("injury",)] == pytest.approx(2 / 3)
+        # and it must score below the maximal term that contains it
+        assert scores[("injury",)] < scores[("corneal", "injury")]
+
+    def test_tf_idf_favours_rare_terms(self):
+        context = make_context()
+        scores = compute_measure("tf_idf", context)
+        # same frequency, lower df → higher score
+        assert scores[("chronic", "eye", "disease")] > 0
+
+    def test_okapi_positive_and_finite(self):
+        scores = compute_measure("okapi", make_context())
+        assert all(math.isfinite(v) and v >= 0 for v in scores.values())
+
+    def test_fusion_zero_when_either_zero(self):
+        context = make_context()
+        cval = compute_measure("c_value", context)
+        fused = compute_measure("f_tfidf_c", context)
+        for tokens, value in cval.items():
+            if value <= 0:
+                assert fused[tokens] == 0.0
+
+    def test_lidf_uses_pattern_weight(self):
+        context = make_context()
+        scores = compute_measure("lidf_value", context)
+        assert scores[("corneal", "injury")] > 0
+
+    def test_tergraph_finite(self):
+        scores = compute_measure("tergraph", make_context())
+        assert all(math.isfinite(v) and v >= 0 for v in scores.values())
+
+
+class TestBioTexExtractor:
+    def test_extract_ranks_descending(self):
+        extractor = BioTexExtractor(
+            tagger=LexiconTagger(LEXICON), measure="lidf_value"
+        )
+        ranked = extractor.extract(make_corpus())
+        scores = [t.score for t in ranked]
+        assert scores == sorted(scores, reverse=True)
+        assert [t.rank for t in ranked] == list(range(1, len(ranked) + 1))
+
+    def test_min_length_filters_single_words(self):
+        extractor = BioTexExtractor(tagger=LexiconTagger(LEXICON), min_length=2)
+        ranked = extractor.extract(make_corpus())
+        assert all(len(t.tokens) >= 2 for t in ranked)
+
+    def test_top_k(self):
+        extractor = BioTexExtractor(tagger=LexiconTagger(LEXICON))
+        ranked = extractor.extract(make_corpus(), top_k=3)
+        assert len(ranked) == 3
+
+    def test_bad_top_k(self):
+        extractor = BioTexExtractor(tagger=LexiconTagger(LEXICON))
+        with pytest.raises(ExtractionError):
+            extractor.extract(make_corpus(), top_k=0)
+
+    def test_measure_override(self):
+        extractor = BioTexExtractor(tagger=LexiconTagger(LEXICON), measure="tf_idf")
+        a = extractor.extract(make_corpus(), measure="c_value")
+        assert extractor.measure == "tf_idf"  # instance unchanged
+        assert a  # ran with the override
+
+    def test_unknown_measure_rejected_at_init(self):
+        with pytest.raises(ExtractionError):
+            BioTexExtractor(measure="bm42")
+
+    def test_deterministic(self):
+        extractor = BioTexExtractor(tagger=LexiconTagger(LEXICON))
+        a = extractor.extract(make_corpus())
+        b = extractor.extract(make_corpus())
+        assert [(t.term, t.score) for t in a] == [(t.term, t.score) for t in b]
+
+    def test_context_retained(self):
+        extractor = BioTexExtractor(tagger=LexiconTagger(LEXICON))
+        extractor.extract(make_corpus())
+        assert extractor.context_ is not None
+        assert extractor.context_.n_documents == 3
+
+
+class TestEvaluation:
+    def make_ranked(self):
+        extractor = BioTexExtractor(tagger=LexiconTagger(LEXICON), min_length=2)
+        return extractor.extract(make_corpus())
+
+    def test_reference_from_ontology(self):
+        onto = Ontology("ref")
+        onto.add_concept(Concept("A", "Corneal Injury", synonyms=["wound healing"]))
+        reference = reference_terms_from_ontology(onto)
+        assert "corneal injury" in reference
+        assert "wound healing" in reference
+
+    def test_precision_at_k(self):
+        ranked = self.make_ranked()
+        reference = {"corneal injury", "wound healing"}
+        p_all = precision_at_k(ranked, reference, k=len(ranked))
+        assert 0 < p_all <= 1.0
+        p2 = precision_at_k(ranked, reference, k=2)
+        assert p2 >= p_all  # good measures front-load correct terms
+
+    def test_precision_k_beyond_list(self):
+        ranked = self.make_ranked()
+        assert precision_at_k(ranked, {"corneal injury"}, k=1000) <= 1.0
+
+    def test_precision_empty_list(self):
+        assert precision_at_k([], {"x"}, k=5) == 0.0
+
+    def test_bad_k(self):
+        with pytest.raises(ExtractionError):
+            precision_at_k(self.make_ranked(), set(), k=0)
+
+    def test_precision_curve_monotone_ks(self):
+        ranked = self.make_ranked()
+        curve = precision_curve(ranked, {"corneal injury"}, ks=(1, 2, 4))
+        assert set(curve) == {1, 2, 4}
+        assert all(0.0 <= v <= 1.0 for v in curve.values())

@@ -1,0 +1,148 @@
+"""Tests for repro.linkage.relations (the paper's future-work extension)."""
+
+import pytest
+
+from repro.corpus.corpus import Corpus
+from repro.corpus.document import Document
+from repro.errors import LinkageError
+from repro.linkage.relations import (
+    RELATION_TYPES,
+    RelationTyper,
+    TypedRelation,
+    collect_pattern_votes,
+)
+
+
+def corpus_with(*sentences):
+    docs = [
+        Document(f"d{i}", [s.lower().split()]) for i, s in enumerate(sentences)
+    ]
+    return Corpus(docs)
+
+
+class TestPatternVotes:
+    def test_is_a_votes_hyperonym(self):
+        corpus = corpus_with(
+            "corneal abrasion is a corneal disease affecting vision",
+        )
+        votes = collect_pattern_votes(corpus, "corneal abrasion", "corneal disease")
+        assert votes["hyperonym"] == 1
+
+    def test_is_a_reversed_votes_hyponym(self):
+        corpus = corpus_with(
+            "corneal disease is broad but corneal disease such as corneal abrasion heals",
+        )
+        votes = collect_pattern_votes(corpus, "corneal abrasion", "corneal disease")
+        # "B such as A" → A is an example of B → B hyperonym of A... the
+        # pattern fires on the B-first ordering and is inverted.
+        assert votes["hyperonym"] >= 1
+
+    def test_also_called_votes_synonym(self):
+        corpus = corpus_with(
+            "corneal injury also called corneal trauma heals slowly",
+        )
+        votes = collect_pattern_votes(corpus, "corneal injury", "corneal trauma")
+        assert votes["synonym"] == 1
+
+    def test_or_votes_synonym(self):
+        corpus = corpus_with("corneal injury or corneal trauma was recorded")
+        votes = collect_pattern_votes(corpus, "corneal injury", "corneal trauma")
+        assert votes["synonym"] == 1
+
+    def test_distance_gap_respected(self):
+        corpus = corpus_with(
+            "corneal abrasion was seen and later a very different and "
+            "unrelated thing is a corneal disease",
+        )
+        votes = collect_pattern_votes(
+            corpus, "corneal abrasion", "corneal disease", max_gap=3
+        )
+        assert votes["hyperonym"] == 0
+
+    def test_no_cooccurrence_no_votes(self):
+        corpus = corpus_with("corneal abrasion heals", "corneal disease persists")
+        votes = collect_pattern_votes(corpus, "corneal abrasion", "corneal disease")
+        assert sum(votes.values()) == 0
+
+
+class TestRelationTyper:
+    def test_pattern_evidence_wins(self):
+        corpus = corpus_with(
+            "corneal abrasion is a corneal disease of the eye",
+            "corneal abrasion is a corneal disease that heals",
+            "corneal abrasion near cornea with wound healing",
+            "corneal disease with cornea wound and healing",
+        )
+        typer = RelationTyper(corpus)
+        relation = typer.type_relation("corneal abrasion", "corneal disease")
+        assert relation.relation == "hyperonym"
+        assert relation.confidence > 0.5
+        assert relation.pattern_votes.get("hyperonym", 0) >= 2
+
+    def test_high_cosine_defaults_to_synonym(self):
+        # identical contexts, no pattern between the two (never co-mentioned)
+        corpus = corpus_with(
+            "alpha term shows wound healing response in tissue",
+            "beta term shows wound healing response in tissue",
+        )
+        typer = RelationTyper(corpus, synonym_cosine=0.6)
+        relation = typer.type_relation("alpha term", "beta term")
+        assert relation.relation == "synonym"
+        assert relation.cosine > 0.6
+
+    def test_breadth_asymmetry_gives_hyperonym(self):
+        # The broad term occurs in many, *diverse* contexts (as real
+        # hyperonyms do); the narrow term in a single one.
+        sentences = [
+            "broad concept with wound healing data",
+            "broad concept alongside tissue repair studies",
+            "broad concept near epithelial recovery outcomes",
+            "broad concept covering scar formation cases",
+            "broad concept across inflammation cohorts",
+            "broad concept in surgical series reports",
+            "narrow concept with wound healing data",
+        ]
+        corpus = corpus_with(*sentences)
+        typer = RelationTyper(corpus, synonym_cosine=0.95, breadth_margin=1.5)
+        relation = typer.type_relation("narrow concept", "broad concept")
+        assert relation.relation == "hyperonym"
+        assert relation.cosine < 0.95
+
+    def test_related_fallback(self):
+        corpus = corpus_with(
+            "alpha term with completely specific vocabulary one",
+            "beta term with different specific vocabulary two",
+        )
+        typer = RelationTyper(corpus, synonym_cosine=0.95)
+        relation = typer.type_relation("alpha term", "beta term")
+        assert relation.relation in ("related", "synonym", "hyperonym", "hyponym")
+        assert relation.relation in RELATION_TYPES
+
+    def test_type_propositions_shared_index(self):
+        corpus = corpus_with(
+            "corneal injury also called corneal trauma heals",
+            "corneal injury is a corneal disease of the cornea",
+        )
+        typer = RelationTyper(corpus)
+        relations = typer.type_propositions(
+            "corneal injury", ["corneal trauma", "corneal disease"]
+        )
+        assert len(relations) == 2
+        by_position = {r.position: r.relation for r in relations}
+        assert by_position["corneal trauma"] == "synonym"
+        assert by_position["corneal disease"] == "hyperonym"
+
+    def test_result_is_frozen_record(self):
+        corpus = corpus_with("a b c d")
+        typer = RelationTyper(corpus)
+        relation = typer.type_relation("a", "c")
+        assert isinstance(relation, TypedRelation)
+        with pytest.raises(AttributeError):
+            relation.relation = "synonym"
+
+    def test_bad_params(self):
+        corpus = corpus_with("a b")
+        with pytest.raises(LinkageError):
+            RelationTyper(corpus, synonym_cosine=0.0)
+        with pytest.raises(LinkageError):
+            RelationTyper(corpus, breadth_margin=0.5)

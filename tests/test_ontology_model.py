@@ -1,0 +1,144 @@
+"""Tests for repro.ontology.model."""
+
+import pytest
+
+from repro.errors import OntologyError
+from repro.ontology.model import Concept, Ontology, normalize_term
+
+
+def small_ontology() -> Ontology:
+    onto = Ontology("test")
+    onto.add_concept(Concept("R", "eye diseases"))
+    onto.add_concept(Concept("A", "corneal diseases"), fathers=["R"])
+    onto.add_concept(Concept("B", "eye injuries"), fathers=["R"])
+    onto.add_concept(
+        Concept("C", "corneal injuries", synonyms=["corneal injury"]),
+        fathers=["A", "B"],
+    )
+    return onto
+
+
+class TestNormalizeTerm:
+    def test_lowercases(self):
+        assert normalize_term("Corneal Injuries") == "corneal injuries"
+
+    def test_collapses_whitespace(self):
+        assert normalize_term("  corneal   injuries ") == "corneal injuries"
+
+
+class TestConcept:
+    def test_all_terms_order_and_dedup(self):
+        concept = Concept("X", "Corneal Injuries", synonyms=["corneal injuries", "corneal damage"])
+        assert concept.all_terms() == ["corneal injuries", "corneal damage"]
+
+
+class TestOntologyStructure:
+    def test_add_and_lookup(self):
+        onto = small_ontology()
+        assert len(onto) == 4
+        assert onto.concept("C").preferred_term == "corneal injuries"
+        assert "C" in onto and "Z" not in onto
+
+    def test_duplicate_id_raises(self):
+        onto = small_ontology()
+        with pytest.raises(OntologyError, match="duplicate"):
+            onto.add_concept(Concept("A", "anything"))
+
+    def test_unknown_concept_raises(self):
+        with pytest.raises(OntologyError, match="unknown concept"):
+            small_ontology().concept("missing")
+
+    def test_fathers_and_sons(self):
+        onto = small_ontology()
+        assert onto.fathers("C") == ["A", "B"]
+        assert onto.sons("R") == ["A", "B"]
+        assert onto.fathers("R") == []
+
+    def test_roots(self):
+        assert small_ontology().roots() == ["R"]
+
+    def test_ancestors(self):
+        assert small_ontology().ancestors("C") == {"A", "B", "R"}
+
+    def test_depth(self):
+        onto = small_ontology()
+        assert onto.depth("R") == 0
+        assert onto.depth("A") == 1
+        assert onto.depth("C") == 2
+
+    def test_edge_to_unknown_raises(self):
+        onto = small_ontology()
+        with pytest.raises(OntologyError):
+            onto.add_edge("R", "nope")
+        with pytest.raises(OntologyError):
+            onto.add_edge("nope", "R")
+
+    def test_self_edge_raises(self):
+        with pytest.raises(OntologyError, match="self-edge"):
+            small_ontology().add_edge("A", "A")
+
+    def test_cycle_rejected(self):
+        onto = small_ontology()
+        with pytest.raises(OntologyError, match="cycle"):
+            onto.add_edge("C", "R")
+
+    def test_validate_passes_on_good_ontology(self):
+        small_ontology().validate()
+
+    def test_position_candidates_expand_with_fathers_sons(self):
+        onto = small_ontology()
+        expanded = onto.position_candidates(["A"])
+        assert expanded == {"A", "R", "C"}
+
+    def test_iteration_yields_concepts(self):
+        ids = [c.concept_id for c in small_ontology()]
+        assert ids == ["R", "A", "B", "C"]
+
+
+class TestTermIndex:
+    def test_concepts_for_term(self):
+        onto = small_ontology()
+        assert onto.concepts_for_term("corneal injuries") == ["C"]
+        assert onto.concepts_for_term("Corneal  Injury") == ["C"]
+        assert onto.concepts_for_term("unknown term") == []
+
+    def test_has_term(self):
+        onto = small_ontology()
+        assert onto.has_term("eye diseases")
+        assert not onto.has_term("nope")
+
+    def test_polysemy_via_shared_synonym(self):
+        onto = small_ontology()
+        onto.add_synonym("A", "shared name")
+        onto.add_synonym("B", "shared name")
+        assert onto.is_polysemic("shared name")
+        assert onto.sense_count("shared name") == 2
+        assert onto.polysemic_terms() == ["shared name"]
+
+    def test_add_synonym_idempotent(self):
+        onto = small_ontology()
+        onto.add_synonym("A", "alias")
+        onto.add_synonym("A", "Alias")
+        assert onto.concept("A").synonyms.count("alias") == 1
+
+    def test_sense_count_unknown_is_zero(self):
+        assert small_ontology().sense_count("zzz") == 0
+
+    def test_remove_term_drops_from_index_and_synonyms(self):
+        onto = small_ontology()
+        onto.remove_term("corneal injury")
+        assert not onto.has_term("corneal injury")
+        assert "corneal injury" not in onto.concept("C").synonyms
+        # concept itself survives with its preferred term
+        assert onto.has_term("corneal injuries")
+
+    def test_remove_preferred_term_keeps_concept(self):
+        onto = small_ontology()
+        onto.remove_term("corneal injuries")
+        assert not onto.has_term("corneal injuries")
+        assert "C" in onto
+
+    def test_terms_sorted_unique(self):
+        terms = small_ontology().terms()
+        assert terms == sorted(terms)
+        assert len(terms) == len(set(terms))

@@ -1,0 +1,158 @@
+"""Tests for repro.ontology.snapshot, stats, io."""
+
+import pytest
+
+from repro.errors import OntologyError
+from repro.ontology.generator import GeneratorSpec, OntologyGenerator
+from repro.ontology.io import (
+    ontology_from_json,
+    ontology_from_obo,
+    ontology_to_json,
+    ontology_to_obo,
+    read_ontology_json,
+    write_ontology_json,
+)
+from repro.ontology.model import Concept, Ontology
+from repro.ontology.snapshot import held_out_terms, snapshot_before
+from repro.ontology.stats import PolysemyStatistics, polysemy_histogram
+
+
+def dated_ontology() -> Ontology:
+    onto = Ontology("dated")
+    onto.add_concept(Concept("R", "root term", year_added=1990))
+    onto.add_concept(Concept("A", "old branch", year_added=1995), fathers=["R"])
+    onto.add_concept(Concept("M", "middle node", year_added=2011), fathers=["A"])
+    onto.add_concept(Concept("N", "new leaf", year_added=2013), fathers=["M"])
+    onto.add_concept(Concept("L", "lonely new", year_added=2012))
+    return onto
+
+
+class TestHeldOutTerms:
+    def test_selects_window(self):
+        held = held_out_terms(dated_ontology(), 2009, 2015)
+        terms = [h.term for h in held]
+        assert "middle node" in terms and "new leaf" in terms
+
+    def test_excludes_structurally_isolated(self):
+        held = held_out_terms(dated_ontology(), 2009, 2015)
+        assert all(h.term != "lonely new" for h in held)
+
+    def test_excludes_out_of_window(self):
+        held = held_out_terms(dated_ontology(), 2009, 2015)
+        assert all(h.term != "old branch" for h in held)
+
+    def test_sorted_by_year_then_term(self):
+        held = held_out_terms(dated_ontology(), 2009, 2015)
+        keys = [(h.year_added, h.term) for h in held]
+        assert keys == sorted(keys)
+
+    def test_bad_window_raises(self):
+        with pytest.raises(ValueError):
+            held_out_terms(dated_ontology(), 2015, 2009)
+
+
+class TestSnapshotBefore:
+    def test_drops_recent_concepts(self):
+        snap = snapshot_before(dated_ontology(), 2009)
+        assert "N" not in snap and "M" not in snap and "L" not in snap
+        assert "R" in snap and "A" in snap
+
+    def test_reattaches_orphans_to_surviving_ancestor(self):
+        onto = dated_ontology()
+        onto.add_concept(
+            Concept("D", "deep old leaf", year_added=2000), fathers=["M"]
+        )
+        snap = snapshot_before(onto, 2009)
+        # M (2011) is dropped; D must re-attach to A, M's surviving father.
+        assert snap.fathers("D") == ["A"]
+
+    def test_none_year_survives(self):
+        onto = Ontology("x")
+        onto.add_concept(Concept("U", "undated term"))
+        snap = snapshot_before(onto, 2000)
+        assert "U" in snap
+
+    def test_snapshot_is_independent_copy(self):
+        onto = dated_ontology()
+        snap = snapshot_before(onto, 2009)
+        snap.add_synonym("R", "alias added later")
+        assert "alias added later" not in onto.concept("R").synonyms
+
+    def test_generated_ontology_snapshot_valid(self):
+        onto = OntologyGenerator(
+            GeneratorSpec(n_concepts=80, recent_fraction=0.3), seed=11
+        ).generate()
+        snap = snapshot_before(onto, 2010)
+        snap.validate()
+        assert len(snap) < len(onto)
+
+
+class TestStats:
+    def test_histogram_bins(self):
+        onto = Ontology("h")
+        for i in range(6):
+            onto.add_concept(Concept(f"C{i}", f"term {i}"))
+        onto.add_synonym("C0", "two senses")
+        onto.add_synonym("C1", "two senses")
+        for cid in ("C0", "C1", "C2", "C3", "C4", "C5"):
+            onto.add_synonym(cid, "six senses")
+        hist = polysemy_histogram(onto)
+        assert hist[2] == 1
+        assert hist[5] == 1  # 6 senses lands in the 5+ bin
+        assert hist[3] == 0 and hist[4] == 0
+
+    def test_statistics_measure_and_ratios(self):
+        onto = Ontology("m")
+        onto.add_concept(Concept("A", "alpha term"))
+        onto.add_concept(Concept("B", "beta term"))
+        onto.add_synonym("A", "shared")
+        onto.add_synonym("B", "shared")
+        stats = PolysemyStatistics.measure({("mesh", "en"): onto})
+        key = ("mesh", "en")
+        assert stats.n_polysemic(key) == 1
+        assert stats.polysemy_ratio(key) == pytest.approx(1 / 3)
+        assert stats.dominant_bin_share(key) == 1.0
+
+    def test_table_rendering(self):
+        onto = Ontology("t")
+        onto.add_concept(Concept("A", "one term"))
+        stats = PolysemyStatistics.measure({("umls", "en"): onto})
+        table = stats.to_table(title="Table 1")
+        assert "Table 1" in table
+        assert "UMLS EN" in table
+        assert "5+" in table
+
+
+class TestIo:
+    def test_json_roundtrip(self, tmp_path):
+        onto = OntologyGenerator(
+            GeneratorSpec(n_concepts=25, polysemy_histogram={2: 2}), seed=5
+        ).generate()
+        path = tmp_path / "onto.json"
+        write_ontology_json(onto, path)
+        back = read_ontology_json(path)
+        assert back.terms() == onto.terms()
+        assert all(
+            back.fathers(cid) == onto.fathers(cid) for cid in onto.concept_ids()
+        )
+        assert back.concept("C000003").year_added == onto.concept("C000003").year_added
+
+    def test_json_version_check(self):
+        payload = ontology_to_json(dated_ontology())
+        payload["format_version"] = 99
+        with pytest.raises(OntologyError, match="format version"):
+            ontology_from_json(payload)
+
+    def test_obo_roundtrip(self):
+        onto = dated_ontology()
+        onto.add_synonym("A", "old alias")
+        text = ontology_to_obo(onto)
+        back = ontology_from_obo(text)
+        assert back.terms() == onto.terms()
+        assert back.fathers("N") == ["M"]
+        assert back.concept("A").year_added == 1995
+
+    def test_obo_contains_synonym_lines(self):
+        onto = dated_ontology()
+        onto.add_synonym("A", "old alias")
+        assert 'synonym: "old alias" EXACT []' in ontology_to_obo(onto)

@@ -1,0 +1,139 @@
+"""Cross-module property-based tests on core invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clustering.algorithms import cluster
+from repro.clustering.model import ClusterStats
+from repro.clustering.similarity import normalize_rows
+from repro.corpus.corpus import Corpus
+from repro.corpus.document import Document
+from repro.linkage.context import find_occurrences
+from repro.ontology.generator import GeneratorSpec, OntologyGenerator
+from repro.ontology.io import ontology_from_json, ontology_to_json
+from repro.ontology.snapshot import snapshot_before
+from repro.ontology.stats import polysemy_histogram
+
+# -- strategies ---------------------------------------------------------------
+
+word = st.sampled_from(
+    ["cornea", "injury", "wound", "healing", "retina", "lesion", "cell",
+     "tissue", "grade", "acute"]
+)
+sentence = st.lists(word, min_size=1, max_size=12)
+document_sentences = st.lists(sentence, min_size=1, max_size=5)
+
+
+class TestOntologyInvariants:
+    @given(
+        n=st.integers(min_value=2, max_value=40),
+        poly=st.integers(min_value=0, max_value=4),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_generated_ontology_invariants(self, n, poly, seed):
+        spec = GeneratorSpec(
+            n_concepts=n,
+            n_roots=min(2, n),
+            polysemy_histogram={2: poly} if poly else {},
+        )
+        onto = OntologyGenerator(spec, seed=seed).generate()
+        onto.validate()
+        # every polysemic term names >= 2 distinct concepts
+        for term in onto.polysemic_terms():
+            assert len(onto.concepts_for_term(term)) >= 2
+        # histogram total = injected count
+        assert sum(polysemy_histogram(onto).values()) == poly
+        # fathers/sons symmetric
+        for cid in onto.concept_ids():
+            for father in onto.fathers(cid):
+                assert cid in onto.sons(father)
+
+    @given(
+        n=st.integers(min_value=3, max_value=30),
+        cutoff=st.integers(min_value=1990, max_value=2016),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_snapshot_is_subset_and_valid(self, n, cutoff, seed):
+        spec = GeneratorSpec(n_concepts=n, n_roots=min(2, n))
+        onto = OntologyGenerator(spec, seed=seed).generate()
+        snap = snapshot_before(onto, cutoff)
+        snap.validate()
+        assert set(snap.concept_ids()) <= set(onto.concept_ids())
+        for concept in snap:
+            assert concept.year_added < cutoff
+
+    @given(
+        n=st.integers(min_value=2, max_value=25),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_json_roundtrip_is_lossless(self, n, seed):
+        spec = GeneratorSpec(n_concepts=n, n_roots=min(2, n))
+        onto = OntologyGenerator(spec, seed=seed).generate()
+        back = ontology_from_json(ontology_to_json(onto))
+        assert back.terms() == onto.terms()
+        assert back.concept_ids() == onto.concept_ids()
+        for cid in onto.concept_ids():
+            assert back.fathers(cid) == onto.fathers(cid)
+
+
+class TestClusteringInvariants:
+    @given(
+        n=st.integers(min_value=6, max_value=24),
+        k=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_every_algorithm_produces_valid_partition(self, n, k, seed):
+        k = min(k, n)
+        rng = np.random.default_rng(seed)
+        matrix = np.abs(rng.normal(size=(n, 8))) + 1e-6
+        for method in ("rb", "direct", "agglo"):
+            solution = cluster(matrix, k, method=method, seed=0)
+            labels = np.asarray(solution.labels)
+            assert labels.shape == (n,)
+            assert set(labels.tolist()) == set(range(k))
+            stats = solution.stats
+            assert stats.sizes.sum() == n
+            assert np.all(stats.isim <= 1.0 + 1e-9)
+            assert np.all(stats.esim >= -1e-9)
+
+    @given(
+        n=st.integers(min_value=4, max_value=20),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_isim_at_least_esim_for_kmeans_solutions(self, n, seed):
+        # For an I2-optimised 2-way split of non-negative data, clusters
+        # must be internally at least as coherent as externally.
+        rng = np.random.default_rng(seed)
+        matrix = np.abs(rng.normal(size=(n, 6))) + 1e-6
+        solution = cluster(matrix, 2, method="rbr", seed=1)
+        stats = solution.stats
+        assert stats.mean_isim() >= stats.mean_esim() - 1e-6
+
+    @given(st.integers(min_value=2, max_value=30))
+    @settings(max_examples=10, deadline=None)
+    def test_normalize_rows_idempotent(self, n):
+        rng = np.random.default_rng(n)
+        matrix = rng.normal(size=(n, 5))
+        once = normalize_rows(matrix)
+        twice = normalize_rows(once)
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+
+class TestRetrievalConsistency:
+    @given(document_sentences, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=25, deadline=None)
+    def test_find_occurrences_matches_contexts_for_term(self, sentences, window):
+        corpus = Corpus([Document("d0", sentences)])
+        term = sentences[0][0]
+        via_batch = find_occurrences(corpus, [term], window=window)[term]
+        via_single = corpus.contexts_for_term(term, window=window)
+        # single-token terms cannot overlap, so both retrievals agree
+        assert len(via_batch) == len(via_single)
+        for batch_ctx, single_ctx in zip(via_batch, via_single):
+            assert batch_ctx == single_ctx.tokens

@@ -1,0 +1,83 @@
+"""Tests for repro.text.tokenizer and repro.text.sentences."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text.sentences import split_sentences
+from repro.text.tokenizer import tokenize, tokenize_lower
+
+
+class TestTokenize:
+    def test_simple_sentence(self):
+        assert tokenize("The cornea heals") == ["The", "cornea", "heals"]
+
+    def test_strips_punctuation(self):
+        assert tokenize("wound, (healing).") == ["wound", "healing"]
+
+    def test_keeps_internal_hyphen(self):
+        assert tokenize("re-epithelialization occurs") == [
+            "re-epithelialization",
+            "occurs",
+        ]
+
+    def test_keeps_apostrophe(self):
+        assert tokenize("crohn's disease") == ["crohn's", "disease"]
+
+    def test_alphanumeric_mixture(self):
+        assert tokenize("il-2 and p53 levels") == ["il-2", "and", "p53", "levels"]
+
+    def test_accented_characters(self):
+        assert tokenize("maladie de la cornée") == ["maladie", "de", "la", "cornée"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_non_string_raises(self):
+        with pytest.raises(TypeError):
+            tokenize(None)
+
+    def test_lowercase_variant(self):
+        assert tokenize_lower("Corneal Injuries") == ["corneal", "injuries"]
+
+    @given(st.text(max_size=200))
+    def test_never_returns_empty_tokens(self, text):
+        assert all(token for token in tokenize(text))
+
+    @given(st.text(alphabet=st.characters(codec="ascii"), max_size=200))
+    def test_tokens_are_substrings(self, text):
+        for token in tokenize(text):
+            assert token in text
+
+
+class TestSplitSentences:
+    def test_two_sentences(self):
+        out = split_sentences("Wound healed. Cornea was clear.")
+        assert out == ["Wound healed.", "Cornea was clear."]
+
+    def test_protects_eg(self):
+        out = split_sentences("Drugs (e.g. Timolol) were used. Outcome was good.")
+        assert len(out) == 2
+        assert out[0].startswith("Drugs")
+
+    def test_protects_et_al(self):
+        out = split_sentences("Smith et al. Reported improvement.")
+        assert len(out) == 1
+
+    def test_decimal_not_split(self):
+        out = split_sentences("Significance was p < 0.05 overall. Next sentence.")
+        assert len(out) == 2
+
+    def test_question_and_exclamation(self):
+        out = split_sentences("Does it heal? It does! Good.")
+        assert len(out) == 3
+
+    def test_empty_and_whitespace(self):
+        assert split_sentences("") == []
+        assert split_sentences("   ") == []
+
+    def test_single_sentence_no_terminator(self):
+        assert split_sentences("corneal wound healing") == ["corneal wound healing"]
+
+    def test_non_string_raises(self):
+        with pytest.raises(TypeError):
+            split_sentences(42)

@@ -1,0 +1,59 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rng
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_is_reproducible(self):
+        a = ensure_rng(42).integers(0, 1000, size=10)
+        b = ensure_rng(42).integers(0, 1000, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 10**9, size=8)
+        b = ensure_rng(2).integers(0, 10**9, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_numpy_integer_accepted(self):
+        rng = ensure_rng(np.int64(5))
+        assert isinstance(rng, np.random.Generator)
+
+    def test_bad_type_raises(self):
+        with pytest.raises(TypeError, match="seed must be"):
+            ensure_rng("not a seed")
+
+
+class TestSpawnRng:
+    def test_spawn_count(self):
+        children = spawn_rng(ensure_rng(0), n=4)
+        assert len(children) == 4
+
+    def test_children_independent_of_later_parent_use(self):
+        parent_a = ensure_rng(7)
+        child_a = spawn_rng(parent_a, n=1)[0]
+        parent_b = ensure_rng(7)
+        child_b = spawn_rng(parent_b, n=1)[0]
+        parent_b.integers(0, 10, size=100)  # extra parent use after spawning
+        np.testing.assert_array_equal(
+            child_a.integers(0, 1000, size=5), child_b.integers(0, 1000, size=5)
+        )
+
+    def test_children_are_distinct_streams(self):
+        a, b = spawn_rng(ensure_rng(3), n=2)
+        assert not np.array_equal(
+            a.integers(0, 10**9, size=8), b.integers(0, 10**9, size=8)
+        )
+
+    def test_zero_n_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rng(ensure_rng(0), n=0)

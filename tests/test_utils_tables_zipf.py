@@ -1,0 +1,69 @@
+"""Tests for repro.utils.tables and repro.utils.zipf."""
+
+import numpy as np
+import pytest
+
+from repro.utils.tables import format_table
+from repro.utils.zipf import zipf_sample, zipf_weights
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["k", "count"], [["2", 54257], ["3", 7770]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert "54257" in lines[2]
+
+    def test_title_rendered_first(self):
+        text = format_table(["a"], [["x"]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError, match="row has"):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_aligns_mismatch_raises(self):
+        with pytest.raises(ValueError, match="aligns"):
+            format_table(["a"], [["x"]], aligns=["left", "right"])
+
+    def test_right_alignment_pads_left(self):
+        text = format_table(["col"], [[7]], aligns=["right"])
+        row = text.splitlines()[-1]
+        assert row.endswith("7")
+
+    def test_columns_line_up(self):
+        text = format_table(["name", "n"], [["a", 1], ["bbbb", 22]])
+        lines = text.splitlines()
+        pipes = [line.index("|") for line in lines if "|" in line]
+        assert len(set(pipes)) == 1
+
+
+class TestZipf:
+    def test_weights_sum_to_one(self):
+        w = zipf_weights(100)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_weights_decreasing(self):
+        w = zipf_weights(50, exponent=1.2)
+        assert np.all(np.diff(w) < 0)
+
+    def test_higher_exponent_more_head_heavy(self):
+        flat = zipf_weights(100, exponent=0.5)
+        steep = zipf_weights(100, exponent=2.0)
+        assert steep[0] > flat[0]
+
+    def test_sample_range_and_reproducibility(self):
+        a = zipf_sample(20, 100, seed=5)
+        b = zipf_sample(20, 100, seed=5)
+        np.testing.assert_array_equal(a, b)
+        assert a.min() >= 0 and a.max() < 20
+
+    def test_sample_follows_head(self):
+        sample = zipf_sample(1000, 5000, exponent=1.5, seed=0)
+        # Rank-0 item should be sampled far more often than rank-500.
+        counts = np.bincount(sample, minlength=1000)
+        assert counts[0] > counts[500]
+
+    def test_bad_n_raises(self):
+        with pytest.raises(Exception):
+            zipf_weights(0)

@@ -1,0 +1,75 @@
+"""Tests for repro.utils.validation."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.validation import (
+    check_fraction,
+    check_in_options,
+    check_positive,
+    check_positive_int,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive_float(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    def test_accepts_positive_int(self):
+        assert check_positive(3, "x") == 3.0
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValidationError, match="x must be > 0"):
+            check_positive(bad, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_positive(True, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(ValidationError, match="must be a number"):
+            check_positive("3", "x")
+
+
+class TestCheckPositiveInt:
+    def test_accepts(self):
+        assert check_positive_int(7, "k") == 7
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(0, "k")
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError, match="must be an int"):
+            check_positive_int(2.0, "k")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(True, "k")
+
+
+class TestCheckFraction:
+    def test_bounds_inclusive(self):
+        assert check_fraction(0.0, "p") == 0.0
+        assert check_fraction(1.0, "p") == 1.0
+
+    def test_bounds_exclusive(self):
+        with pytest.raises(ValidationError):
+            check_fraction(0.0, "p", inclusive=False)
+        with pytest.raises(ValidationError):
+            check_fraction(1.0, "p", inclusive=False)
+        assert check_fraction(0.5, "p", inclusive=False) == 0.5
+
+    def test_out_of_range(self):
+        with pytest.raises(ValidationError):
+            check_fraction(1.5, "p")
+
+
+class TestCheckInOptions:
+    def test_accepts_member(self):
+        assert check_in_options("en", "language", ("en", "fr")) == "en"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ValidationError, match="language must be one of"):
+            check_in_options("de", "language", ("en", "fr"))
