@@ -1,0 +1,91 @@
+"""CorpusIndex benchmark: build cost vs. lookup savings over raw scans.
+
+The positional index is the substrate every pipeline layer retrieves
+term occurrences through; this benchmark records what one build costs
+and how postings-based lookup compares with the legacy full-document
+scan it replaced.  Results land in ``BENCH_corpus_index.json``.
+"""
+
+import time
+
+from benchmarks.conftest import emit_bench_json, print_paper_vs_measured, run_once
+from repro.corpus.index import CorpusIndex
+from repro.scenarios import make_enrichment_scenario
+
+
+def scan_count(corpus, needle: tuple[str, ...]) -> int:
+    """The legacy per-term document scan (non-overlapping count)."""
+    span = len(needle)
+    count = 0
+    for doc in corpus:
+        tokens = doc.tokens()
+        n = len(tokens)
+        i = 0
+        while i <= n - span:
+            if tuple(tokens[i : i + span]) == needle:
+                count += 1
+                i += span
+            else:
+                i += 1
+    return count
+
+
+def run_comparison(n_concepts: int, docs_per_concept: int, seed: int):
+    scenario = make_enrichment_scenario(
+        seed=seed,
+        n_concepts=n_concepts,
+        docs_per_concept=docs_per_concept,
+    )
+    corpus = scenario.corpus
+    terms = scenario.ontology.terms()
+
+    built_at = time.perf_counter()
+    index = CorpusIndex(corpus)
+    build_seconds = time.perf_counter() - built_at
+
+    lookup_at = time.perf_counter()
+    index_counts = [index.term_frequency(term) for term in terms]
+    lookup_seconds = time.perf_counter() - lookup_at
+
+    scan_at = time.perf_counter()
+    scan_counts = [
+        scan_count(corpus, tuple(term.lower().split())) for term in terms
+    ]
+    scan_seconds = time.perf_counter() - scan_at
+
+    assert index_counts == scan_counts, "index and scan disagree"
+    return {
+        "n_documents": corpus.n_documents(),
+        "n_tokens": corpus.n_tokens(),
+        "n_terms": len(terms),
+        "build_seconds": build_seconds,
+        "index_lookup_seconds": lookup_seconds,
+        "scan_lookup_seconds": scan_seconds,
+    }
+
+
+def test_corpus_index_vs_scan(benchmark, scale):
+    n_concepts = 80 if scale == "paper" else 40
+    result = run_once(
+        benchmark,
+        run_comparison,
+        n_concepts=n_concepts,
+        docs_per_concept=6,
+        seed=11,
+    )
+    amortised = result["build_seconds"] + result["index_lookup_seconds"]
+    speedup = result["scan_lookup_seconds"] / max(amortised, 1e-9)
+    print_paper_vs_measured(
+        "CorpusIndex vs raw scans "
+        f"({result['n_terms']} terms, {result['n_tokens']:,} tokens)",
+        [
+            ("index build (s)", "-", f"{result['build_seconds']:.4f}"),
+            ("index lookups (s)", "-", f"{result['index_lookup_seconds']:.4f}"),
+            ("raw scans (s)", "-", f"{result['scan_lookup_seconds']:.4f}"),
+            ("speedup incl. build", "-", f"{speedup:.1f}x"),
+        ],
+    )
+    emit_bench_json("corpus_index", {**result, "speedup_incl_build": speedup})
+
+    # The build must amortise over one batch of term lookups.
+    assert result["scan_lookup_seconds"] > amortised

@@ -3,10 +3,12 @@
 Times the assembled four-step :class:`~repro.workflow.OntologyEnricher`
 on a mid-size scenario and sanity-checks the report: the workflow is the
 paper's deliverable, so the suite should notice if wiring changes make it
-produce empty reports or blow up its runtime.
+produce empty reports or blow up its runtime.  Per-stage wall times are
+emitted to ``BENCH_pipeline.json`` so future PRs have a perf trajectory
+to compare against.
 """
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import emit_bench_json, run_once
 from repro.scenarios import make_enrichment_scenario
 from repro.workflow.config import EnrichmentConfig
 from repro.workflow.pipeline import OntologyEnricher
@@ -38,6 +40,19 @@ def test_workflow_end_to_end(benchmark, scale):
     )
     print()
     print(report.to_table())
+
+    emit_bench_json(
+        "pipeline",
+        {
+            "n_concepts": n_concepts,
+            "docs_per_concept": 6,
+            "seed": 5,
+            "stage_seconds": report.timings,
+            "total_seconds": sum(report.timings.values()),
+            "n_candidates": report.n_candidates,
+            "n_completed": len(report.completed_terms()),
+        },
+    )
 
     assert report.n_candidates >= 1
     completed = report.completed_terms()

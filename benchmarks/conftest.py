@@ -12,9 +12,14 @@ whole suite in a few minutes while preserving every result's shape.
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
+
+#: Machine-readable benchmark artifacts land next to this file.
+BENCH_OUTPUT_DIR = Path(__file__).resolve().parent
 
 
 def bench_scale() -> str:
@@ -34,6 +39,18 @@ def scale() -> str:
 def run_once(benchmark, fn, **kwargs):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def emit_bench_json(name: str, payload: dict) -> Path:
+    """Write a machine-readable benchmark artifact (``BENCH_<name>.json``).
+
+    Future PRs diff these files for a perf trajectory; the active scale
+    is recorded so numbers are only compared like for like.
+    """
+    path = BENCH_OUTPUT_DIR / f"BENCH_{name}.json"
+    record = {"scale": bench_scale(), **payload}
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def print_paper_vs_measured(title: str, rows: list[tuple[str, object, object]]) -> None:

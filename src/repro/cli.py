@@ -52,10 +52,24 @@ def _cmd_enrich(args: argparse.Namespace) -> int:
         n_candidates=args.candidates,
         top_k_positions=args.top_k,
         seed=args.seed,
+        max_contexts_per_term=args.max_contexts,
+        n_workers=args.workers,
     )
     enricher = OntologyEnricher(ontology, config=config)
     report = enricher.enrich(corpus)
     print(report.to_table())
+    if args.timings:
+        print()
+        print(
+            format_table(
+                ["stage", "seconds"],
+                [
+                    [stage, f"{seconds:.3f}"]
+                    for stage, seconds in report.timings.items()
+                ],
+                title="Stage timings",
+            )
+        )
     return 0
 
 
@@ -127,6 +141,18 @@ def build_parser() -> argparse.ArgumentParser:
     enrich.add_argument("--candidates", type=int, default=10)
     enrich.add_argument("--top-k", type=int, default=10)
     enrich.add_argument("--seed", type=int, default=0)
+    enrich.add_argument(
+        "--max-contexts", type=int, default=80,
+        help="context cap per candidate (stride-subsampled above this)",
+    )
+    enrich.add_argument(
+        "--workers", type=int, default=1,
+        help="worker threads for the per-candidate Steps II-III",
+    )
+    enrich.add_argument(
+        "--timings", action="store_true",
+        help="print per-stage wall times after the report",
+    )
     enrich.set_defaults(fn=_cmd_enrich)
 
     link = sub.add_parser("link", help="position one candidate term")

@@ -9,7 +9,8 @@ DESIGN.md §1.
 """
 
 from repro.corpus.document import Document
-from repro.corpus.corpus import Corpus
+from repro.corpus.corpus import Corpus, TermContext
+from repro.corpus.index import CorpusIndex
 from repro.corpus.io import read_corpus_jsonl, write_corpus_jsonl
 from repro.corpus.mshwsd import MshWsdEntity, MshWsdSimulator
 from repro.corpus.pubmed import PubMedSimulator
@@ -18,7 +19,9 @@ from repro.corpus.topics import ConceptTopicModel, Topic
 __all__ = [
     "ConceptTopicModel",
     "Corpus",
+    "CorpusIndex",
     "Document",
+    "TermContext",
     "MshWsdEntity",
     "MshWsdSimulator",
     "PubMedSimulator",

@@ -4,15 +4,24 @@ Steps II–IV all start from "the context of a term in the corpus": token
 windows around the term's occurrences.  :meth:`Corpus.contexts_for_term`
 is the single implementation of that retrieval, so polysemy features,
 sense induction, and semantic linkage agree on what a context is.
+
+Retrieval is served by a positional inverted index
+(:class:`repro.corpus.index.CorpusIndex`) built lazily on first use and
+cached until the corpus changes, so repeated term lookups cost postings
+traversal instead of full document scans.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.corpus.document import Document
 from repro.errors import CorpusError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.corpus.index import CorpusIndex
 
 
 @dataclass(frozen=True)
@@ -45,17 +54,22 @@ class Corpus:
 
     def __init__(self, documents: Iterable[Document] = ()) -> None:
         self._documents: list[Document] = list(documents)
-        ids = [d.doc_id for d in self._documents]
-        if len(ids) != len(set(ids)):
+        self._by_id: dict[str, Document] = {
+            d.doc_id: d for d in self._documents
+        }
+        if len(self._by_id) != len(self._documents):
             raise CorpusError("duplicate document ids in corpus")
+        self._index: "CorpusIndex | None" = None
 
     # -- container basics ----------------------------------------------------
 
     def add(self, document: Document) -> None:
         """Append ``document`` (ids must stay unique)."""
-        if any(d.doc_id == document.doc_id for d in self._documents):
+        if document.doc_id in self._by_id:
             raise CorpusError(f"duplicate document id {document.doc_id!r}")
         self._documents.append(document)
+        self._by_id[document.doc_id] = document
+        self._index = None  # the cached index no longer covers the corpus
 
     def __len__(self) -> int:
         return len(self._documents)
@@ -68,10 +82,10 @@ class Corpus:
 
     def document(self, doc_id: str) -> Document:
         """The document with ``doc_id`` (raises CorpusError if absent)."""
-        for doc in self._documents:
-            if doc.doc_id == doc_id:
-                return doc
-        raise CorpusError(f"unknown document id {doc_id!r}")
+        try:
+            return self._by_id[doc_id]
+        except KeyError:
+            raise CorpusError(f"unknown document id {doc_id!r}") from None
 
     def n_documents(self) -> int:
         """Number of documents."""
@@ -91,6 +105,18 @@ class Corpus:
 
     # -- term occurrence retrieval ------------------------------------------
 
+    def index(self) -> "CorpusIndex":
+        """The corpus's positional index, built lazily and cached.
+
+        The cache is invalidated by :meth:`add`; mutating a
+        :class:`Document` in place is not detected.
+        """
+        if self._index is None:
+            from repro.corpus.index import CorpusIndex
+
+            self._index = CorpusIndex(self)
+        return self._index
+
     def contexts_for_term(
         self,
         term: str | Sequence[str],
@@ -106,42 +132,12 @@ class Corpus:
         window:
             Number of tokens kept on each side of the occurrence.
         """
-        if isinstance(term, str):
-            needle = tuple(term.lower().split())
-        else:
-            needle = tuple(t.lower() for t in term)
-        if not needle:
-            raise CorpusError("term must contain at least one token")
-        if window < 1:
-            raise CorpusError(f"window must be >= 1, got {window}")
-
-        span = len(needle)
-        contexts: list[TermContext] = []
-        for doc in self._documents:
-            tokens = doc.tokens()
-            n = len(tokens)
-            i = 0
-            while i <= n - span:
-                if tuple(tokens[i : i + span]) == needle:
-                    left = tokens[max(0, i - window) : i]
-                    right = tokens[i + span : i + span + window]
-                    contexts.append(
-                        TermContext(
-                            doc_id=doc.doc_id,
-                            tokens=tuple(left + right),
-                            position=i,
-                        )
-                    )
-                    i += span
-                else:
-                    i += 1
-        return contexts
+        return self.index().contexts_for_term(term, window=window)
 
     def term_frequency(self, term: str | Sequence[str]) -> int:
         """Number of occurrences of ``term`` in the corpus."""
-        return len(self.contexts_for_term(term, window=1))
+        return self.index().term_frequency(term)
 
     def document_frequency(self, term: str | Sequence[str]) -> int:
         """Number of documents containing ``term`` at least once."""
-        contexts = self.contexts_for_term(term, window=1)
-        return len({c.doc_id for c in contexts})
+        return self.index().document_frequency(term)

@@ -1,0 +1,262 @@
+"""The positional corpus index: one build, every occurrence question.
+
+Steps I–IV repeatedly ask "where does term *t* occur and what surrounds
+it?".  The naive answer — rescan every document per term — makes the
+workflow O(candidates × corpus).  :class:`CorpusIndex` is built once per
+corpus (token → postings of ``(document, position)``) and answers every
+occurrence question from the postings:
+
+* :meth:`phrase_occurrences` — every (overlapping) start position of a
+  token phrase, located through the phrase's rarest token;
+* :meth:`contexts_for_term` — the legacy ``Corpus.contexts_for_term``
+  retrieval (greedy non-overlapping matches, windows clipped at document
+  boundaries) with byte-identical results;
+* :meth:`occurrence_records` — the multi-term retrieval of
+  ``linkage.context.find_occurrence_records`` (overlapping occurrences
+  allowed, longest term wins at any single start position);
+* :meth:`term_frequency` / :meth:`document_frequency` — counting without
+  window materialisation.
+
+The index also caches each document's flattened token list, so the many
+consumers that iterate ``doc.tokens()`` (graph builders, vectorisers,
+extraction) can share :meth:`token_documents` instead of re-flattening.
+
+The index is a snapshot: it reflects the corpus at build time.
+:meth:`repro.corpus.corpus.Corpus.index` rebuilds automatically when
+documents are added, but mutating a :class:`Document` in place is not
+detected.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.corpus.corpus import Corpus, TermContext
+from repro.errors import CorpusError
+
+
+def _as_needle(term: str | Sequence[str]) -> tuple[str, ...]:
+    """Normalise a term to its lower-cased token tuple (may be empty)."""
+    if isinstance(term, str):
+        return tuple(term.lower().split())
+    return tuple(t.lower() for t in term)
+
+
+class CorpusIndex:
+    """Positional inverted index over a :class:`Corpus`.
+
+    Parameters
+    ----------
+    corpus:
+        The corpus to index.  Built in one pass: O(total tokens).
+
+    Example
+    -------
+    >>> from repro.corpus.document import Document
+    >>> corpus = Corpus([Document("d", [["corneal", "injury", "heals"]])])
+    >>> index = CorpusIndex(corpus)
+    >>> index.term_frequency("corneal injury")
+    1
+    """
+
+    def __init__(self, corpus: Corpus) -> None:
+        self._doc_ids: list[str] = []
+        self._doc_tokens: list[list[str]] = []
+        self._postings: dict[str, list[tuple[int, int]]] = {}
+        for ordinal, doc in enumerate(corpus):
+            tokens = doc.tokens()
+            self._doc_ids.append(doc.doc_id)
+            self._doc_tokens.append(tokens)
+            for position, token in enumerate(tokens):
+                self._postings.setdefault(token, []).append(
+                    (ordinal, position)
+                )
+        self._n_tokens = sum(len(tokens) for tokens in self._doc_tokens)
+
+    # -- corpus-level statistics --------------------------------------------
+
+    def n_documents(self) -> int:
+        """Number of indexed documents."""
+        return len(self._doc_ids)
+
+    def n_tokens(self) -> int:
+        """Total token count over all indexed documents."""
+        return self._n_tokens
+
+    def vocabulary_size(self) -> int:
+        """Number of distinct tokens."""
+        return len(self._postings)
+
+    def doc_lengths(self) -> dict[str, int]:
+        """``doc_id → token count`` over all indexed documents."""
+        return {
+            doc_id: len(tokens)
+            for doc_id, tokens in zip(self._doc_ids, self._doc_tokens)
+        }
+
+    def token_documents(self) -> list[list[str]]:
+        """The cached flat token list of every document, in corpus order.
+
+        The returned lists are the index's own storage — treat them as
+        read-only (they are shared to avoid re-flattening per consumer).
+        """
+        return self._doc_tokens
+
+    def token_frequency(self, token: str) -> int:
+        """Occurrences of a single ``token`` (0 when unseen)."""
+        return len(self._postings.get(token.lower(), ()))
+
+    # -- phrase lookup -------------------------------------------------------
+
+    def phrase_occurrences(
+        self, term: str | Sequence[str]
+    ) -> list[tuple[int, int]]:
+        """Every ``(doc ordinal, start position)`` of ``term``, overlapping.
+
+        Matching anchors on the phrase's rarest token, so lookup cost is
+        proportional to that token's posting list, not the corpus.
+        """
+        needle = _as_needle(term)
+        if not needle:
+            raise CorpusError("term must contain at least one token")
+        return self._occurrences(needle)
+
+    def _occurrences(self, needle: tuple[str, ...]) -> list[tuple[int, int]]:
+        anchor_offset = 0
+        anchor_postings: list[tuple[int, int]] | None = None
+        for offset, token in enumerate(needle):
+            postings = self._postings.get(token)
+            if postings is None:
+                return []
+            if anchor_postings is None or len(postings) < len(anchor_postings):
+                anchor_offset, anchor_postings = offset, postings
+        assert anchor_postings is not None
+        span = len(needle)
+        if span == 1:
+            # Copy: callers must not be able to mutate the postings.
+            return list(anchor_postings)
+        out: list[tuple[int, int]] = []
+        for ordinal, position in anchor_postings:
+            start = position - anchor_offset
+            if start < 0:
+                continue
+            tokens = self._doc_tokens[ordinal]
+            if start + span > len(tokens):
+                continue
+            if tuple(tokens[start : start + span]) == needle:
+                out.append((ordinal, start))
+        return out
+
+    def _window(
+        self, ordinal: int, start: int, span: int, window: int
+    ) -> tuple[str, ...]:
+        """Window tokens around an occurrence, the occurrence excluded."""
+        tokens = self._doc_tokens[ordinal]
+        left = tokens[max(0, start - window) : start]
+        right = tokens[start + span : start + span + window]
+        return tuple(left + right)
+
+    # -- the legacy single-term retrieval -----------------------------------
+
+    def contexts_for_term(
+        self,
+        term: str | Sequence[str],
+        *,
+        window: int = 10,
+    ) -> list[TermContext]:
+        """Token windows around each occurrence of ``term``.
+
+        Exactly reproduces the document-scan semantics of
+        :meth:`repro.corpus.corpus.Corpus.contexts_for_term`: matches are
+        consumed greedily left to right (an occurrence may not overlap
+        the previous one), and windows clip at document boundaries.
+        """
+        needle = _as_needle(term)
+        if not needle:
+            raise CorpusError("term must contain at least one token")
+        if window < 1:
+            raise CorpusError(f"window must be >= 1, got {window}")
+        span = len(needle)
+        contexts: list[TermContext] = []
+        last_doc, last_end = -1, 0
+        for ordinal, start in sorted(self._occurrences(needle)):
+            if ordinal == last_doc and start < last_end:
+                continue  # overlaps the previous (greedy) match
+            last_doc, last_end = ordinal, start + span
+            contexts.append(
+                TermContext(
+                    doc_id=self._doc_ids[ordinal],
+                    tokens=self._window(ordinal, start, span, window),
+                    position=start,
+                )
+            )
+        return contexts
+
+    def term_frequency(self, term: str | Sequence[str]) -> int:
+        """Number of (non-overlapping) occurrences of ``term``."""
+        needle = _as_needle(term)
+        if not needle:
+            raise CorpusError("term must contain at least one token")
+        if len(needle) == 1:
+            return len(self._postings.get(needle[0], ()))
+        count = 0
+        last_doc, last_end = -1, 0
+        for ordinal, start in sorted(self._occurrences(needle)):
+            if ordinal == last_doc and start < last_end:
+                continue
+            last_doc, last_end = ordinal, start + len(needle)
+            count += 1
+        return count
+
+    def document_frequency(self, term: str | Sequence[str]) -> int:
+        """Number of documents containing ``term`` at least once."""
+        needle = _as_needle(term)
+        if not needle:
+            raise CorpusError("term must contain at least one token")
+        return len({ordinal for ordinal, __ in self._occurrences(needle)})
+
+    # -- the multi-term retrieval -------------------------------------------
+
+    def occurrence_records(
+        self,
+        terms: Iterable[str],
+        *,
+        window: int = 10,
+    ) -> dict[str, list[tuple[str, tuple[str, ...]]]]:
+        """(doc_id, window) records of every term of ``terms``.
+
+        Exactly reproduces
+        :func:`repro.linkage.context.find_occurrence_records`: overlapping
+        occurrences of different terms are all reported, but at any single
+        start position only the longest matching term records an
+        occurrence.
+        """
+        needles: dict[str, tuple[str, ...]] = {}
+        for term in terms:
+            tokens = _as_needle(term)
+            if not tokens:
+                continue
+            needles[" ".join(tokens)] = tokens
+
+        # Longest match wins at each start position.  Two distinct keys
+        # cannot tie: equal-length matches at one position are the same
+        # token sequence, hence the same key.
+        best: dict[tuple[int, int], tuple[int, str]] = {}
+        for key, needle in needles.items():
+            span = len(needle)
+            for occurrence in self._occurrences(needle):
+                incumbent = best.get(occurrence)
+                if incumbent is None or span > incumbent[0]:
+                    best[occurrence] = (span, key)
+
+        records: dict[str, list[tuple[str, tuple[str, ...]]]] = {
+            key: [] for key in needles
+        }
+        for (ordinal, start), (span, key) in sorted(best.items()):
+            records[key].append(
+                (
+                    self._doc_ids[ordinal],
+                    self._window(ordinal, start, span, window),
+                )
+            )
+        return records

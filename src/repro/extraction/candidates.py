@@ -9,8 +9,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING
+
 from repro.corpus.corpus import Corpus
 from repro.errors import ExtractionError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.corpus.index import CorpusIndex
 from repro.text.ngrams import extract_pattern_phrases
 from repro.text.patterns import TermPatternMatcher
 from repro.text.postag import LexiconTagger
@@ -73,6 +78,9 @@ class ExtractionContext:
     n_documents: int
     doc_lengths: dict[str, int]
     language: str = "en"
+    _containers: dict[tuple[str, ...], list[CandidateStats]] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def avg_doc_length(self) -> float:
@@ -81,23 +89,34 @@ class ExtractionContext:
             return 0.0
         return sum(self.doc_lengths.values()) / len(self.doc_lengths)
 
+    def _container_index(self) -> dict[tuple[str, ...], list[CandidateStats]]:
+        """Sub-span → containing candidates, built once and cached.
+
+        Candidates are short phrases, so enumerating every strict
+        contiguous sub-span of every candidate is O(candidates · len²) —
+        far cheaper than the O(candidates²) all-pairs scan it replaces.
+        """
+        if self._containers is None:
+            containers: dict[tuple[str, ...], list[CandidateStats]] = {}
+            for stats in self.candidates.values():
+                tokens = stats.tokens
+                length = stats.length
+                spans = {
+                    tokens[i : i + l]
+                    for l in range(1, length)
+                    for i in range(length - l + 1)
+                }
+                for span in spans:
+                    containers.setdefault(span, []).append(stats)
+            self._containers = containers
+        return self._containers
+
     def nested_in(self, tokens: tuple[str, ...]) -> list[CandidateStats]:
         """Candidates that strictly contain ``tokens`` as a sub-sequence.
 
         Used by C-value's nested-term correction.
         """
-        span = len(tokens)
-        out = []
-        for other in self.candidates.values():
-            if other.length <= span:
-                continue
-            window = other.tokens
-            if any(
-                window[i : i + span] == tokens
-                for i in range(other.length - span + 1)
-            ):
-                out.append(other)
-        return out
+        return self._container_index().get(tuple(tokens), [])
 
 
 def harvest_candidates(
@@ -108,6 +127,7 @@ def harvest_candidates(
     language: str = "en",
     min_frequency: int = 1,
     stop_words: frozenset[str] | set[str] | None = None,
+    index: "CorpusIndex | None" = None,
 ) -> ExtractionContext:
     """Scan ``corpus`` and build the :class:`ExtractionContext`.
 
@@ -127,6 +147,11 @@ def harvest_candidates(
         vocabulary: "study", "results", ...).  Candidates containing any
         stoplisted word are dropped, as are degenerate candidates that
         repeat a token ("study study").
+    index:
+        Optional prebuilt :class:`~repro.corpus.index.CorpusIndex`; the
+        harvest reads document lengths from it instead of re-flattening
+        every document.  Candidate counting itself stays sentence-bounded
+        (POS patterns never cross sentences).
     """
     if corpus.n_documents() == 0:
         raise ExtractionError("cannot extract terms from an empty corpus")
@@ -137,9 +162,10 @@ def harvest_candidates(
     stop = frozenset(w.lower() for w in stop_words) if stop_words else frozenset()
 
     candidates: dict[tuple[str, ...], CandidateStats] = {}
-    doc_lengths: dict[str, int] = {}
+    doc_lengths = index.doc_lengths() if index is not None else {}
     for doc in corpus:
-        doc_lengths[doc.doc_id] = doc.n_tokens()
+        if index is None:
+            doc_lengths[doc.doc_id] = doc.n_tokens()
         for sentence in doc.sentences:
             tagged = tagger.tag(sentence)
             for phrase, weight in extract_pattern_phrases(tagged, matcher):

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.corpus.corpus import Corpus
 from repro.errors import ExtractionError
@@ -10,6 +11,9 @@ from repro.extraction.candidates import ExtractionContext, harvest_candidates
 from repro.extraction.measures import MEASURE_NAMES, compute_measure
 from repro.text.patterns import TermPatternMatcher
 from repro.text.postag import LexiconTagger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.corpus.index import CorpusIndex
 
 
 @dataclass(frozen=True)
@@ -82,7 +86,9 @@ class BioTexExtractor:
         self.stop_words = stop_words
         self.context_: ExtractionContext | None = None
 
-    def build_context(self, corpus: Corpus) -> ExtractionContext:
+    def build_context(
+        self, corpus: Corpus, *, index: "CorpusIndex | None" = None
+    ) -> ExtractionContext:
         """Harvest candidates from ``corpus`` (kept on ``context_``)."""
         context = harvest_candidates(
             corpus,
@@ -91,6 +97,7 @@ class BioTexExtractor:
             language=self.language,
             min_frequency=self.min_frequency,
             stop_words=self.stop_words,
+            index=index,
         )
         self.context_ = context
         return context
@@ -101,6 +108,7 @@ class BioTexExtractor:
         *,
         top_k: int | None = None,
         measure: str | None = None,
+        index: "CorpusIndex | None" = None,
     ) -> list[RankedTerm]:
         """Extract and rank candidate terms from ``corpus``.
 
@@ -110,9 +118,12 @@ class BioTexExtractor:
             Keep only the best ``top_k`` candidates (None = all).
         measure:
             Override the instance's ranking measure for this call.
+        index:
+            Optional shared :class:`~repro.corpus.index.CorpusIndex`
+            reused for corpus statistics during harvesting.
         """
         measure = measure if measure is not None else self.measure
-        context = self.build_context(corpus)
+        context = self.build_context(corpus, index=index)
         scores = compute_measure(measure, context)
         eligible = [
             (tokens, score)

@@ -5,9 +5,11 @@ every potential position by cosine.  :class:`TermContextIndex` builds one
 aggregate context document per term — all tokens within ``window`` of any
 occurrence — and embeds them in a common TF-IDF space.
 
-:func:`find_occurrences` locates every occurrence of *many* terms in one
-pass over the corpus (longest-match-first by first token), since the
-evaluation positions dozens of terms against thousands of documents.
+Occurrence retrieval is served by the corpus's shared positional index
+(:class:`repro.corpus.index.CorpusIndex`): :func:`find_occurrence_records`
+delegates to :meth:`CorpusIndex.occurrence_records`, which locates every
+occurrence of *many* terms through their postings (longest match wins at
+any single start position) instead of rescanning the documents.
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ from collections.abc import Iterable, Sequence
 import numpy as np
 
 from repro.corpus.corpus import Corpus
+from repro.corpus.index import CorpusIndex
 from repro.errors import LinkageError
 from repro.ontology.model import normalize_term
 from repro.text.vectorize import TfidfVectorizer
@@ -27,39 +30,20 @@ def find_occurrence_records(
     terms: Iterable[str],
     *,
     window: int = 10,
+    index: CorpusIndex | None = None,
 ) -> dict[str, list[tuple[str, tuple[str, ...]]]]:
-    """(doc_id, window) records of every term of ``terms``, one corpus pass.
+    """(doc_id, window) records of every term of ``terms``.
 
     Returns ``{normalised term: [(doc_id, window tokens), ...]}``; the
     occurrence tokens themselves are excluded from the window (they carry
     no disambiguation signal).  Overlapping occurrences of different terms
     are all reported; the longest term wins at any single start position.
-    """
-    needles: dict[str, list[tuple[str, tuple[str, ...]]]] = {}
-    by_first: dict[str, list[tuple[str, ...]]] = {}
-    for term in terms:
-        tokens = tuple(normalize_term(term).split())
-        if not tokens:
-            continue
-        needles[" ".join(tokens)] = []
-        by_first.setdefault(tokens[0], []).append(tokens)
-    for candidates in by_first.values():
-        candidates.sort(key=len, reverse=True)
 
-    for doc in corpus:
-        tokens = doc.tokens()
-        n = len(tokens)
-        for i, token in enumerate(tokens):
-            for needle in by_first.get(token, ()):
-                span = len(needle)
-                if i + span <= n and tuple(tokens[i : i + span]) == needle:
-                    left = tokens[max(0, i - window) : i]
-                    right = tokens[i + span : i + span + window]
-                    needles[" ".join(needle)].append(
-                        (doc.doc_id, tuple(left + right))
-                    )
-                    break  # longest match at this position only
-    return needles
+    Pass a prebuilt ``index`` to share one :class:`CorpusIndex` across
+    callers; otherwise the corpus's cached index is used.
+    """
+    index = index if index is not None else corpus.index()
+    return index.occurrence_records(terms, window=window)
 
 
 def find_occurrences(
@@ -67,13 +51,14 @@ def find_occurrences(
     terms: Iterable[str],
     *,
     window: int = 10,
+    index: CorpusIndex | None = None,
 ) -> dict[str, list[tuple[str, ...]]]:
-    """Context windows of every term of ``terms``, in one corpus pass.
+    """Context windows of every term of ``terms``.
 
     Convenience wrapper over :func:`find_occurrence_records` that drops
     the document ids.
     """
-    records = find_occurrence_records(corpus, terms, window=window)
+    records = find_occurrence_records(corpus, terms, window=window, index=index)
     return {
         term: [window_tokens for __, window_tokens in entries]
         for term, entries in records.items()
@@ -89,23 +74,36 @@ class TermContextIndex:
         Context source.
     window:
         Tokens kept each side of an occurrence.
+    index:
+        Optional prebuilt :class:`CorpusIndex` to retrieve occurrences
+        through (defaults to the corpus's cached index).
 
     Usage
     -----
-    ``build(terms)`` retrieves contexts (one corpus pass) and fits the
-    TF-IDF space; ``vector(term)`` then returns the unit-norm aggregate
-    context vector, and ``cosine(a, b)`` the similarity of two terms.
+    ``build(terms)`` retrieves contexts through the positional index and
+    fits the TF-IDF space; ``vector(term)`` then returns the unit-norm
+    aggregate context vector, and ``cosine(a, b)`` the similarity of two
+    terms.
     """
 
-    def __init__(self, corpus: Corpus, *, window: int = 10) -> None:
+    def __init__(
+        self,
+        corpus: Corpus,
+        *,
+        window: int = 10,
+        index: CorpusIndex | None = None,
+    ) -> None:
         self.corpus = corpus
         self.window = window
+        self._corpus_index = index
         self._rows: dict[str, np.ndarray] | None = None
         self._n_contexts: dict[str, int] = {}
 
     def build(self, terms: Sequence[str]) -> "TermContextIndex":
         """Retrieve contexts for ``terms`` and fit the shared space."""
-        occurrences = find_occurrences(self.corpus, terms, window=self.window)
+        occurrences = find_occurrences(
+            self.corpus, terms, window=self.window, index=self._corpus_index
+        )
         documents: list[list[str]] = []
         keys: list[str] = []
         for term, contexts in occurrences.items():

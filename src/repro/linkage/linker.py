@@ -8,6 +8,7 @@ from collections.abc import Iterable
 import networkx as nx
 
 from repro.corpus.corpus import Corpus
+from repro.corpus.index import CorpusIndex
 from repro.errors import LinkageError
 from repro.linkage.context import TermContextIndex
 from repro.linkage.neighborhood import build_term_graph, mesh_neighborhood
@@ -63,6 +64,10 @@ class SemanticLinker:
         Number of propositions returned (the paper proposes 10).
     expand_hierarchy:
         Include fathers/sons of neighbours (IV.2); ablation knob A4.
+    index:
+        Optional prebuilt :class:`~repro.corpus.index.CorpusIndex`; both
+        shared artefacts (graph and context vectors) are derived from it
+        (defaults to the corpus's cached index).
 
     Example
     -------
@@ -80,11 +85,14 @@ class SemanticLinker:
         graph_window: int = 8,
         top_k: int = 10,
         expand_hierarchy: bool = True,
+        index: CorpusIndex | None = None,
     ) -> None:
         if top_k < 1:
             raise LinkageError(f"top_k must be >= 1, got {top_k}")
         self.ontology = ontology
         self.corpus = corpus
+        self._corpus_index = index
+        self._index_supplied = index is not None
         self.window = window
         self.graph_window = graph_window
         self.top_k = top_k
@@ -104,11 +112,17 @@ class SemanticLinker:
         builder_terms = [tuple(t.split()) for t in terms]
         from repro.text.cooccurrence import CooccurrenceGraphBuilder
 
+        if not self._index_supplied:
+            # Re-fetch on every (re)build: corpus.index() is cached, and a
+            # rebuild after corpus.add must see the added documents.
+            self._corpus_index = self.corpus.index()
         builder = CooccurrenceGraphBuilder(
             window=self.graph_window, stop_language=None, terms=builder_terms
         )
-        self._graph = builder.build(doc.tokens() for doc in self.corpus)
-        self._index = TermContextIndex(self.corpus, window=self.window)
+        self._graph = builder.build(self._corpus_index.token_documents())
+        self._index = TermContextIndex(
+            self.corpus, window=self.window, index=self._corpus_index
+        )
         self._index.build(terms)
         return self
 

@@ -35,7 +35,8 @@ def build_term_graph(
     builder = CooccurrenceGraphBuilder(
         window=window, stop_language=stop_language, terms=term_tuples
     )
-    return builder.build(doc.tokens() for doc in corpus)
+    # The cached index supplies each document's flattened tokens.
+    return builder.build(corpus.index().token_documents())
 
 
 def mesh_neighborhood(

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from collections.abc import Sequence
 
 from repro.corpus.corpus import Corpus
+from repro.corpus.index import CorpusIndex
 from repro.errors import LinkageError
 from repro.linkage.context import TermContextIndex
 from repro.ontology.model import normalize_term
@@ -92,27 +93,35 @@ def collect_pattern_votes(
     position: str,
     *,
     max_gap: int = 6,
+    index: CorpusIndex | None = None,
 ) -> Counter:
     """Count Hearst-style pattern matches between co-mentions.
 
-    Scans every document for occurrences of both terms at most
-    ``max_gap`` tokens apart and matches the infix against the pattern
-    inventory.  Direction matters: "A is a B" votes hyperonym(B), while
-    "B is a A" (candidate second) votes the inverse, hyponym(B).
+    Locates every occurrence of both terms through the corpus's
+    positional index, pairs co-mentions at most ``max_gap`` tokens apart,
+    and matches the infix against the pattern inventory.  Direction
+    matters: "A is a B" votes hyperonym(B), while "B is a A" (candidate
+    second) votes the inverse, hyponym(B).
     """
     a = tuple(normalize_term(candidate).split())
     b = tuple(normalize_term(position).split())
     votes: Counter = Counter()
     inverse = {"hyperonym": "hyponym", "hyponym": "hyperonym", "synonym": "synonym"}
-    for doc in corpus:
-        tokens = doc.tokens()
-        n = len(tokens)
-        positions_a = [
-            i for i in range(n - len(a) + 1) if tuple(tokens[i : i + len(a)]) == a
-        ]
-        positions_b = [
-            i for i in range(n - len(b) + 1) if tuple(tokens[i : i + len(b)]) == b
-        ]
+    if not a or not b:
+        return votes
+    index = index if index is not None else corpus.index()
+    occurrences_a: dict[int, list[int]] = {}
+    for ordinal, start in index.phrase_occurrences(a):
+        occurrences_a.setdefault(ordinal, []).append(start)
+    occurrences_b: dict[int, list[int]] = {}
+    for ordinal, start in index.phrase_occurrences(b):
+        occurrences_b.setdefault(ordinal, []).append(start)
+    documents = index.token_documents()
+    for ordinal, positions_a in occurrences_a.items():
+        positions_b = occurrences_b.get(ordinal)
+        if positions_b is None:
+            continue
+        tokens = documents[ordinal]
         for i in positions_a:
             for j in positions_b:
                 if j > i and j - (i + len(a)) <= max_gap:
@@ -139,6 +148,10 @@ class RelationTyper:
     breadth_margin:
         Relative context-count asymmetry required to call the direction
         of a hyperonym/hyponym pair distributionally.
+    corpus_index:
+        Optional prebuilt :class:`~repro.corpus.index.CorpusIndex`
+        shared by context retrieval and pattern voting (defaults to the
+        corpus's cached index).
     """
 
     def __init__(
@@ -148,6 +161,7 @@ class RelationTyper:
         synonym_cosine: float = 0.8,
         breadth_margin: float = 1.5,
         window: int = 10,
+        corpus_index: CorpusIndex | None = None,
     ) -> None:
         if not 0.0 < synonym_cosine <= 1.0:
             raise LinkageError("synonym_cosine must be in (0, 1]")
@@ -157,6 +171,7 @@ class RelationTyper:
         self.synonym_cosine = synonym_cosine
         self.breadth_margin = breadth_margin
         self.window = window
+        self._corpus_index = corpus_index
 
     def type_relation(
         self,
@@ -174,10 +189,14 @@ class RelationTyper:
         candidate = normalize_term(candidate)
         position = normalize_term(position)
         if index is None:
-            index = TermContextIndex(self.corpus, window=self.window)
+            index = TermContextIndex(
+                self.corpus, window=self.window, index=self._corpus_index
+            )
             index.build([candidate, position])
         cosine = index.cosine(candidate, position)
-        votes = collect_pattern_votes(self.corpus, candidate, position)
+        votes = collect_pattern_votes(
+            self.corpus, candidate, position, index=self._corpus_index
+        )
 
         if votes:
             relation, count = votes.most_common(1)[0]

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.corpus.corpus import Corpus
+from repro.corpus.index import CorpusIndex
 from repro.errors import CorpusError, ValidationError
 from repro.ontology.model import Ontology
 from repro.polysemy.features import PolysemyFeatureExtractor
@@ -91,6 +92,7 @@ def build_polysemy_dataset(
     max_contexts: int = 60,
     max_monosemous: int | None = None,
     seed: int | np.random.Generator | None = None,
+    index: CorpusIndex | None = None,
 ) -> PolysemyDataset:
     """Featurise every usable ontology term into a labelled dataset.
 
@@ -113,17 +115,20 @@ def build_polysemy_dataset(
     max_monosemous:
         Optional cap on monosemous terms to keep classes balanced; a
         seeded subsample is drawn when the cap binds.
+    index:
+        Optional prebuilt :class:`~repro.corpus.index.CorpusIndex` to
+        retrieve occurrences through (defaults to the corpus's cached
+        index).
     """
-    from repro.linkage.context import find_occurrence_records
-
     extractor = extractor if extractor is not None else PolysemyFeatureExtractor()
     rng = np.random.default_rng(seed if not isinstance(seed, np.random.Generator) else None)
     if isinstance(seed, np.random.Generator):
         rng = seed
 
-    # One corpus pass for every ontology term (per-term scans are O(n²)).
-    records = find_occurrence_records(
-        corpus, ontology.terms(), window=extractor.window
+    # One postings pass for every ontology term (per-term scans are O(n²)).
+    index = index if index is not None else corpus.index()
+    records = index.occurrence_records(
+        ontology.terms(), window=extractor.window
     )
     polysemic_rows: list[tuple[str, np.ndarray]] = []
     monosemous_rows: list[tuple[str, np.ndarray]] = []

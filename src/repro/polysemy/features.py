@@ -7,6 +7,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.corpus.corpus import Corpus
+from repro.corpus.index import CorpusIndex
 from repro.errors import CorpusError
 from repro.polysemy.direct_features import DIRECT_FEATURE_NAMES, direct_features
 from repro.polysemy.graph_features import (
@@ -85,13 +86,24 @@ class PolysemyFeatureExtractor:
             parts.append(graph_features(graph))
         return np.concatenate(parts)
 
-    def features_from_corpus(self, term: str, corpus: Corpus) -> np.ndarray:
-        """Retrieve the term's contexts from ``corpus`` and featurise.
+    def features_from_corpus(
+        self,
+        term: str,
+        corpus: Corpus,
+        *,
+        index: CorpusIndex | None = None,
+    ) -> np.ndarray:
+        """Retrieve the term's contexts through the index and featurise.
+
+        Pass a prebuilt ``index`` to share one
+        :class:`~repro.corpus.index.CorpusIndex` across extractors
+        (defaults to the corpus's cached index).
 
         Raises :class:`~repro.errors.CorpusError` when the term never
         occurs — a candidate without context cannot be classified.
         """
-        occurrences = corpus.contexts_for_term(term, window=self.window)
+        index = index if index is not None else corpus.index()
+        occurrences = index.contexts_for_term(term, window=self.window)
         if not occurrences:
             raise CorpusError(f"term {term!r} has no context in the corpus")
         contexts = [ctx.tokens for ctx in occurrences]

@@ -66,8 +66,15 @@ class BowVectorizer:
 
     # -- shared preprocessing ------------------------------------------------
 
-    def _prepare(self, tokens: Sequence[str]) -> list[str]:
-        stop = stopwords_for(self.stop_language) if self.stop_language else frozenset()
+    def _stop_set(self) -> frozenset[str]:
+        """The stop set, resolved once per fit/transform pass."""
+        if self.stop_language:
+            return stopwords_for(self.stop_language)
+        return frozenset()
+
+    def _prepare(
+        self, tokens: Sequence[str], stop: frozenset[str]
+    ) -> list[str]:
         out = []
         for token in tokens:
             if self.lowercase:
@@ -81,11 +88,12 @@ class BowVectorizer:
 
     def fit(self, documents: Iterable[Sequence[str]]) -> "BowVectorizer":
         """Learn the vocabulary from tokenised ``documents``."""
+        stop = self._stop_set()
         df_counts: dict[str, int] = {}
         n_docs = 0
         for tokens in documents:
             n_docs += 1
-            for token in set(self._prepare(tokens)):
+            for token in set(self._prepare(tokens, stop)):
                 df_counts[token] = df_counts.get(token, 0) + 1
         vocab = Vocabulary()
         dfs: list[int] = []
@@ -110,12 +118,13 @@ class BowVectorizer:
     def transform(self, documents: Iterable[Sequence[str]]) -> sp.csr_matrix:
         """Vectorise tokenised ``documents`` into a (n_docs, n_vocab) matrix."""
         vocab = self._require_fitted()
+        stop = self._stop_set()
         indptr = [0]
         indices: list[int] = []
         data: list[float] = []
         for tokens in documents:
             counts: dict[int, float] = {}
-            for token in self._prepare(tokens):
+            for token in self._prepare(tokens, stop):
                 idx = vocab.get(token)
                 if idx is None:
                     continue

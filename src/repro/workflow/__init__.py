@@ -1,12 +1,30 @@
-"""The assembled four-step enrichment workflow (the paper's contribution)."""
+"""The assembled four-step enrichment workflow (the paper's contribution).
+
+The workflow is a staged batch pipeline over a shared positional corpus
+index — see :mod:`repro.workflow.pipeline` for the stage architecture.
+"""
 
 from repro.workflow.config import EnrichmentConfig
-from repro.workflow.pipeline import OntologyEnricher
+from repro.workflow.pipeline import (
+    CandidateWork,
+    DetectStage,
+    ExtractStage,
+    InduceStage,
+    LinkStage,
+    OntologyEnricher,
+    PipelineContext,
+)
 from repro.workflow.report import EnrichmentReport, TermReport
 
 __all__ = [
+    "CandidateWork",
+    "DetectStage",
     "EnrichmentConfig",
     "EnrichmentReport",
+    "ExtractStage",
+    "InduceStage",
+    "LinkStage",
     "OntologyEnricher",
+    "PipelineContext",
     "TermReport",
 ]

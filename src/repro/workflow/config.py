@@ -32,12 +32,21 @@ class EnrichmentConfig:
         representation (paper defaults: rb + f_k + bag-of-words).
     context_window:
         Tokens kept each side of a term occurrence.
+    max_contexts_per_term:
+        Cap on contexts kept per candidate (deterministic stride
+        subsample); the per-candidate clustering and graph features are
+        superlinear in the context count.  Must be >= ``min_contexts``.
     top_k_positions:
         Step IV proposition-list length (paper: 10).
     expand_hierarchy:
         Step IV.2 father/son expansion of the neighbourhood.
     seed:
         Workflow-level RNG seed.
+    batch_size:
+        Candidates handed to a worker per task in Steps II–III.
+    n_workers:
+        Worker threads for the per-candidate work of Steps II–III
+        (1 = sequential; results are identical either way).
     """
 
     language: str = "en"
@@ -50,10 +59,13 @@ class EnrichmentConfig:
     sense_index: str = "fk"
     sense_representation: str = "bow"
     context_window: int = 10
+    max_contexts_per_term: int = 80
     top_k_positions: int = 10
     expand_hierarchy: bool = True
     seed: int = 0
     skip_known_terms: bool = True
+    batch_size: int = 8
+    n_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.n_candidates < 1:
@@ -64,7 +76,20 @@ class EnrichmentConfig:
             raise ValidationError(
                 f"min_contexts must be >= 1, got {self.min_contexts}"
             )
+        if self.max_contexts_per_term < self.min_contexts:
+            raise ValidationError(
+                f"max_contexts_per_term ({self.max_contexts_per_term}) must "
+                f"be >= min_contexts ({self.min_contexts})"
+            )
         if self.top_k_positions < 1:
             raise ValidationError(
                 f"top_k_positions must be >= 1, got {self.top_k_positions}"
+            )
+        if self.batch_size < 1:
+            raise ValidationError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        if self.n_workers < 1:
+            raise ValidationError(
+                f"n_workers must be >= 1, got {self.n_workers}"
             )

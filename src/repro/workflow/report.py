@@ -54,9 +54,20 @@ class TermReport:
 
 @dataclass
 class EnrichmentReport:
-    """The workflow's full output: one :class:`TermReport` per candidate."""
+    """The workflow's full output: one :class:`TermReport` per candidate.
+
+    Attributes
+    ----------
+    terms:
+        One report per examined candidate, in extraction-rank order.
+    timings:
+        Wall-clock seconds per pipeline stage (``index``, ``extract``,
+        ``detect``, ``induce``, ``link``), filled in by
+        :meth:`repro.workflow.pipeline.OntologyEnricher.enrich`.
+    """
 
     terms: list[TermReport] = field(default_factory=list)
+    timings: dict[str, float] = field(default_factory=dict)
 
     @property
     def n_candidates(self) -> int:

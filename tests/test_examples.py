@@ -21,6 +21,7 @@ def examples_on_path(monkeypatch):
             "polysemy_screening",
             "term_extraction_biotex",
             "enrich_mesh_snapshot",
+            "index_reuse",
         }:
             del sys.modules[name]
 
@@ -64,3 +65,10 @@ class TestExamples:
                           docs_per_concept=3)
         assert "2009 snapshot" in out
         assert "Top 10" in out
+
+    def test_index_reuse(self, capsys):
+        out = run_example("index_reuse", capsys, n_concepts=15,
+                          docs_per_concept=4)
+        assert "Indexed" in out
+        assert "screening" in out
+        assert "index=" in out

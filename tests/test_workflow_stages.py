@@ -1,0 +1,227 @@
+"""The staged pipeline: stage wiring, batching determinism, and timings."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.scenarios import make_enrichment_scenario
+from repro.workflow.config import EnrichmentConfig
+from repro.workflow.pipeline import (
+    DetectStage,
+    ExtractStage,
+    InduceStage,
+    LinkStage,
+    OntologyEnricher,
+    PipelineContext,
+)
+
+
+def report_fingerprint(report):
+    """Everything the report decided, as a comparable structure."""
+    rows = []
+    for t in report.terms:
+        senses = None
+        if t.senses is not None:
+            senses = (
+                t.senses.k,
+                tuple(
+                    (s.sense_id, s.top_features, s.context_indices)
+                    for s in t.senses.senses
+                ),
+            )
+        rows.append(
+            (
+                t.term,
+                t.extraction_score,
+                t.extraction_rank,
+                t.n_contexts,
+                t.polysemic,
+                senses,
+                tuple(
+                    (p.rank, p.term, p.concept_ids, p.cosine)
+                    for p in t.propositions
+                ),
+                t.skipped_reason,
+            )
+        )
+    return tuple(rows)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return make_enrichment_scenario(
+        seed=7, n_concepts=25, docs_per_concept=5,
+        polysemy_histogram={2: 3},
+    )
+
+
+def enrich(scenario, **config_kwargs):
+    config = EnrichmentConfig(
+        n_candidates=6, min_contexts=3, **config_kwargs
+    )
+    enricher = OntologyEnricher(
+        scenario.ontology, config=config, pos_lexicon=scenario.pos_lexicon
+    )
+    return enricher.enrich(scenario.corpus)
+
+
+class TestStagedPipelineParity:
+    def test_rerun_is_deterministic(self, scenario):
+        first = enrich(scenario)
+        second = enrich(scenario)
+        assert report_fingerprint(first) == report_fingerprint(second)
+
+    def test_workers_do_not_change_the_report(self, scenario):
+        sequential = enrich(scenario)
+        threaded = enrich(scenario, n_workers=4, batch_size=1)
+        assert report_fingerprint(sequential) == report_fingerprint(threaded)
+
+    def test_batch_size_does_not_change_the_report(self, scenario):
+        small = enrich(scenario, n_workers=2, batch_size=1)
+        large = enrich(scenario, n_workers=2, batch_size=64)
+        assert report_fingerprint(small) == report_fingerprint(large)
+
+    def test_prebuilt_index_reuse_matches(self, scenario):
+        baseline = enrich(scenario)
+        index = scenario.corpus.index()
+        config = EnrichmentConfig(n_candidates=6, min_contexts=3)
+        enricher = OntologyEnricher(
+            scenario.ontology, config=config,
+            pos_lexicon=scenario.pos_lexicon,
+        )
+        reused = enricher.enrich(scenario.corpus, index=index)
+        again = enricher.enrich(scenario.corpus, index=index)
+        assert report_fingerprint(baseline) == report_fingerprint(reused)
+        assert report_fingerprint(baseline) == report_fingerprint(again)
+
+
+class TestStageUnits:
+    @pytest.fixture(scope="class")
+    def enricher_and_ctx(self, scenario):
+        config = EnrichmentConfig(n_candidates=6, min_contexts=3)
+        enricher = OntologyEnricher(
+            scenario.ontology, config=config,
+            pos_lexicon=scenario.pos_lexicon,
+        )
+        ctx = PipelineContext(
+            corpus=scenario.corpus,
+            ontology=scenario.ontology,
+            config=config,
+            index=scenario.corpus.index(),
+        )
+        return enricher, ctx
+
+    def test_stage_order_and_names(self, enricher_and_ctx):
+        enricher, __ = enricher_and_ctx
+        stages = enricher.stages()
+        assert [type(s) for s in stages] == [
+            ExtractStage, DetectStage, InduceStage, LinkStage,
+        ]
+        assert [s.name for s in stages] == [
+            "extract", "detect", "induce", "link",
+        ]
+
+    def test_extract_stage_selects_candidates(self, enricher_and_ctx):
+        enricher, ctx = enricher_and_ctx
+        ExtractStage(enricher._extractor).run(ctx)
+        assert 1 <= len(ctx.work) <= ctx.config.n_candidates
+        assert len(ctx.ranked) >= len(ctx.work)
+        for item in ctx.work:
+            assert not ctx.ontology.has_term(item.candidate.term)
+            assert item.report in ctx.report.terms
+            assert item.contexts is None  # detect not yet run
+
+    def test_detect_stage_materialises_contexts(self, enricher_and_ctx):
+        enricher, ctx = enricher_and_ctx
+        DetectStage(
+            enricher._detector,
+            enricher._feature_extractor,
+            trained=False,
+        ).run(ctx)
+        for item in ctx.work:
+            assert item.report.n_contexts >= 0
+            if item.active:
+                assert item.contexts
+                assert len(item.contexts) >= ctx.config.min_contexts
+                assert len(item.contexts) <= ctx.config.max_contexts_per_term
+                assert item.report.polysemic is False  # untrained fallback
+            else:
+                assert "contexts" in item.report.skipped_reason
+
+    def test_induce_stage_fills_senses(self, enricher_and_ctx):
+        __, ctx = enricher_and_ctx
+        InduceStage(OntologyEnricher(
+            ctx.ontology, config=ctx.config,
+        )._inducer).run(ctx)
+        for item in ctx.work:
+            if item.active:
+                assert item.report.senses is not None
+                assert item.report.n_senses >= 1
+
+    def test_link_stage_fills_propositions(self, enricher_and_ctx):
+        __, ctx = enricher_and_ctx
+        LinkStage().run(ctx)
+        for item in ctx.work:
+            if item.active:
+                assert item.report.propositions
+
+
+class TestTimingsAndConfig:
+    def test_timings_cover_every_stage(self, scenario):
+        report = enrich(scenario)
+        assert set(report.timings) == {
+            "index", "train", "extract", "detect", "induce", "link",
+        }
+        for seconds in report.timings.values():
+            assert seconds >= 0.0
+
+    def test_max_contexts_per_term_caps_contexts(self, scenario):
+        report = enrich(scenario, max_contexts_per_term=3)
+        for t in report.terms:
+            if t.senses is not None:
+                covered = {
+                    i for s in t.senses.senses for i in s.context_indices
+                }
+                assert len(covered) <= 3
+
+    def test_doc_frequency_counted_over_kept_contexts(self, scenario):
+        # Parity with the legacy loop: when the cap binds, doc_frequency
+        # is computed over the stride-subsampled occurrences, not all.
+        config = EnrichmentConfig(
+            n_candidates=6, min_contexts=3, max_contexts_per_term=3
+        )
+        enricher = OntologyEnricher(
+            scenario.ontology, config=config,
+            pos_lexicon=scenario.pos_lexicon,
+        )
+        ctx = PipelineContext(
+            corpus=scenario.corpus,
+            ontology=scenario.ontology,
+            config=config,
+            index=scenario.corpus.index(),
+        )
+        for stage in enricher.stages()[:2]:  # extract + detect
+            stage.run(ctx)
+        capped = [
+            item for item in ctx.work
+            if item.active and item.report.n_contexts > 3
+        ]
+        assert capped, "scenario produced no candidate above the cap"
+        for item in capped:
+            occurrences = ctx.index.contexts_for_term(
+                item.candidate.term, window=config.context_window
+            )
+            step = len(occurrences) / 3
+            kept = [occurrences[int(i * step)] for i in range(3)]
+            assert item.doc_frequency == len({c.doc_id for c in kept})
+
+    def test_max_contexts_below_min_rejected(self):
+        with pytest.raises(ValidationError, match="max_contexts_per_term"):
+            EnrichmentConfig(min_contexts=5, max_contexts_per_term=4)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"batch_size": 0}, {"n_workers": 0}],
+    )
+    def test_invalid_batching_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            EnrichmentConfig(**kwargs)
