@@ -1,0 +1,92 @@
+"""Step II training throughput: native Louvain vs networkx greedy.
+
+The per-term graph features dominate workflow training time, and within
+them community detection is the hot call.  This benchmark runs the full
+workflow once per community backend on the same scenario and compares
+``timings["train"]`` — the PR-over-PR guard for the Louvain fast path —
+while asserting the detection labels are identical, so the speedup never
+silently buys a different answer.  Results land in
+``BENCH_community_backends.json``.
+"""
+
+from benchmarks.conftest import (
+    emit_bench_json,
+    print_paper_vs_measured,
+    run_once,
+)
+from repro.scenarios import make_enrichment_scenario
+from repro.workflow.config import EnrichmentConfig
+from repro.workflow.pipeline import OntologyEnricher
+
+
+def run_workflow_per_backend(n_concepts: int, docs_per_concept: int, seed: int):
+    scenario = make_enrichment_scenario(
+        seed=seed,
+        n_concepts=n_concepts,
+        docs_per_concept=docs_per_concept,
+        polysemy_histogram={2: max(2, n_concepts // 12)},
+    )
+    reports = {}
+    for backend in ("louvain", "greedy"):
+        enricher = OntologyEnricher(
+            scenario.ontology,
+            config=EnrichmentConfig(
+                n_candidates=10, min_contexts=3, community_backend=backend
+            ),
+            pos_lexicon=scenario.pos_lexicon,
+        )
+        reports[backend] = enricher.enrich(scenario.corpus)
+    return reports
+
+
+def test_community_backend_speedup(benchmark, scale):
+    n_concepts = 60 if scale == "paper" else 30
+    reports = run_once(
+        benchmark,
+        run_workflow_per_backend,
+        n_concepts=n_concepts,
+        docs_per_concept=6,
+        seed=5,
+    )
+
+    labels = {
+        backend: [t.polysemic for t in report.terms]
+        for backend, report in reports.items()
+    }
+    assert labels["louvain"] == labels["greedy"], (
+        "community backends must agree on detection labels"
+    )
+
+    train_louvain = reports["louvain"].timings["train"]
+    train_greedy = reports["greedy"].timings["train"]
+    speedup = train_greedy / train_louvain if train_louvain > 0 else float("inf")
+    print_paper_vs_measured(
+        "Step II training: community backends",
+        [
+            ("train seconds (louvain)", "-", f"{train_louvain:.3f}"),
+            ("train seconds (greedy)", "-", f"{train_greedy:.3f}"),
+            ("speedup", ">= 3x (issue 2 target)", f"{speedup:.2f}x"),
+        ],
+    )
+
+    emit_bench_json(
+        "community_backends",
+        {
+            "n_concepts": n_concepts,
+            "docs_per_concept": 6,
+            "seed": 5,
+            "train_seconds": {
+                "louvain": train_louvain,
+                "greedy": train_greedy,
+            },
+            "speedup": speedup,
+            "labels_identical": True,
+            "cache": {
+                backend: report.cache for backend, report in reports.items()
+            },
+        },
+    )
+
+    # The native backend must never be slower; the 3x target is tracked
+    # in the emitted JSON (tiny CI runners are too noisy to hard-gate).
+    assert speedup > 1.0

@@ -51,6 +51,7 @@ def test_workflow_end_to_end(benchmark, scale):
             "total_seconds": sum(report.timings.values()),
             "n_candidates": report.n_candidates,
             "n_completed": len(report.completed_terms()),
+            "cache": report.cache,
         },
     )
 

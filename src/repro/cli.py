@@ -16,6 +16,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.clustering.community import COMMUNITY_BACKEND_NAMES
 from repro.corpus.io import read_corpus_jsonl, write_corpus_jsonl
 from repro.linkage.evaluation import evaluate_linkage, gold_positions
 from repro.linkage.linker import SemanticLinker
@@ -54,6 +55,9 @@ def _cmd_enrich(args: argparse.Namespace) -> int:
         seed=args.seed,
         max_contexts_per_term=args.max_contexts,
         n_workers=args.workers,
+        worker_backend=args.worker_backend,
+        community_backend=args.community_backend,
+        feature_cache=not args.no_feature_cache,
     )
     enricher = OntologyEnricher(ontology, config=config)
     report = enricher.enrich(corpus)
@@ -70,6 +74,15 @@ def _cmd_enrich(args: argparse.Namespace) -> int:
                 title="Stage timings",
             )
         )
+        if report.cache:
+            print()
+            print(
+                format_table(
+                    ["counter", "value"],
+                    [[k, v] for k, v in sorted(report.cache.items())],
+                    title="Feature cache",
+                )
+            )
     return 0
 
 
@@ -147,7 +160,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     enrich.add_argument(
         "--workers", type=int, default=1,
-        help="worker threads for the per-candidate Steps II-III",
+        help="workers for the per-candidate Steps II-III",
+    )
+    enrich.add_argument(
+        "--worker-backend", choices=("thread", "process"), default="thread",
+        help="worker pool kind (process escapes the GIL)",
+    )
+    enrich.add_argument(
+        "--community-backend", choices=COMMUNITY_BACKEND_NAMES,
+        default=COMMUNITY_BACKEND_NAMES[0],
+        help="Step II community detection (louvain = native fast path)",
+    )
+    enrich.add_argument(
+        "--no-feature-cache", action="store_true",
+        help="disable Step II feature-vector memoisation",
     )
     enrich.add_argument(
         "--timings", action="store_true",

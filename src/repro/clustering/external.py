@@ -14,8 +14,6 @@ internal index.
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
 from repro.errors import ClusteringError

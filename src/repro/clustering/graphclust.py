@@ -1,9 +1,10 @@
 """Graph-partitioning clustering: CLUTO's ``graph`` method.
 
 Builds the object nearest-neighbour similarity graph and partitions it:
-communities are found with greedy modularity maximisation, then adjusted
-to exactly k clusters — extra communities are merged by highest
-inter-community average similarity, missing ones are created by
+communities are found by modularity maximisation (the shared
+:mod:`repro.clustering.community` backend, native Louvain by default),
+then adjusted to exactly k clusters — extra communities are merged by
+highest inter-community average similarity, missing ones are created by
 bisecting the loosest cluster.
 """
 
@@ -12,6 +13,7 @@ from __future__ import annotations
 import networkx as nx
 import numpy as np
 
+from repro.clustering.community import CommunityBackend, get_community_backend
 from repro.clustering.kmeans import spherical_kmeans
 from repro.clustering.model import ClusterSolution, relabel_contiguous
 from repro.clustering.similarity import cosine_similarity_matrix
@@ -53,6 +55,7 @@ def graph_cluster(
     *,
     n_neighbors: int = 10,
     seed: int | np.random.Generator | None = None,
+    backend: str | CommunityBackend = "louvain",
 ) -> ClusterSolution:
     """Cluster rows of ``matrix`` into ``k`` groups via graph partitioning.
 
@@ -65,7 +68,11 @@ def graph_cluster(
     n_neighbors:
         Nearest-neighbour count of the similarity graph.
     seed:
-        RNG seed (used only when clusters must be split to reach k).
+        RNG seed (community detection when the backend is seedable, and
+        splitting clusters to reach k).
+    backend:
+        Community-detection backend (``"louvain"`` native default,
+        ``"greedy"`` networkx fallback).
     """
     sims = cosine_similarity_matrix(matrix)
     n = sims.shape[0]
@@ -74,10 +81,8 @@ def graph_cluster(
     rng = ensure_rng(seed)
 
     graph = build_knn_graph(sims, n_neighbors=min(n_neighbors, n - 1))
-    communities = list(
-        nx.algorithms.community.greedy_modularity_communities(
-            graph, weight="weight"
-        )
+    communities = get_community_backend(backend).communities(
+        graph, weight="weight", seed=rng
     )
     labels = np.zeros(n, dtype=np.int64)
     for cid, community in enumerate(communities):

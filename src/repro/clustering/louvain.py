@@ -1,0 +1,311 @@
+"""Native Louvain community detection on CSR adjacency arrays.
+
+The workflow's Step II graph features and the CLUTO-style ``graph``
+clustering both need modularity communities.  networkx's
+``greedy_modularity_communities`` is correct but dominated by its
+pure-Python priority queue — on the pipeline's per-term context graphs
+it accounts for ~85% of training wall time.  This module implements the
+Louvain method (Blondel et al. 2008) directly on flat numpy CSR arrays:
+
+* :class:`CSRGraph` — an undirected weighted graph as ``indptr`` /
+  ``indices`` / ``weights`` arrays (each off-diagonal edge stored in
+  both directions; a self-loop stored once with its full doubled
+  strength contribution);
+* :func:`louvain_labels` — the two-phase local-move + aggregation
+  optimiser, deterministic for a fixed ``seed`` (node visit order is a
+  seeded permutation, ties keep the incumbent community);
+* :func:`modularity_from_labels` — the Newman-Girvan modularity of a
+  labelling, matching ``networkx.algorithms.community.modularity``.
+
+The optimiser is exact about bookkeeping (community strengths are
+updated incrementally) and typically converges in a handful of sweeps,
+making it orders of magnitude faster than the greedy agglomerative
+alternative on the few-hundred-node graphs the pipeline produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ClusteringError
+from repro.utils.rng import ensure_rng
+
+#: Minimum modularity gain for a node move to be accepted.
+DEFAULT_MIN_GAIN = 1e-12
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """An undirected weighted graph in CSR form.
+
+    Attributes
+    ----------
+    indptr:
+        (n + 1,) row pointers into ``indices`` / ``weights``.
+    indices:
+        Column index of each stored entry.  Every undirected edge
+        ``{i, j}`` with ``i != j`` is stored twice (once per direction);
+        a self-loop is stored once, with a weight that already includes
+        its doubled contribution to the node strength (matching the
+        networkx degree convention).
+    weights:
+        Weight of each stored entry, aligned with ``indices``.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    weights: np.ndarray
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes."""
+        return int(self.indptr.shape[0] - 1)
+
+    def strengths(self) -> np.ndarray:
+        """Weighted degree of every node (self-loops counted twice)."""
+        rows = np.repeat(
+            np.arange(self.n_nodes, dtype=np.int64), np.diff(self.indptr)
+        )
+        return np.bincount(
+            rows, weights=self.weights, minlength=self.n_nodes
+        )
+
+    def total_weight(self) -> float:
+        """Total edge weight ``2m`` (the sum of all strengths)."""
+        return float(self.weights.sum())
+
+    @classmethod
+    def from_edges(
+        cls,
+        n_nodes: int,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        weights: np.ndarray,
+    ) -> "CSRGraph":
+        """Build from unique undirected edges ``(rows[k], cols[k])``.
+
+        Each pair must appear once; both directions are materialised
+        here.  Self-loops (``rows[k] == cols[k]``) are stored once with
+        their weight doubled, so strengths follow the degree convention.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.float64)
+        if not (rows.shape == cols.shape == weights.shape):
+            raise ClusteringError("rows, cols, and weights must be aligned")
+        loop = rows == cols
+        src = np.concatenate([rows, cols[~loop]])
+        dst = np.concatenate([cols, rows[~loop]])
+        w = np.concatenate(
+            [np.where(loop, 2.0 * weights, weights), weights[~loop]]
+        )
+        order = np.lexsort((dst, src))
+        src, dst, w = src[order], dst[order], w[order]
+        indptr = np.zeros(n_nodes + 1, dtype=np.int64)
+        np.add.at(indptr, src + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(indptr=indptr, indices=dst, weights=w)
+
+    @classmethod
+    def from_networkx(cls, graph, weight: str = "weight") -> "CSRGraph":
+        """Build from a networkx graph, with nodes in ``graph.nodes`` order."""
+        index = {node: i for i, node in enumerate(graph.nodes())}
+        n_edges = graph.number_of_edges()
+        rows = np.empty(n_edges, dtype=np.int64)
+        cols = np.empty(n_edges, dtype=np.int64)
+        weights = np.empty(n_edges, dtype=np.float64)
+        for k, (u, v, w) in enumerate(graph.edges(data=weight, default=1.0)):
+            rows[k] = index[u]
+            cols[k] = index[v]
+            weights[k] = float(w)
+        return cls.from_edges(len(index), rows, cols, weights)
+
+
+def _relabel_first_seen(labels: np.ndarray) -> np.ndarray:
+    """Relabel to 0..k-1 in order of first appearance (deterministic)."""
+    mapping: dict[int, int] = {}
+    out = np.empty_like(labels)
+    for i, label in enumerate(labels):
+        label = int(label)
+        if label not in mapping:
+            mapping[label] = len(mapping)
+        out[i] = mapping[label]
+    return out
+
+
+def _local_moves(
+    graph: CSRGraph,
+    order: np.ndarray,
+    *,
+    resolution: float,
+    min_gain: float,
+    max_sweeps: int,
+) -> tuple[np.ndarray, bool]:
+    """Phase 1: greedy node moves until no move improves modularity.
+
+    The loop runs on plain Python lists — element access on numpy
+    arrays boxes a scalar per read, which dominates at these graph
+    sizes (a few hundred nodes, degree tens).
+    """
+    indptr = graph.indptr.tolist()
+    indices = graph.indices.tolist()
+    weights = graph.weights.tolist()
+    strengths = graph.strengths().tolist()
+    two_m = graph.total_weight()
+    labels = list(range(graph.n_nodes))
+    comm_tot = strengths.copy()
+    visit_order = [int(i) for i in order]
+    improved = False
+    for __ in range(max_sweeps):
+        n_moved = 0
+        for i in visit_order:
+            k_i = strengths[i]
+            current = labels[i]
+            # Weight from i to each neighbouring community (self-loops
+            # move with the node, so they cancel out of every gain).
+            neighbour_weight: dict[int, float] = {}
+            get_weight = neighbour_weight.get
+            for e in range(indptr[i], indptr[i + 1]):
+                j = indices[e]
+                if j == i:
+                    continue
+                c = labels[j]
+                neighbour_weight[c] = get_weight(c, 0.0) + weights[e]
+            comm_tot[current] -= k_i
+            scale = resolution * k_i / two_m
+            best_comm = current
+            best_gain = get_weight(current, 0.0) - scale * comm_tot[current]
+            for c, w in neighbour_weight.items():
+                if c == current:
+                    continue
+                gain = w - scale * comm_tot[c]
+                if gain > best_gain + min_gain:
+                    best_comm, best_gain = c, gain
+            comm_tot[best_comm] += k_i
+            if best_comm != current:
+                labels[i] = best_comm
+                n_moved += 1
+        if n_moved == 0:
+            break
+        improved = True
+    return np.asarray(labels, dtype=np.int64), improved
+
+
+def _aggregate(graph: CSRGraph, labels: np.ndarray) -> CSRGraph:
+    """Phase 2: one node per community, weights summed (loops doubled)."""
+    n_comms = int(labels.max()) + 1 if labels.size else 0
+    edge_weight: dict[tuple[int, int], float] = {}
+    indptr = graph.indptr.tolist()
+    indices = graph.indices.tolist()
+    weights = graph.weights.tolist()
+    label_list = labels.tolist()
+    for i in range(graph.n_nodes):
+        ci = label_list[i]
+        for e in range(indptr[i], indptr[i + 1]):
+            j = indices[e]
+            if j < i:
+                continue  # each undirected entry pair visited once
+            cj = label_list[j]
+            key = (ci, cj) if ci <= cj else (cj, ci)
+            if i == j:
+                # Stored once, already strength-doubled: carry as-is.
+                edge_weight[key] = edge_weight.get(key, 0.0) + weights[e]
+            elif ci == cj:
+                # Internal edge becomes self-loop mass (doubled).
+                edge_weight[key] = edge_weight.get(key, 0.0) + 2.0 * weights[e]
+            else:
+                edge_weight[key] = edge_weight.get(key, 0.0) + weights[e]
+    n_edges = len(edge_weight)
+    rows = np.empty(n_edges, dtype=np.int64)
+    cols = np.empty(n_edges, dtype=np.int64)
+    w = np.empty(n_edges, dtype=np.float64)
+    for k, ((ci, cj), value) in enumerate(sorted(edge_weight.items())):
+        rows[k], cols[k] = ci, cj
+        # from_edges doubles self-loops; ours are pre-doubled, so halve.
+        w[k] = value / 2.0 if ci == cj else value
+    return CSRGraph.from_edges(n_comms, rows, cols, w)
+
+
+def louvain_labels(
+    graph: CSRGraph,
+    *,
+    seed: int | np.random.Generator | None = 0,
+    resolution: float = 1.0,
+    min_gain: float = DEFAULT_MIN_GAIN,
+    max_sweeps: int = 100,
+    max_levels: int = 20,
+) -> np.ndarray:
+    """Community label per node via Louvain modularity optimisation.
+
+    Parameters
+    ----------
+    graph:
+        The CSR graph to partition.
+    seed:
+        Controls the node visit order (a seeded permutation per level);
+        a fixed seed makes the whole optimisation deterministic.
+    resolution:
+        The gamma of generalised modularity (1.0 = Newman-Girvan).
+    min_gain:
+        Moves must improve modularity by more than this to be accepted.
+    max_sweeps / max_levels:
+        Safety bounds on local-move sweeps per level and on aggregation
+        levels (converges far earlier in practice).
+    """
+    n = graph.n_nodes
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if graph.total_weight() <= 0.0:
+        return np.arange(n, dtype=np.int64)
+    rng = ensure_rng(seed)
+    labels = np.arange(n, dtype=np.int64)
+    level_graph = graph
+    for __ in range(max_levels):
+        order = rng.permutation(level_graph.n_nodes)
+        level_labels, improved = _local_moves(
+            level_graph,
+            order,
+            resolution=resolution,
+            min_gain=min_gain,
+            max_sweeps=max_sweeps,
+        )
+        if not improved:
+            break
+        level_labels = _relabel_first_seen(level_labels)
+        labels = level_labels[labels]
+        if int(level_labels.max()) + 1 == level_graph.n_nodes:
+            break  # no merge happened; a further level cannot help
+        level_graph = _aggregate(level_graph, level_labels)
+    return _relabel_first_seen(labels)
+
+
+def modularity_from_labels(
+    graph: CSRGraph,
+    labels: np.ndarray,
+    *,
+    resolution: float = 1.0,
+) -> float:
+    """Newman-Girvan modularity of ``labels`` (networkx-compatible)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.shape[0] != graph.n_nodes:
+        raise ClusteringError(
+            f"labels length {labels.shape[0]} != n_nodes {graph.n_nodes}"
+        )
+    two_m = graph.total_weight()
+    if two_m <= 0.0:
+        return 0.0
+    n_comms = int(labels.max()) + 1 if labels.size else 0
+    internal = np.zeros(n_comms, dtype=np.float64)
+    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+    for i in range(graph.n_nodes):
+        ci = int(labels[i])
+        for e in range(indptr[i], indptr[i + 1]):
+            if int(labels[int(indices[e])]) == ci:
+                internal[ci] += weights[e]
+    comm_tot = np.zeros(n_comms, dtype=np.float64)
+    np.add.at(comm_tot, labels, graph.strengths())
+    return float(
+        (internal / two_m - resolution * (comm_tot / two_m) ** 2).sum()
+    )

@@ -29,6 +29,7 @@ detected.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterable, Sequence
 
 from repro.corpus.corpus import Corpus, TermContext
@@ -72,8 +73,28 @@ class CorpusIndex:
                     (ordinal, position)
                 )
         self._n_tokens = sum(len(tokens) for tokens in self._doc_tokens)
+        self._fingerprint: str | None = None
 
     # -- corpus-level statistics --------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the indexed corpus (doc ids + tokens).
+
+        Two indexes over byte-identical corpora share a fingerprint;
+        any added, removed, reordered, or edited document changes it.
+        Used as the corpus component of feature-cache keys
+        (:mod:`repro.polysemy.cache`).  Computed once and cached (the
+        index is a snapshot, so the content cannot drift).
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha1()
+            for doc_id, tokens in zip(self._doc_ids, self._doc_tokens):
+                digest.update(doc_id.encode("utf-8"))
+                digest.update(b"\x00")
+                digest.update("\x1f".join(tokens).encode("utf-8"))
+                digest.update(b"\x01")
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def n_documents(self) -> int:
         """Number of indexed documents."""

@@ -9,8 +9,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.clustering.algorithms import cluster
 from repro.clustering.indexes import (
     INDEX_DIRECTIONS,

@@ -10,6 +10,7 @@ term's induced co-occurrence graph, and :class:`PolysemyDetector` wraps a
 :mod:`repro.ml` classifier over the assembled 23-dimensional vectors.
 """
 
+from repro.polysemy.cache import FeatureCache
 from repro.polysemy.dataset import (
     PolysemyDataset,
     build_entity_polysemy_dataset,
@@ -26,6 +27,7 @@ from repro.polysemy.features import (
 __all__ = [
     "ALL_FEATURE_NAMES",
     "DIRECT_FEATURE_NAMES",
+    "FeatureCache",
     "GRAPH_FEATURE_NAMES",
     "PolysemyDataset",
     "PolysemyDetector",

@@ -1,0 +1,112 @@
+"""Caching of per-term polysemy feature vectors.
+
+Step II featurises hundreds of terms per training run, and ablations or
+repeated ``enrich`` calls featurise the very same terms again.  The
+vectors are pure functions of (corpus contents, term, feature
+configuration), so :class:`FeatureCache` memoises them under the key
+
+    ``(corpus fingerprint, term, config fingerprint)``
+
+where the corpus fingerprint comes from
+:meth:`repro.corpus.index.CorpusIndex.fingerprint` (a content hash, so
+any corpus change invalidates every entry) and the config fingerprint
+must encode everything that shapes the vector: the extractor settings
+(:meth:`repro.polysemy.features.PolysemyFeatureExtractor.fingerprint`)
+plus the caller's context-retrieval caps.  Callers that retrieve
+contexts differently (different window or per-term cap) therefore never
+share entries.
+
+The cache is in-memory, thread-safe, and counts hits/misses so the
+workflow report can expose cache effectiveness
+(:attr:`repro.workflow.report.EnrichmentReport.cache`).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+#: A fully-qualified cache key: (corpus fp, term, config fp).
+CacheKey = tuple[str, str, str]
+
+
+class FeatureCache:
+    """In-memory memo of per-term feature vectors with hit/miss stats.
+
+    Example
+    -------
+    >>> cache = FeatureCache()
+    >>> key = FeatureCache.key("corpus-fp", "heart attack", "w=10")
+    >>> cache.lookup(key) is None
+    True
+    >>> cache.store(key, np.zeros(3))
+    >>> cache.lookup(key).shape
+    (3,)
+    >>> cache.stats["hits"], cache.stats["misses"]
+    (1, 1)
+    """
+
+    def __init__(self) -> None:
+        self._store: dict[CacheKey, np.ndarray] = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    @staticmethod
+    def key(
+        corpus_fingerprint: str, term: str, config_fingerprint: str
+    ) -> CacheKey:
+        """Assemble the canonical cache key."""
+        return (corpus_fingerprint, term, config_fingerprint)
+
+    def lookup(self, key: CacheKey, *, record: bool = True) -> np.ndarray | None:
+        """The cached vector for ``key`` (counted as a hit or a miss).
+
+        The returned array is shared storage — treat it as read-only.
+        Pass ``record=False`` to peek without touching the counters —
+        for callers that probe before knowing whether they will
+        featurise at all (they call :meth:`record_lookup` later for the
+        keys that mattered).
+        """
+        with self._lock:
+            vector = self._store.get(key)
+            if record:
+                if vector is None:
+                    self._misses += 1
+                else:
+                    self._hits += 1
+            return vector
+
+    def record_lookup(self, found: bool) -> None:
+        """Count one deferred lookup (see ``lookup(record=False)``)."""
+        with self._lock:
+            if found:
+                self._hits += 1
+            else:
+                self._misses += 1
+
+    def store(self, key: CacheKey, vector: np.ndarray) -> None:
+        """Memoise ``vector`` under ``key`` (overwrites silently)."""
+        with self._lock:
+            self._store[key] = vector
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """``{"hits", "misses", "entries"}`` counters since creation."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "entries": len(self._store),
+            }
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            self._store.clear()
+            self._hits = 0
+            self._misses = 0

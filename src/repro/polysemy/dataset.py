@@ -15,6 +15,7 @@ from repro.corpus.corpus import Corpus
 from repro.corpus.index import CorpusIndex
 from repro.errors import CorpusError, ValidationError
 from repro.ontology.model import Ontology
+from repro.polysemy.cache import FeatureCache
 from repro.polysemy.features import PolysemyFeatureExtractor
 
 
@@ -93,6 +94,7 @@ def build_polysemy_dataset(
     max_monosemous: int | None = None,
     seed: int | np.random.Generator | None = None,
     index: CorpusIndex | None = None,
+    cache: FeatureCache | None = None,
 ) -> PolysemyDataset:
     """Featurise every usable ontology term into a labelled dataset.
 
@@ -119,6 +121,10 @@ def build_polysemy_dataset(
         Optional prebuilt :class:`~repro.corpus.index.CorpusIndex` to
         retrieve occurrences through (defaults to the corpus's cached
         index).
+    cache:
+        Optional :class:`~repro.polysemy.cache.FeatureCache`; repeated
+        builds over the same corpus/extractor configuration then skip
+        featurisation entirely (ablations, repeated training runs).
     """
     extractor = extractor if extractor is not None else PolysemyFeatureExtractor()
     rng = np.random.default_rng(seed if not isinstance(seed, np.random.Generator) else None)
@@ -137,21 +143,36 @@ def build_polysemy_dataset(
             f"max_contexts ({max_contexts}) must be >= min_contexts "
             f"({min_contexts})"
         )
+    # The cache key must pin everything that shapes a vector: extractor
+    # settings plus this builder's own retrieval cap.
+    config_fp = (
+        f"{extractor.fingerprint()};dataset_max_contexts={max_contexts}"
+        if cache is not None
+        else ""
+    )
+    corpus_fp = index.fingerprint() if cache is not None else ""
     for term in ontology.terms():
         occurrences = records.get(term, [])
         if len(occurrences) < min_contexts:
             continue
-        doc_frequency = len({doc_id for doc_id, __ in occurrences})
-        if len(occurrences) > max_contexts:
-            # Evenly spaced deterministic subsample across the corpus.
-            step = len(occurrences) / max_contexts
-            occurrences = [
-                occurrences[int(i * step)] for i in range(max_contexts)
-            ]
-        contexts = [window_tokens for __, window_tokens in occurrences]
-        vector = extractor.features_from_contexts(
-            term, contexts, doc_frequency=doc_frequency
-        )
+        vector = None
+        if cache is not None:
+            cache_key = FeatureCache.key(corpus_fp, term, config_fp)
+            vector = cache.lookup(cache_key)
+        if vector is None:
+            doc_frequency = len({doc_id for doc_id, __ in occurrences})
+            if len(occurrences) > max_contexts:
+                # Evenly spaced deterministic subsample across the corpus.
+                step = len(occurrences) / max_contexts
+                occurrences = [
+                    occurrences[int(i * step)] for i in range(max_contexts)
+                ]
+            contexts = [window_tokens for __, window_tokens in occurrences]
+            vector = extractor.features_from_contexts(
+                term, contexts, doc_frequency=doc_frequency
+            )
+            if cache is not None:
+                cache.store(cache_key, vector)
         if ontology.is_polysemic(term):
             polysemic_rows.append((term, vector))
         else:

@@ -37,6 +37,13 @@ class PolysemyFeatureExtractor:
     feature_set:
         ``"all"`` (23), ``"direct"`` (11), or ``"graph"`` (12) — the A3
         ablation knob.
+    community_backend:
+        Community-detection backend for the graph features
+        (``"louvain"`` native default, ``"greedy"`` networkx fallback —
+        see :mod:`repro.clustering.community`).
+    community_seed:
+        Seed for seedable community backends (fixed by default so
+        repeated extraction is deterministic).
     """
 
     def __init__(
@@ -45,6 +52,8 @@ class PolysemyFeatureExtractor:
         window: int = 10,
         graph_window: int = 4,
         feature_set: str = "all",
+        community_backend: str = "louvain",
+        community_seed: int = 0,
     ) -> None:
         if feature_set not in ("all", "direct", "graph"):
             raise ValueError(
@@ -53,6 +62,22 @@ class PolysemyFeatureExtractor:
         self.window = window
         self.graph_window = graph_window
         self.feature_set = feature_set
+        self.community_backend = community_backend
+        self.community_seed = community_seed
+
+    def fingerprint(self) -> str:
+        """Stable string encoding of every vector-shaping setting.
+
+        The config component of feature-cache keys
+        (:mod:`repro.polysemy.cache`): two extractors with equal
+        fingerprints produce identical vectors from identical contexts.
+        """
+        return (
+            f"window={self.window};graph_window={self.graph_window};"
+            f"feature_set={self.feature_set};"
+            f"community_backend={self.community_backend};"
+            f"community_seed={self.community_seed}"
+        )
 
     @property
     def feature_names(self) -> tuple[str, ...]:
@@ -83,7 +108,13 @@ class PolysemyFeatureExtractor:
             )
         if self.feature_set in ("all", "graph"):
             graph = build_context_graph(contexts, window=self.graph_window)
-            parts.append(graph_features(graph))
+            parts.append(
+                graph_features(
+                    graph,
+                    backend=self.community_backend,
+                    seed=self.community_seed,
+                )
+            )
         return np.concatenate(parts)
 
     def features_from_corpus(

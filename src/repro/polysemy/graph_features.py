@@ -16,6 +16,11 @@ from collections.abc import Sequence
 
 import networkx as nx
 import numpy as np
+from scipy import sparse
+from scipy.sparse.csgraph import connected_components as _csgraph_components
+
+from repro.clustering.community import CommunityBackend, get_community_backend
+from repro.clustering.louvain import CSRGraph, modularity_from_labels
 
 #: Feature names in vector order.
 GRAPH_FEATURE_NAMES = (
@@ -79,36 +84,126 @@ def _entropy(values: np.ndarray) -> float:
     return entropy / max_entropy if max_entropy > 0 else 0.0
 
 
-def graph_features(graph: nx.Graph) -> np.ndarray:
-    """The 12-dimensional feature vector of a term's context graph."""
+def _binary_adjacency(csr: CSRGraph) -> sparse.csr_matrix:
+    """Unweighted scipy adjacency of ``csr``, self-loops dropped.
+
+    Triangle counts and connectivity follow the networkx convention of
+    ignoring self-loops and edge weights.
+    """
+    n = csr.n_nodes
+    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(csr.indptr))
+    keep = rows != csr.indices
+    return sparse.csr_matrix(
+        (
+            np.ones(int(keep.sum()), dtype=np.float64),
+            (rows[keep], csr.indices[keep]),
+        ),
+        shape=(n, n),
+    )
+
+
+def _clustering_and_transitivity(
+    adjacency: sparse.csr_matrix,
+) -> tuple[float, float]:
+    """(average clustering coefficient, transitivity) of a binary graph.
+
+    ``(A @ A) ∘ A`` row sums give each node's doubled triangle count —
+    the same quantity networkx's ``_triangles_and_degree_iter`` yields —
+    so both metrics come from one sparse matmul instead of a
+    per-node Python neighbourhood scan.
+    """
+    degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+    double_triangles = np.asarray(
+        (adjacency @ adjacency).multiply(adjacency).sum(axis=1)
+    ).ravel()
+    pairs = degrees * (degrees - 1.0)
+    coefficients = np.divide(
+        double_triangles,
+        pairs,
+        out=np.zeros_like(double_triangles),
+        where=pairs > 0,
+    )
+    avg_clustering = float(coefficients.mean())
+    total_pairs = float(pairs.sum())
+    total_triangles = float(double_triangles.sum())
+    transitivity = (
+        total_triangles / total_pairs if total_triangles > 0 else 0.0
+    )
+    return avg_clustering, transitivity
+
+
+def _community_labels(
+    graph: nx.Graph,
+    csr: CSRGraph,
+    backend: CommunityBackend,
+    seed: int | np.random.Generator | None,
+) -> np.ndarray:
+    """Community label per CSR node from whichever interface is fastest."""
+    labels_from_csr = getattr(backend, "labels_from_csr", None)
+    if labels_from_csr is not None:
+        return labels_from_csr(csr, seed=seed)
+    node_index = {node: i for i, node in enumerate(graph.nodes())}
+    labels = np.empty(csr.n_nodes, dtype=np.int64)
+    communities = backend.communities(graph, weight="weight", seed=seed)
+    for cid, community in enumerate(communities):
+        for node in community:
+            labels[node_index[node]] = cid
+    return labels
+
+
+def graph_features(
+    graph: nx.Graph,
+    *,
+    backend: str | CommunityBackend = "louvain",
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """The 12-dimensional feature vector of a term's context graph.
+
+    Every metric is computed natively on the graph's CSR adjacency
+    (sparse matmul triangles, union-find components, Louvain
+    communities) — networkx is only the input container.
+
+    Parameters
+    ----------
+    backend:
+        Community-detection backend for the three community features
+        (see :mod:`repro.clustering.community`); ``"louvain"`` is the
+        fast native default, ``"greedy"`` the networkx parity fallback.
+    seed:
+        Seed for seedable backends (makes ``"louvain"`` deterministic).
+    """
     n_nodes = graph.number_of_nodes()
     n_edges = graph.number_of_edges()
     if n_nodes == 0:
         return np.zeros(len(GRAPH_FEATURE_NAMES), dtype=np.float64)
 
+    csr = CSRGraph.from_networkx(graph, weight="weight")
+    adjacency = _binary_adjacency(csr)
     degrees = np.array([d for __, d in graph.degree()], dtype=np.float64)
     density = nx.density(graph) if n_nodes > 1 else 0.0
     mean_degree = float(degrees.mean())
     degree_entropy = _entropy(degrees)
-    avg_clustering = nx.average_clustering(graph) if n_nodes > 1 else 0.0
-    transitivity = nx.transitivity(graph) if n_nodes > 2 else 0.0
+    if n_nodes > 1:
+        avg_clustering, transitivity = _clustering_and_transitivity(adjacency)
+    else:
+        avg_clustering, transitivity = 0.0, 0.0
+    if n_nodes <= 2:
+        transitivity = 0.0
 
-    components = list(nx.connected_components(graph))
-    n_components = len(components)
-    largest_fraction = max(len(c) for c in components) / n_nodes
+    n_components, component_labels = _csgraph_components(
+        adjacency, directed=False
+    )
+    component_sizes = np.bincount(component_labels, minlength=n_components)
+    largest_fraction = float(component_sizes.max()) / n_nodes
 
     if n_edges > 0:
-        communities = list(
-            nx.algorithms.community.greedy_modularity_communities(
-                graph, weight="weight"
-            )
+        labels = _community_labels(
+            graph, csr, get_community_backend(backend), seed
         )
-        n_communities = len(communities)
-        modularity = nx.algorithms.community.modularity(
-            graph, communities, weight="weight"
-        )
-        community_sizes = np.array([len(c) for c in communities], dtype=np.float64)
-        community_entropy = _entropy(community_sizes)
+        n_communities = int(labels.max()) + 1
+        modularity = modularity_from_labels(csr, labels)
+        community_sizes = np.bincount(labels, minlength=n_communities)
+        community_entropy = _entropy(community_sizes.astype(np.float64))
     else:
         n_communities = n_components
         modularity = 0.0

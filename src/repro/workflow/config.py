@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ValidationError
 
@@ -45,8 +45,20 @@ class EnrichmentConfig:
     batch_size:
         Candidates handed to a worker per task in Steps II–III.
     n_workers:
-        Worker threads for the per-candidate work of Steps II–III
+        Workers for the per-candidate work of Steps II–III
         (1 = sequential; results are identical either way).
+    worker_backend:
+        ``"thread"`` (default) or ``"process"``.  The per-candidate work
+        is pure-Python-heavy, so a process pool escapes the GIL for real
+        parallelism; results are identical across backends.
+    community_backend:
+        Community detection used by the Step II graph features:
+        ``"louvain"`` (native CSR optimiser, default) or ``"greedy"``
+        (networkx fallback — see :mod:`repro.clustering.community`).
+    feature_cache:
+        Memoise per-term feature vectors across training runs and
+        repeated ``enrich`` calls (keyed by corpus fingerprint, term,
+        and feature configuration; see :mod:`repro.polysemy.cache`).
     """
 
     language: str = "en"
@@ -66,6 +78,9 @@ class EnrichmentConfig:
     skip_known_terms: bool = True
     batch_size: int = 8
     n_workers: int = 1
+    worker_backend: str = "thread"
+    community_backend: str = "louvain"
+    feature_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.n_candidates < 1:
@@ -92,4 +107,16 @@ class EnrichmentConfig:
         if self.n_workers < 1:
             raise ValidationError(
                 f"n_workers must be >= 1, got {self.n_workers}"
+            )
+        if self.worker_backend not in ("thread", "process"):
+            raise ValidationError(
+                f"worker_backend must be thread|process, "
+                f"got {self.worker_backend!r}"
+            )
+        from repro.clustering.community import COMMUNITY_BACKENDS
+
+        if self.community_backend not in COMMUNITY_BACKENDS:
+            raise ValidationError(
+                f"community_backend must be one of "
+                f"{sorted(COMMUNITY_BACKENDS)}, got {self.community_backend!r}"
             )

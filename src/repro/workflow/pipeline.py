@@ -23,14 +23,29 @@ are recorded in ``report.timings``.
 
 The per-candidate work of Steps II–III is independent across candidates,
 so :class:`EnrichmentConfig`'s ``n_workers``/``batch_size`` knobs can
-fan it out over a thread pool; the default (``n_workers=1``) runs
-sequentially and both modes produce identical reports.
+fan it out over a worker pool; the default (``n_workers=1``) runs
+sequentially and every mode produces identical reports.  The
+``worker_backend`` knob picks the pool: ``"thread"`` (shared memory,
+mutates work items in place) or ``"process"`` (a
+``concurrent.futures.ProcessPoolExecutor`` escaping the GIL — the
+per-candidate callables are picklable :class:`_DetectProcessor` /
+:class:`_InduceProcessor` objects shipped once per worker, and the
+mutated work items are shipped back and merged into the originals).
+
+Step II featurisation is memoised in a
+:class:`~repro.polysemy.cache.FeatureCache` keyed by (corpus
+fingerprint, term, config fingerprint), so repeated training runs and
+``enrich`` calls skip recomputation; hit/miss counters surface in
+:attr:`EnrichmentReport.cache`.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field, fields
+
+import numpy as np
 
 from repro.corpus.corpus import Corpus
 from repro.corpus.index import CorpusIndex
@@ -38,6 +53,7 @@ from repro.errors import LinkageError
 from repro.extraction.extractor import BioTexExtractor, RankedTerm
 from repro.linkage.linker import SemanticLinker
 from repro.ontology.model import Ontology
+from repro.polysemy.cache import FeatureCache
 from repro.polysemy.dataset import build_polysemy_dataset
 from repro.polysemy.detector import PolysemyDetector
 from repro.polysemy.features import PolysemyFeatureExtractor
@@ -65,12 +81,18 @@ class CandidateWork:
         was skipped.
     doc_frequency:
         Distinct documents the candidate occurs in.
+    features:
+        The Step II feature vector (pre-filled from the
+        :class:`~repro.polysemy.cache.FeatureCache` on a hit, computed
+        by :class:`DetectStage` otherwise; ``None`` when Step II never
+        featurised the candidate).
     """
 
     candidate: RankedTerm
     report: TermReport
     contexts: list[tuple[str, ...]] | None = None
     doc_frequency: int = 0
+    features: np.ndarray | None = None
 
     @property
     def active(self) -> bool:
@@ -106,22 +128,77 @@ class PipelineContext:
     work: list[CandidateWork] = field(default_factory=list)
 
 
-def _for_each_candidate(fn, items, *, n_workers: int, batch_size: int) -> None:
-    """Apply ``fn`` to every work item, optionally over a thread pool.
+def _merge_work(target: CandidateWork, source: CandidateWork) -> None:
+    """Copy a worker-mutated clone's results back into the original.
+
+    Process workers operate on pickled copies, so the parent's report
+    rows (already registered in ``ctx.report.terms``) must absorb the
+    clone's field values rather than be replaced.
+    """
+    for report_field in fields(TermReport):
+        setattr(
+            target.report,
+            report_field.name,
+            getattr(source.report, report_field.name),
+        )
+    target.contexts = source.contexts
+    target.doc_frequency = source.doc_frequency
+    target.features = source.features
+
+
+# The per-worker processor shipped once per process via the pool
+# initializer (cheaper than pickling it with every batch — it carries
+# the corpus index).
+_WORKER_PROCESSOR = None
+
+
+def _init_worker_processor(processor) -> None:
+    global _WORKER_PROCESSOR
+    _WORKER_PROCESSOR = processor
+
+
+def _run_worker_batch(batch: list[CandidateWork]) -> list[CandidateWork]:
+    """Process one pickled batch in a pool worker and ship it back."""
+    for item in batch:
+        _WORKER_PROCESSOR(item)
+    return batch
+
+
+def _for_each_candidate(
+    fn,
+    items: list[CandidateWork],
+    *,
+    n_workers: int,
+    batch_size: int,
+    backend: str = "thread",
+) -> None:
+    """Apply ``fn`` to every work item, optionally over a worker pool.
 
     Items are independent, so execution order cannot change results;
-    each worker processes ``batch_size`` items per task.
+    each worker processes ``batch_size`` items per task.  ``backend``
+    picks the pool for ``n_workers > 1``: ``"thread"`` mutates the items
+    in place, ``"process"`` requires ``fn`` and the items to be
+    picklable and merges the returned copies back into the originals.
     """
     if n_workers <= 1 or len(items) <= 1:
         for item in items:
             fn(item)
         return
-    from concurrent.futures import ThreadPoolExecutor
-
     batches = [
         items[start : start + batch_size]
         for start in range(0, len(items), batch_size)
     ]
+    if backend == "process":
+        with ProcessPoolExecutor(
+            max_workers=n_workers,
+            initializer=_init_worker_processor,
+            initargs=(fn,),
+        ) as pool:
+            done = list(pool.map(_run_worker_batch, batches))
+        for batch, done_batch in zip(batches, done):
+            for item, result in zip(batch, done_batch):
+                _merge_work(item, result)
+        return
 
     def run_batch(batch: list[CandidateWork]) -> None:
         for item in batch:
@@ -162,6 +239,76 @@ class ExtractStage:
             )
 
 
+class _DetectProcessor:
+    """Picklable Step II per-candidate work: materialise + classify.
+
+    Instances carry everything a pool worker needs (the corpus index,
+    the retrieval caps, the feature extractor, and the trained
+    detector), so one pickled copy per worker can process any batch.
+    """
+
+    def __init__(
+        self,
+        *,
+        index: CorpusIndex,
+        min_contexts: int,
+        max_contexts: int,
+        window: int,
+        features: PolysemyFeatureExtractor,
+        detector: PolysemyDetector,
+        trained: bool,
+    ) -> None:
+        self._index = index
+        self._min_contexts = min_contexts
+        self._max_contexts = max_contexts
+        self._window = window
+        self._features = features
+        self._detector = detector
+        self._trained = trained
+
+    def __call__(self, item: CandidateWork) -> None:
+        self._materialise(item)
+        self._classify(item)
+
+    def _materialise(self, item: CandidateWork) -> None:
+        occurrences = self._index.contexts_for_term(
+            item.candidate.term, window=self._window
+        )
+        item.report.n_contexts = len(occurrences)
+        if len(occurrences) < self._min_contexts:
+            item.report.skipped_reason = (
+                f"only {len(occurrences)} contexts "
+                f"(< {self._min_contexts})"
+            )
+            return
+        # Cap very frequent candidates: the per-candidate clustering
+        # and graph features are superlinear in the context count.
+        cap = self._max_contexts
+        if len(occurrences) > cap:
+            step = len(occurrences) / cap
+            occurrences = [occurrences[int(i * step)] for i in range(cap)]
+        # Document frequency over the kept occurrences (they are what the
+        # feature vector sees).
+        item.doc_frequency = len({c.doc_id for c in occurrences})
+        item.contexts = [ctx_.tokens for ctx_ in occurrences]
+
+    def _classify(self, item: CandidateWork) -> None:
+        if item.contexts is None:
+            return
+        if not self._trained:
+            item.report.polysemic = False
+            return
+        if item.features is None:
+            item.features = self._features.features_from_contexts(
+                item.candidate.term,
+                item.contexts,
+                doc_frequency=item.doc_frequency,
+            )
+        item.report.polysemic = bool(
+            self._detector.predict_features(item.features[None, :])[0] == 1
+        )
+
+
 class DetectStage:
     """Step II: materialise contexts and classify polysemy per candidate."""
 
@@ -173,61 +320,80 @@ class DetectStage:
         feature_extractor: PolysemyFeatureExtractor,
         *,
         trained: bool,
+        cache: FeatureCache | None = None,
     ) -> None:
         self._detector = detector
         self._features = feature_extractor
         self._trained = trained
-
-    def _materialise(self, ctx: PipelineContext, item: CandidateWork) -> None:
-        cfg = ctx.config
-        occurrences = ctx.index.contexts_for_term(
-            item.candidate.term, window=cfg.context_window
-        )
-        item.report.n_contexts = len(occurrences)
-        if len(occurrences) < cfg.min_contexts:
-            item.report.skipped_reason = (
-                f"only {len(occurrences)} contexts "
-                f"(< {cfg.min_contexts})"
-            )
-            return
-        # Cap very frequent candidates: the per-candidate clustering
-        # and graph features are superlinear in the context count.
-        cap = cfg.max_contexts_per_term
-        if len(occurrences) > cap:
-            step = len(occurrences) / cap
-            occurrences = [occurrences[int(i * step)] for i in range(cap)]
-        # Document frequency over the kept occurrences (they are what the
-        # feature vector sees).
-        item.doc_frequency = len({c.doc_id for c in occurrences})
-        item.contexts = [ctx_.tokens for ctx_ in occurrences]
-
-    def _detect(self, item: CandidateWork) -> None:
-        if item.contexts is None:
-            return
-        if not self._trained:
-            item.report.polysemic = False
-            return
-        vector = self._features.features_from_contexts(
-            item.candidate.term,
-            item.contexts,
-            doc_frequency=item.doc_frequency,
-        )
-        item.report.polysemic = bool(
-            self._detector.predict_features(vector[None, :])[0] == 1
-        )
+        self._cache = cache
 
     def run(self, ctx: PipelineContext) -> None:
         cfg = ctx.config
-
-        def process(item: CandidateWork) -> None:
-            self._materialise(ctx, item)
-            self._detect(item)
-
+        processor = _DetectProcessor(
+            index=ctx.index,
+            min_contexts=cfg.min_contexts,
+            max_contexts=cfg.max_contexts_per_term,
+            window=cfg.context_window,
+            features=self._features,
+            detector=self._detector,
+            trained=self._trained,
+        )
+        # Featurisation only happens with a trained detector, so only
+        # then do cache lookups make sense (misses would never be
+        # back-filled otherwise).
+        cache = self._cache if self._trained else None
+        keys: dict[int, tuple[str, str, str]] = {}
+        prefilled: set[int] = set()
+        if cache is not None:
+            corpus_fp = ctx.index.fingerprint()
+            # Pin everything that shapes the vector: the extractor
+            # settings plus this stage's own retrieval caps.
+            config_fp = (
+                f"{self._features.fingerprint()};"
+                f"detect_window={cfg.context_window};"
+                f"detect_cap={cfg.max_contexts_per_term}"
+            )
+            for item in ctx.work:
+                key = FeatureCache.key(
+                    corpus_fp, item.candidate.term, config_fp
+                )
+                keys[id(item)] = key
+                # Peek without counting — whether this probe was a real
+                # hit or miss is only known after materialisation
+                # (skipped candidates are never featurised).
+                item.features = cache.lookup(key, record=False)
+                if item.features is not None:
+                    prefilled.add(id(item))
         _for_each_candidate(
-            process,
+            processor,
             ctx.work,
             n_workers=cfg.n_workers,
             batch_size=cfg.batch_size,
+            backend=cfg.worker_backend,
+        )
+        if cache is not None:
+            for item in ctx.work:
+                if item.contexts is None:
+                    continue  # skipped before featurisation: no lookup
+                hit = id(item) in prefilled
+                cache.record_lookup(hit)
+                if not hit and item.features is not None:
+                    cache.store(keys[id(item)], item.features)
+
+
+class _InduceProcessor:
+    """Picklable Step III per-candidate work: sense induction."""
+
+    def __init__(self, inducer: SenseInducer) -> None:
+        self._inducer = inducer
+
+    def __call__(self, item: CandidateWork) -> None:
+        if item.contexts is None:
+            return
+        item.report.senses = self._inducer.induce(
+            item.candidate.term,
+            item.contexts,
+            polysemic=bool(item.report.polysemic),
         )
 
 
@@ -241,21 +407,12 @@ class InduceStage:
 
     def run(self, ctx: PipelineContext) -> None:
         cfg = ctx.config
-
-        def process(item: CandidateWork) -> None:
-            if item.contexts is None:
-                return
-            item.report.senses = self._inducer.induce(
-                item.candidate.term,
-                item.contexts,
-                polysemic=bool(item.report.polysemic),
-            )
-
         _for_each_candidate(
-            process,
+            _InduceProcessor(self._inducer),
             ctx.work,
             n_workers=cfg.n_workers,
             batch_size=cfg.batch_size,
+            backend=cfg.worker_backend,
         )
 
 
@@ -339,8 +496,11 @@ class OntologyEnricher:
             stop_words=stop_words,
         )
         self._feature_extractor = PolysemyFeatureExtractor(
-            window=cfg.context_window
+            window=cfg.context_window,
+            community_backend=cfg.community_backend,
+            community_seed=cfg.seed,
         )
+        self._feature_cache = FeatureCache() if cfg.feature_cache else None
         self._detector = PolysemyDetector(
             cfg.polysemy_classifier,
             extractor=self._feature_extractor,
@@ -370,6 +530,7 @@ class OntologyEnricher:
             min_contexts=self.config.min_contexts,
             seed=self.config.seed,
             index=index,
+            cache=self._feature_cache,
         )
         self._detector.fit(dataset)
         self._detector_trained = True
@@ -388,6 +549,7 @@ class OntologyEnricher:
                 self._detector,
                 self._feature_extractor,
                 trained=self._detector_trained,
+                cache=self._feature_cache,
             ),
             InduceStage(self._inducer),
             LinkStage(),
@@ -401,8 +563,16 @@ class OntologyEnricher:
         Pass a prebuilt ``index`` to amortise the corpus index across
         repeated ``enrich`` calls on the same corpus (it is also cached
         on the corpus itself, so the second call is cheap either way).
+        The feature cache (when enabled) also persists on the enricher,
+        so repeated calls skip Step II featurisation for unchanged
+        corpora.
         """
         timings: dict[str, float] = {}
+        cache_before = (
+            self._feature_cache.stats
+            if self._feature_cache is not None
+            else None
+        )
         started = time.perf_counter()
         if index is None:
             index = corpus.index()
@@ -430,4 +600,14 @@ class OntologyEnricher:
             stage.run(ctx)
             timings[stage.name] = time.perf_counter() - stage_started
         ctx.report.timings = timings
+        if self._feature_cache is not None:
+            # Hits/misses are this call's delta (the cache itself is
+            # cumulative across the enricher's lifetime); entries is the
+            # absolute cache size.
+            after = self._feature_cache.stats
+            ctx.report.cache = {
+                "hits": after["hits"] - cache_before["hits"],
+                "misses": after["misses"] - cache_before["misses"],
+                "entries": after["entries"],
+            }
         return ctx.report

@@ -61,13 +61,20 @@ class EnrichmentReport:
     terms:
         One report per examined candidate, in extraction-rank order.
     timings:
-        Wall-clock seconds per pipeline stage (``index``, ``extract``,
-        ``detect``, ``induce``, ``link``), filled in by
+        Wall-clock seconds per pipeline stage (``index``, ``train``,
+        ``extract``, ``detect``, ``induce``, ``link``), filled in by
         :meth:`repro.workflow.pipeline.OntologyEnricher.enrich`.
+    cache:
+        Feature-cache effectiveness counters (see
+        :class:`repro.polysemy.cache.FeatureCache`): ``hits`` and
+        ``misses`` are this ``enrich`` call's delta, ``entries`` the
+        absolute cache size after the call.  Empty when the cache is
+        disabled.
     """
 
     terms: list[TermReport] = field(default_factory=list)
     timings: dict[str, float] = field(default_factory=dict)
+    cache: dict[str, int] = field(default_factory=dict)
 
     @property
     def n_candidates(self) -> int:

@@ -225,3 +225,64 @@ class TestTimingsAndConfig:
     def test_invalid_batching_rejected(self, kwargs):
         with pytest.raises(ValidationError):
             EnrichmentConfig(**kwargs)
+
+
+class TestWorkerBackends:
+    def test_process_pool_matches_sequential(self, scenario):
+        sequential = enrich(scenario)
+        process = enrich(
+            scenario, n_workers=2, worker_backend="process", batch_size=2
+        )
+        assert report_fingerprint(sequential) == report_fingerprint(process)
+
+    def test_process_pool_matches_threads(self, scenario):
+        threaded = enrich(scenario, n_workers=2, worker_backend="thread")
+        process = enrich(scenario, n_workers=2, worker_backend="process")
+        assert report_fingerprint(threaded) == report_fingerprint(process)
+
+    def test_invalid_worker_backend_rejected(self):
+        with pytest.raises(ValidationError, match="worker_backend"):
+            EnrichmentConfig(worker_backend="greenlet")
+
+
+class TestCommunityBackendKnob:
+    def test_louvain_and_greedy_agree_on_labels(self, scenario):
+        louvain = enrich(scenario)
+        greedy = enrich(scenario, community_backend="greedy")
+        assert [t.polysemic for t in louvain.terms] == [
+            t.polysemic for t in greedy.terms
+        ]
+
+    def test_invalid_community_backend_rejected(self):
+        with pytest.raises(ValidationError, match="community_backend"):
+            EnrichmentConfig(community_backend="metis")
+
+
+class TestFeatureCacheWiring:
+    def test_report_exposes_cache_counters(self, scenario):
+        report = enrich(scenario)
+        assert set(report.cache) == {"hits", "misses", "entries"}
+        assert report.cache["misses"] > 0
+        assert report.cache["entries"] > 0
+
+    def test_cache_disabled_reports_empty(self, scenario):
+        report = enrich(scenario, feature_cache=False)
+        assert report.cache == {}
+
+    def test_repeated_enrich_hits_and_is_identical(self, scenario):
+        config = EnrichmentConfig(
+            n_candidates=6, min_contexts=3
+        )
+        enricher = OntologyEnricher(
+            scenario.ontology, config=config,
+            pos_lexicon=scenario.pos_lexicon,
+        )
+        first = enricher.enrich(scenario.corpus)
+        second = enricher.enrich(scenario.corpus)
+        assert second.cache["hits"] > first.cache["hits"]
+        assert report_fingerprint(first) == report_fingerprint(second)
+
+    def test_cache_does_not_change_the_report(self, scenario):
+        cached = enrich(scenario)
+        uncached = enrich(scenario, feature_cache=False)
+        assert report_fingerprint(cached) == report_fingerprint(uncached)
