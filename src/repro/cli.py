@@ -57,11 +57,14 @@ def _cmd_enrich(args: argparse.Namespace) -> int:
         n_workers=args.workers,
         worker_backend=args.worker_backend,
         community_backend=args.community_backend,
+        index_shards=args.index_shards,
         feature_cache=not args.no_feature_cache,
     )
     enricher = OntologyEnricher(ontology, config=config)
     report = enricher.enrich(corpus)
     print(report.to_table())
+    for warning in report.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
     if args.timings:
         print()
         print(
@@ -170,6 +173,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--community-backend", choices=COMMUNITY_BACKEND_NAMES,
         default=COMMUNITY_BACKEND_NAMES[0],
         help="Step II community detection (louvain = native fast path)",
+    )
+    enrich.add_argument(
+        "--index-shards", type=int, default=1,
+        help="corpus index partitions (>1 builds a sharded index; "
+        "results are identical across shard counts)",
     )
     enrich.add_argument(
         "--no-feature-cache", action="store_true",

@@ -7,8 +7,12 @@ sense induction, and semantic linkage agree on what a context is.
 
 Retrieval is served by a positional inverted index
 (:class:`repro.corpus.index.CorpusIndex`) built lazily on first use and
-cached until the corpus changes, so repeated term lookups cost postings
-traversal instead of full document scans.
+cached, so repeated term lookups cost postings traversal instead of full
+document scans.  :meth:`Corpus.add` patches the cached index in place
+(O(new tokens)) instead of discarding it, so a growing document stream
+never pays a full rebuild; pass ``n_shards`` to :meth:`Corpus.index` to
+partition the build across a
+:class:`~repro.corpus.index.ShardedCorpusIndex`.
 """
 
 from __future__ import annotations
@@ -21,7 +25,7 @@ from repro.corpus.document import Document
 from repro.errors import CorpusError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.corpus.index import CorpusIndex
+    from repro.corpus.index import CorpusIndex, ShardedCorpusIndex
 
 
 @dataclass(frozen=True)
@@ -59,17 +63,24 @@ class Corpus:
         }
         if len(self._by_id) != len(self._documents):
             raise CorpusError("duplicate document ids in corpus")
-        self._index: "CorpusIndex | None" = None
+        self._index: "CorpusIndex | ShardedCorpusIndex | None" = None
 
     # -- container basics ----------------------------------------------------
 
     def add(self, document: Document) -> None:
-        """Append ``document`` (ids must stay unique)."""
+        """Append ``document`` (ids must stay unique).
+
+        A cached index is patched in place
+        (:meth:`~repro.corpus.index.CorpusIndex.add_documents`) rather
+        than discarded, so adding a document costs O(its tokens), not a
+        full index rebuild.
+        """
         if document.doc_id in self._by_id:
             raise CorpusError(f"duplicate document id {document.doc_id!r}")
         self._documents.append(document)
         self._by_id[document.doc_id] = document
-        self._index = None  # the cached index no longer covers the corpus
+        if self._index is not None:
+            self._index.add_documents([document])
 
     def __len__(self) -> int:
         return len(self._documents)
@@ -105,16 +116,45 @@ class Corpus:
 
     # -- term occurrence retrieval ------------------------------------------
 
-    def index(self) -> "CorpusIndex":
+    def index(
+        self, *, n_shards: int | None = None, n_workers: int = 1
+    ) -> "CorpusIndex | ShardedCorpusIndex":
         """The corpus's positional index, built lazily and cached.
 
-        The cache is invalidated by :meth:`add`; mutating a
+        :meth:`add` extends the cached index in place; mutating a
         :class:`Document` in place is not detected.
+
+        Parameters
+        ----------
+        n_shards:
+            ``None`` (default) reuses whatever index is cached (building
+            a monolithic :class:`~repro.corpus.index.CorpusIndex` on
+            first use).  An explicit count requests a
+            :class:`~repro.corpus.index.ShardedCorpusIndex` with that
+            many partitions (1 = monolithic), rebuilding only when the
+            cached index's shard count differs.
+        n_workers:
+            Threads fanning out the shard builds (only used when a
+            sharded index is actually built).
         """
-        if self._index is None:
+        if n_shards is not None and n_shards < 1:
+            raise CorpusError(f"n_shards must be >= 1, got {n_shards}")
+        if self._index is not None and (
+            n_shards is None or self._index.n_shards == n_shards
+        ):
+            return self._index
+        if n_shards is None:
+            n_shards = 1
+        if n_shards == 1:
             from repro.corpus.index import CorpusIndex
 
             self._index = CorpusIndex(self)
+        else:
+            from repro.corpus.index import ShardedCorpusIndex
+
+            self._index = ShardedCorpusIndex(
+                self, n_shards=n_shards, n_workers=n_workers
+            )
         return self._index
 
     def contexts_for_term(

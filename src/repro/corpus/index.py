@@ -20,20 +20,41 @@ occurrence question from the postings:
 The index also caches each document's flattened token list, so the many
 consumers that iterate ``doc.tokens()`` (graph builders, vectorisers,
 extraction) can share :meth:`token_documents` instead of re-flattening.
+Tokens are normalised (lower-cased) at build time, so postings always
+match the lower-cased needles every lookup uses — a document constructed
+with mixed-case sentences is findable instead of silently invisible.
 
-The index is a snapshot: it reflects the corpus at build time.
-:meth:`repro.corpus.corpus.Corpus.index` rebuilds automatically when
-documents are added, but mutating a :class:`Document` in place is not
+The index reflects the corpus at its build point and grows with it:
+:meth:`add_documents` extends the postings, document tables, and content
+fingerprint in O(new tokens) instead of a full rebuild, and
+:meth:`repro.corpus.corpus.Corpus.add` patches the corpus's cached index
+through it.  Mutating a :class:`Document` in place is still not
 detected.
+
+For corpora large enough that a single build or posting traversal is the
+bottleneck, :class:`ShardedCorpusIndex` partitions the documents across
+N single-shard :class:`CorpusIndex` instances (contiguous document
+ranges, so global ordering is preserved) behind the very same query API
+with byte-identical results; shard builds can fan out over a thread
+pool.
 """
 
 from __future__ import annotations
 
 import hashlib
 from collections.abc import Iterable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING
 
-from repro.corpus.corpus import Corpus, TermContext
 from repro.errors import CorpusError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.corpus.document import Document
+
+from repro.corpus.corpus import TermContext
+
+#: Fingerprint of an index with no documents — the chain seed.
+EMPTY_FINGERPRINT = hashlib.sha1().hexdigest()
 
 
 def _as_needle(term: str | Sequence[str]) -> tuple[str, ...]:
@@ -43,16 +64,39 @@ def _as_needle(term: str | Sequence[str]) -> tuple[str, ...]:
     return tuple(t.lower() for t in term)
 
 
+def _extend_fingerprint(
+    fingerprint: str, doc_id: str, tokens: list[str]
+) -> str:
+    """Chain one document's content onto a running fingerprint.
+
+    The fingerprint is a per-document hash chain (each link hashes the
+    previous fingerprint plus the document's id and normalised tokens),
+    so appending a document is O(its tokens) — no replay of the whole
+    corpus — while any added, removed, reordered, or edited document
+    still changes the final value.  A fresh build and an incrementally
+    extended index over the same documents produce identical chains.
+    """
+    digest = hashlib.sha1()
+    digest.update(fingerprint.encode("ascii"))
+    digest.update(doc_id.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update("\x1f".join(tokens).encode("utf-8"))
+    digest.update(b"\x01")
+    return digest.hexdigest()
+
+
 class CorpusIndex:
-    """Positional inverted index over a :class:`Corpus`.
+    """Positional inverted index over a corpus (any Document iterable).
 
     Parameters
     ----------
-    corpus:
-        The corpus to index.  Built in one pass: O(total tokens).
+    documents:
+        The documents to index (e.g. a :class:`~repro.corpus.corpus.Corpus`).
+        Built in one pass: O(total tokens).
 
     Example
     -------
+    >>> from repro.corpus.corpus import Corpus
     >>> from repro.corpus.document import Document
     >>> corpus = Corpus([Document("d", [["corneal", "injury", "heals"]])])
     >>> index = CorpusIndex(corpus)
@@ -60,41 +104,85 @@ class CorpusIndex:
     1
     """
 
-    def __init__(self, corpus: Corpus) -> None:
+    def __init__(self, documents: "Iterable[Document]" = ()) -> None:
         self._doc_ids: list[str] = []
         self._doc_tokens: list[list[str]] = []
         self._postings: dict[str, list[tuple[int, int]]] = {}
-        for ordinal, doc in enumerate(corpus):
-            tokens = doc.tokens()
+        self._ordinals: dict[str, int] = {}
+        self._n_tokens = 0
+        self._fingerprint = EMPTY_FINGERPRINT
+        self.add_documents(documents)
+
+    # -- incremental growth --------------------------------------------------
+
+    def add_documents(self, documents: "Iterable[Document]") -> None:
+        """Extend the index with ``documents`` in O(their tokens).
+
+        Postings, document tables, and the content fingerprint are
+        patched in place — no rebuild — and the result is
+        indistinguishable from a fresh build over the full document
+        sequence (identical query answers and :meth:`fingerprint`).
+        Document ids must stay unique; a duplicate raises
+        :class:`~repro.errors.CorpusError` before any document of the
+        batch is applied.
+        """
+        documents = list(documents)
+        batch_ids = set()
+        for doc in documents:
+            if doc.doc_id in self._ordinals or doc.doc_id in batch_ids:
+                raise CorpusError(
+                    f"duplicate document id {doc.doc_id!r}"
+                )
+            batch_ids.add(doc.doc_id)
+        for doc in documents:
+            ordinal = len(self._doc_ids)
+            # Normalise at build time: every lookup lower-cases its
+            # needle, so postings must be lower-cased too or mixed-case
+            # documents silently return zero occurrences.
+            tokens = [token.lower() for token in doc.tokens()]
+            self._ordinals[doc.doc_id] = ordinal
             self._doc_ids.append(doc.doc_id)
             self._doc_tokens.append(tokens)
             for position, token in enumerate(tokens):
                 self._postings.setdefault(token, []).append(
                     (ordinal, position)
                 )
-        self._n_tokens = sum(len(tokens) for tokens in self._doc_tokens)
-        self._fingerprint: str | None = None
+            self._n_tokens += len(tokens)
+            self._fingerprint = _extend_fingerprint(
+                self._fingerprint, doc.doc_id, tokens
+            )
 
     # -- corpus-level statistics --------------------------------------------
 
     def fingerprint(self) -> str:
         """Stable content hash of the indexed corpus (doc ids + tokens).
 
-        Two indexes over byte-identical corpora share a fingerprint;
-        any added, removed, reordered, or edited document changes it.
-        Used as the corpus component of feature-cache keys
-        (:mod:`repro.polysemy.cache`).  Computed once and cached (the
-        index is a snapshot, so the content cannot drift).
+        Two indexes over byte-identical corpora share a fingerprint —
+        whether built fresh, extended through :meth:`add_documents`, or
+        sharded (:class:`ShardedCorpusIndex`); any added, removed,
+        reordered, or edited document changes it.  Used as the corpus
+        component of feature-cache keys (:mod:`repro.polysemy.cache`),
+        so an incremental update invalidates cache entries exactly like
+        a rebuild.  Maintained as a per-document hash chain, so it is
+        extended in O(new tokens) as documents are added.
         """
-        if self._fingerprint is None:
-            digest = hashlib.sha1()
-            for doc_id, tokens in zip(self._doc_ids, self._doc_tokens):
-                digest.update(doc_id.encode("utf-8"))
-                digest.update(b"\x00")
-                digest.update("\x1f".join(tokens).encode("utf-8"))
-                digest.update(b"\x01")
-            self._fingerprint = digest.hexdigest()
         return self._fingerprint
+
+    def extend_fingerprint(self, fingerprint: str) -> str:
+        """Chain this index's documents onto a caller-supplied prefix.
+
+        Lets :class:`ShardedCorpusIndex` compute the global (whole
+        corpus) fingerprint by threading one chain through its shards in
+        order.
+        """
+        for doc_id, tokens in zip(self._doc_ids, self._doc_tokens):
+            fingerprint = _extend_fingerprint(fingerprint, doc_id, tokens)
+        return fingerprint
+
+    @property
+    def n_shards(self) -> int:
+        """A monolithic index is its own single shard."""
+        return 1
 
     def n_documents(self) -> int:
         """Number of indexed documents."""
@@ -136,6 +224,7 @@ class CorpusIndex:
 
         Matching anchors on the phrase's rarest token, so lookup cost is
         proportional to that token's posting list, not the corpus.
+        Results are sorted ascending by (ordinal, start).
         """
         needle = _as_needle(term)
         if not needle:
@@ -281,3 +370,238 @@ class CorpusIndex:
                 )
             )
         return records
+
+
+class ShardedCorpusIndex:
+    """N single-shard :class:`CorpusIndex` partitions behind one query API.
+
+    Documents are partitioned into ``n_shards`` contiguous, near-even
+    ranges (shard *i* holds global ordinals ``[offsets[i],
+    offsets[i+1])``), so every per-document computation — greedy
+    matching, windows, longest-match arbitration — happens entirely
+    inside one shard and global answers are ordered concatenations of
+    shard answers.  All query methods return byte-identical results to a
+    monolithic :class:`CorpusIndex` over the same documents, including
+    :meth:`fingerprint`.
+
+    Shard builds are independent, so ``n_workers > 1`` fans them out
+    over a thread pool; :meth:`map_shards` exposes the same fan-out
+    shape for bulk queries.
+
+    Parameters
+    ----------
+    documents:
+        The documents to index (e.g. a :class:`~repro.corpus.corpus.Corpus`).
+    n_shards:
+        Number of partitions (>= 1).  Shards may be empty when there are
+        fewer documents than shards.
+    n_workers:
+        Threads for the shard builds (1 = sequential).
+
+    Example
+    -------
+    >>> from repro.corpus.corpus import Corpus
+    >>> from repro.corpus.document import Document
+    >>> corpus = Corpus([Document("d", [["corneal", "injury", "heals"]])])
+    >>> ShardedCorpusIndex(corpus, n_shards=2).term_frequency("corneal injury")
+    1
+    """
+
+    def __init__(
+        self,
+        documents: "Iterable[Document]" = (),
+        *,
+        n_shards: int = 2,
+        n_workers: int = 1,
+    ) -> None:
+        if n_shards < 1:
+            raise CorpusError(f"n_shards must be >= 1, got {n_shards}")
+        if n_workers < 1:
+            raise CorpusError(f"n_workers must be >= 1, got {n_workers}")
+        documents = list(documents)
+        base, remainder = divmod(len(documents), n_shards)
+        chunks: list[list] = []
+        start = 0
+        for shard in range(n_shards):
+            size = base + (1 if shard < remainder else 0)
+            chunks.append(documents[start : start + size])
+            start += size
+        if n_workers > 1 and len(documents) > 1:
+            with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                self._shards = list(pool.map(CorpusIndex, chunks))
+        else:
+            self._shards = [CorpusIndex(chunk) for chunk in chunks]
+        self._fingerprint = EMPTY_FINGERPRINT
+        for shard in self._shards:
+            self._fingerprint = shard.extend_fingerprint(self._fingerprint)
+
+    # -- shard plumbing ------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        """Number of partitions."""
+        return len(self._shards)
+
+    def shards(self) -> tuple[CorpusIndex, ...]:
+        """The underlying single-shard indexes, in global document order."""
+        return tuple(self._shards)
+
+    def shard_offsets(self) -> tuple[int, ...]:
+        """Global ordinal of each shard's first document."""
+        offsets: list[int] = []
+        total = 0
+        for shard in self._shards:
+            offsets.append(total)
+            total += shard.n_documents()
+        return tuple(offsets)
+
+    def map_shards(self, fn, *, n_workers: int = 1) -> list:
+        """``[fn(shard) for shard in shards]``, optionally over threads.
+
+        The per-shard results come back in shard (= global document)
+        order regardless of worker scheduling, so order-dependent merges
+        stay deterministic.
+        """
+        if n_workers > 1 and len(self._shards) > 1:
+            with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                return list(pool.map(fn, self._shards))
+        return [fn(shard) for shard in self._shards]
+
+    def add_documents(self, documents: "Iterable[Document]") -> None:
+        """Append ``documents`` to the last shard in O(their tokens).
+
+        Contiguity of the shard ranges is preserved (new documents take
+        the highest global ordinals), so query parity with a monolithic
+        index over the same sequence is maintained, and the global
+        fingerprint chain is extended exactly as a fresh build would
+        compute it.
+        """
+        documents = list(documents)
+        for doc in documents:
+            for shard in self._shards[:-1]:
+                if doc.doc_id in shard._ordinals:
+                    raise CorpusError(
+                        f"duplicate document id {doc.doc_id!r}"
+                    )
+        target = self._shards[-1]
+        before = target.n_documents()
+        target.add_documents(documents)
+        for doc_id, tokens in zip(
+            target._doc_ids[before:], target._doc_tokens[before:]
+        ):
+            self._fingerprint = _extend_fingerprint(
+                self._fingerprint, doc_id, tokens
+            )
+
+    # -- corpus-level statistics --------------------------------------------
+
+    def fingerprint(self) -> str:
+        """The whole-corpus content hash (equals the monolithic one)."""
+        return self._fingerprint
+
+    def n_documents(self) -> int:
+        """Number of indexed documents across all shards."""
+        return sum(shard.n_documents() for shard in self._shards)
+
+    def n_tokens(self) -> int:
+        """Total token count across all shards."""
+        return sum(shard.n_tokens() for shard in self._shards)
+
+    def vocabulary_size(self) -> int:
+        """Number of distinct tokens across all shards."""
+        vocabulary: set[str] = set()
+        for shard in self._shards:
+            vocabulary.update(shard._postings)
+        return len(vocabulary)
+
+    def doc_lengths(self) -> dict[str, int]:
+        """``doc_id → token count`` over all indexed documents."""
+        lengths: dict[str, int] = {}
+        for shard in self._shards:
+            lengths.update(shard.doc_lengths())
+        return lengths
+
+    def token_documents(self) -> list[list[str]]:
+        """The cached flat token list of every document, in corpus order.
+
+        As with :meth:`CorpusIndex.token_documents`, the lists are
+        shared storage — treat them as read-only.
+        """
+        return [
+            tokens for shard in self._shards for tokens in shard._doc_tokens
+        ]
+
+    def token_frequency(self, token: str) -> int:
+        """Occurrences of a single ``token`` (0 when unseen)."""
+        return sum(shard.token_frequency(token) for shard in self._shards)
+
+    # -- phrase lookup -------------------------------------------------------
+
+    def phrase_occurrences(
+        self, term: str | Sequence[str]
+    ) -> list[tuple[int, int]]:
+        """Every ``(global doc ordinal, start position)`` of ``term``.
+
+        Shard answers are already sorted and shards cover increasing
+        ordinal ranges, so offset-shifted concatenation is the global
+        sorted result.
+        """
+        needle = _as_needle(term)
+        if not needle:
+            raise CorpusError("term must contain at least one token")
+        out: list[tuple[int, int]] = []
+        for shard, offset in zip(self._shards, self.shard_offsets()):
+            out.extend(
+                (offset + ordinal, position)
+                for ordinal, position in shard._occurrences(needle)
+            )
+        return out
+
+    def contexts_for_term(
+        self,
+        term: str | Sequence[str],
+        *,
+        window: int = 10,
+    ) -> list[TermContext]:
+        """Token windows around each occurrence of ``term``.
+
+        Greedy matching never crosses a document, and documents never
+        cross a shard, so per-shard retrieval concatenated in shard
+        order is byte-identical to the monolithic retrieval.
+        """
+        return [
+            context
+            for shard in self._shards
+            for context in shard.contexts_for_term(term, window=window)
+        ]
+
+    def term_frequency(self, term: str | Sequence[str]) -> int:
+        """Number of (non-overlapping) occurrences of ``term``."""
+        return sum(shard.term_frequency(term) for shard in self._shards)
+
+    def document_frequency(self, term: str | Sequence[str]) -> int:
+        """Number of documents containing ``term`` at least once."""
+        return sum(shard.document_frequency(term) for shard in self._shards)
+
+    # -- the multi-term retrieval -------------------------------------------
+
+    def occurrence_records(
+        self,
+        terms: Iterable[str],
+        *,
+        window: int = 10,
+    ) -> dict[str, list[tuple[str, tuple[str, ...]]]]:
+        """(doc_id, window) records of every term of ``terms``.
+
+        Longest-match arbitration happens at single start positions
+        (inside one document, hence one shard), so merging per-shard
+        records in shard order reproduces the monolithic output exactly.
+        """
+        terms = list(terms)
+        merged: dict[str, list[tuple[str, tuple[str, ...]]]] = {}
+        for records in self.map_shards(
+            lambda shard: shard.occurrence_records(terms, window=window)
+        ):
+            for key, rows in records.items():
+                merged.setdefault(key, []).extend(rows)
+        return merged

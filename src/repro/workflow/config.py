@@ -55,6 +55,12 @@ class EnrichmentConfig:
         Community detection used by the Step II graph features:
         ``"louvain"`` (native CSR optimiser, default) or ``"greedy"``
         (networkx fallback — see :mod:`repro.clustering.community`).
+    index_shards:
+        Partitions of the positional corpus index.  1 (default) keeps
+        the monolithic :class:`~repro.corpus.index.CorpusIndex`; N > 1
+        builds a :class:`~repro.corpus.index.ShardedCorpusIndex` whose
+        shard builds fan out over ``n_workers`` threads.  Query results
+        are byte-identical across shard counts.
     feature_cache:
         Memoise per-term feature vectors across training runs and
         repeated ``enrich`` calls (keyed by corpus fingerprint, term,
@@ -80,6 +86,7 @@ class EnrichmentConfig:
     n_workers: int = 1
     worker_backend: str = "thread"
     community_backend: str = "louvain"
+    index_shards: int = 1
     feature_cache: bool = True
 
     def __post_init__(self) -> None:
@@ -107,6 +114,10 @@ class EnrichmentConfig:
         if self.n_workers < 1:
             raise ValidationError(
                 f"n_workers must be >= 1, got {self.n_workers}"
+            )
+        if self.index_shards < 1:
+            raise ValidationError(
+                f"index_shards must be >= 1, got {self.index_shards}"
             )
         if self.worker_backend not in ("thread", "process"):
             raise ValidationError(

@@ -16,7 +16,10 @@ restructured as a staged batch pipeline:
 
 A :class:`PipelineContext` carries the shared state between stages: the
 corpus's :class:`~repro.corpus.index.CorpusIndex` (built once, reused by
-every stage instead of rescanning documents), the ranked candidates, the
+every stage instead of rescanning documents; ``index_shards > 1``
+partitions it across a
+:class:`~repro.corpus.index.ShardedCorpusIndex` with byte-identical
+query results), the ranked candidates, the
 per-candidate work items, and the growing
 :class:`~repro.workflow.report.EnrichmentReport`.  Per-stage wall times
 are recorded in ``report.timings``.
@@ -48,8 +51,8 @@ from dataclasses import dataclass, field, fields
 import numpy as np
 
 from repro.corpus.corpus import Corpus
-from repro.corpus.index import CorpusIndex
-from repro.errors import LinkageError
+from repro.corpus.index import CorpusIndex, ShardedCorpusIndex
+from repro.errors import CorpusError, LinkageError
 from repro.extraction.extractor import BioTexExtractor, RankedTerm
 from repro.linkage.linker import SemanticLinker
 from repro.ontology.model import Ontology
@@ -122,7 +125,7 @@ class PipelineContext:
     corpus: Corpus
     ontology: Ontology
     config: EnrichmentConfig
-    index: CorpusIndex
+    index: CorpusIndex | ShardedCorpusIndex
     report: EnrichmentReport = field(default_factory=EnrichmentReport)
     ranked: list[RankedTerm] = field(default_factory=list)
     work: list[CandidateWork] = field(default_factory=list)
@@ -219,13 +222,19 @@ class ExtractStage:
 
     def run(self, ctx: PipelineContext) -> None:
         cfg = ctx.config
-        # Over-fetch so skip_known_terms still fills the batch.
-        ctx.ranked = self._extractor.extract(
-            ctx.corpus, top_k=cfg.n_candidates * 3, index=ctx.index
+        # Rank everything once (scoring already covers every candidate;
+        # top_k only trims the output), then scan down the ranking until
+        # the batch is full or candidates are exhausted — a fixed
+        # over-fetch window under-fills the batch whenever
+        # skip_known_terms filters most of it.
+        ranked = self._extractor.extract(
+            ctx.corpus, top_k=None, index=ctx.index
         )
-        for candidate in ctx.ranked:
+        consumed = 0
+        for candidate in ranked:
             if len(ctx.work) >= cfg.n_candidates:
                 break
+            consumed += 1
             if cfg.skip_known_terms and ctx.ontology.has_term(candidate.term):
                 continue
             term_report = TermReport(
@@ -237,6 +246,10 @@ class ExtractStage:
             ctx.work.append(
                 CandidateWork(candidate=candidate, report=term_report)
             )
+        # The linker's shared build declares ctx.ranked as extra terms;
+        # keep the historical 3x window unless filling the batch had to
+        # reach deeper.
+        ctx.ranked = ranked[: max(cfg.n_candidates * 3, consumed)]
 
 
 class _DetectProcessor:
@@ -280,6 +293,9 @@ class _DetectProcessor:
                 f"only {len(occurrences)} contexts "
                 f"(< {self._min_contexts})"
             )
+            # A cache-prefilled vector must not survive on a skipped
+            # candidate: contexts is None ⇒ features is None.
+            item.features = None
             return
         # Cap very frequent candidates: the per-candidate clustering
         # and graph features are superlinear in the context count.
@@ -575,18 +591,28 @@ class OntologyEnricher:
         )
         started = time.perf_counter()
         if index is None:
-            index = corpus.index()
+            cfg = self.config
+            index = corpus.index(
+                n_shards=cfg.index_shards if cfg.index_shards > 1 else None,
+                n_workers=cfg.n_workers,
+            )
         timings["index"] = time.perf_counter() - started
 
         # Step II needs a trained classifier; label source is the ontology.
         train_started = time.perf_counter()
+        train_warning: str | None = None
         if not self._detector_trained:
             try:
                 self.train_polysemy_detector(corpus, index=index)
-            except Exception:
-                # Degenerate corpora (no polysemic terms with contexts)
-                # fall back to treating every candidate as monosemous.
+            except CorpusError as exc:
+                # Degenerate corpora (no labelled terms of both classes
+                # with enough contexts) fall back to treating every
+                # candidate as monosemous; programming errors propagate.
                 self._detector_trained = False
+                train_warning = (
+                    "polysemy detector not trained, treating every "
+                    f"candidate as monosemous: {exc}"
+                )
         timings["train"] = time.perf_counter() - train_started
 
         ctx = PipelineContext(
@@ -595,6 +621,9 @@ class OntologyEnricher:
             config=self.config,
             index=index,
         )
+        ctx.report.detector_trained = self._detector_trained
+        if train_warning is not None:
+            ctx.report.warnings.append(train_warning)
         for stage in self.stages():
             stage_started = time.perf_counter()
             stage.run(ctx)

@@ -70,11 +70,21 @@ class EnrichmentReport:
         ``misses`` are this ``enrich`` call's delta, ``entries`` the
         absolute cache size after the call.  Empty when the cache is
         disabled.
+    detector_trained:
+        Whether Step II classified with a trained polysemy detector.
+        ``False`` means training fell back on degenerate data and every
+        candidate was treated as monosemous (the reason lands in
+        ``warnings``).
+    warnings:
+        Non-fatal degradations the workflow survived (e.g. the Step II
+        training fallback); empty for a fully clean run.
     """
 
     terms: list[TermReport] = field(default_factory=list)
     timings: dict[str, float] = field(default_factory=dict)
     cache: dict[str, int] = field(default_factory=dict)
+    detector_trained: bool = False
+    warnings: list[str] = field(default_factory=list)
 
     @property
     def n_candidates(self) -> int:

@@ -115,3 +115,25 @@ class TestEnrich:
         out = capsys.readouterr().out
         assert code == 0
         assert "Enrichment report" in out
+
+    def test_enrich_with_index_shards_matches_default(
+        self, scenario_dir, capsys
+    ):
+        argv = [
+            "enrich",
+            "--ontology", str(scenario_dir / "ontology.json"),
+            "--corpus", str(scenario_dir / "corpus.jsonl"),
+            "--candidates", "3",
+            "--top-k", "3",
+        ]
+        assert main(argv) == 0
+        baseline = capsys.readouterr().out
+        assert main(argv + ["--index-shards", "4"]) == 0
+        sharded = capsys.readouterr().out
+        assert sharded == baseline
+
+    def test_index_shards_default(self):
+        args = build_parser().parse_args(
+            ["enrich", "--ontology", "o", "--corpus", "c"]
+        )
+        assert args.index_shards == 1

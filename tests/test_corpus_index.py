@@ -211,6 +211,28 @@ class TestEdgeSemantics:
         index = CorpusIndex(corpus)
         assert index.term_frequency(["Corneal", "Injury"]) == 1
 
+    def test_mixed_case_document_is_findable(self):
+        # Regression: postings used to keep raw doc.tokens() while every
+        # lookup lower-cased its needle, so a Document constructed
+        # directly with mixed-case sentences silently returned zero
+        # occurrences.  Tokens are now normalised at build time.
+        corpus = Corpus([Document("d", [["Corneal", "INJURY", "heals"]])])
+        index = CorpusIndex(corpus)
+        assert index.term_frequency("corneal injury") == 1
+        assert index.term_frequency("Corneal Injury") == 1
+        assert index.token_frequency("INJURY") == 1
+        (context,) = index.contexts_for_term("corneal injury")
+        assert context.tokens == ("heals",)
+        assert index.occurrence_records(["corneal injury"]) == {
+            "corneal injury": [("d", ("heals",))]
+        }
+        assert index.token_documents() == [["corneal", "injury", "heals"]]
+
+    def test_mixed_case_and_lower_case_corpora_share_fingerprint(self):
+        mixed = CorpusIndex(Corpus([Document("d", [["Corneal", "Injury"]])]))
+        lower = CorpusIndex(Corpus([Document("d", [["corneal", "injury"]])]))
+        assert mixed.fingerprint() == lower.fingerprint()
+
     def test_unknown_term_is_empty_not_error(self):
         index = CorpusIndex(Corpus([Document("d", [["a"]])]))
         assert index.contexts_for_term("zzz") == []
@@ -254,13 +276,20 @@ class TestCorpusIndexCache:
         corpus = Corpus([Document("d", [["a", "b"]])])
         assert corpus.index() is corpus.index()
 
-    def test_add_invalidates_cache(self):
+    def test_add_patches_cached_index_in_place(self):
         corpus = Corpus([Document("d1", [["a"]])])
         first = corpus.index()
         corpus.add(Document("d2", [["a"]]))
-        rebuilt = corpus.index()
-        assert rebuilt is not first
-        assert rebuilt.n_documents() == 2
+        patched = corpus.index()
+        assert patched is first  # extended, not rebuilt
+        assert patched.n_documents() == 2
+        assert corpus.term_frequency("a") == 2
+        assert patched.fingerprint() == CorpusIndex(corpus).fingerprint()
+
+    def test_add_before_first_index_builds_covering_index(self):
+        corpus = Corpus([Document("d1", [["a"]])])
+        corpus.add(Document("d2", [["a", "b"]]))
+        assert corpus.index().n_documents() == 2
         assert corpus.term_frequency("a") == 2
 
     def test_add_duplicate_id_raises_identical_error(self):

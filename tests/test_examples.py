@@ -22,6 +22,7 @@ def examples_on_path(monkeypatch):
             "term_extraction_biotex",
             "enrich_mesh_snapshot",
             "index_reuse",
+            "streaming_enrichment",
         }:
             del sys.modules[name]
 
@@ -72,3 +73,9 @@ class TestExamples:
         assert "Indexed" in out
         assert "screening" in out
         assert "index=" in out
+
+    def test_streaming_enrichment(self, capsys):
+        out = run_example("streaming_enrichment", capsys, n_concepts=15,
+                          docs_per_concept=3)
+        assert "index patched in place: True" in out
+        assert "re-enrich" in out

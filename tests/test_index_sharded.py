@@ -1,0 +1,216 @@
+"""Parity suite: monolithic vs. sharded vs. incrementally-updated indexes.
+
+The contract of the tentpole: a :class:`ShardedCorpusIndex` (any shard
+count) and a :class:`CorpusIndex` extended through ``add_documents`` are
+byte-identical to a freshly built monolithic index over the same
+documents — every query method AND the content fingerprint.  Randomized
+corpora over a tiny vocabulary force the hard cases (repeated tokens,
+overlapping occurrences, multi-token needles, shard-boundary documents).
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.corpus.corpus import Corpus
+from repro.corpus.document import Document
+from repro.corpus.index import CorpusIndex, ShardedCorpusIndex
+from repro.errors import CorpusError
+
+
+def random_documents(rng, *, n_docs=9, vocab=("a", "b", "c", "d")):
+    docs = []
+    for i in range(n_docs):
+        sentences = [
+            [rng.choice(vocab) for _ in range(rng.randint(1, 12))]
+            for _ in range(rng.randint(1, 4))
+        ]
+        docs.append(Document(f"d{i}", sentences))
+    return docs
+
+
+def random_terms(rng, *, vocab=("a", "b", "c", "d"), n_terms=8):
+    terms = set()
+    while len(terms) < n_terms:
+        length = rng.randint(1, 3)
+        terms.add(" ".join(rng.choice(vocab) for _ in range(length)))
+    return sorted(terms)
+
+
+def assert_full_parity(candidate, reference, terms):
+    """Every query method of ``candidate`` matches ``reference``."""
+    assert candidate.fingerprint() == reference.fingerprint()
+    assert candidate.n_documents() == reference.n_documents()
+    assert candidate.n_tokens() == reference.n_tokens()
+    assert candidate.vocabulary_size() == reference.vocabulary_size()
+    assert candidate.doc_lengths() == reference.doc_lengths()
+    assert candidate.token_documents() == reference.token_documents()
+    for term in terms:
+        assert candidate.phrase_occurrences(term) == \
+            reference.phrase_occurrences(term), term
+        assert candidate.term_frequency(term) == \
+            reference.term_frequency(term), term
+        assert candidate.document_frequency(term) == \
+            reference.document_frequency(term), term
+        for window in (1, 3, 50):
+            assert candidate.contexts_for_term(term, window=window) == \
+                reference.contexts_for_term(term, window=window), (term, window)
+        for token in term.split():
+            assert candidate.token_frequency(token) == \
+                reference.token_frequency(token)
+    for window in (1, 20):
+        assert candidate.occurrence_records(terms, window=window) == \
+            reference.occurrence_records(terms, window=window)
+
+
+class TestShardedParity:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 4, 16])
+    def test_sharded_matches_monolithic(self, seed, n_shards):
+        rng = random.Random(seed)
+        docs = random_documents(rng)
+        reference = CorpusIndex(docs)
+        sharded = ShardedCorpusIndex(docs, n_shards=n_shards)
+        assert sharded.n_shards == n_shards
+        assert_full_parity(sharded, reference, random_terms(rng))
+
+    def test_threaded_build_matches_sequential(self):
+        rng = random.Random(99)
+        docs = random_documents(rng, n_docs=12)
+        sequential = ShardedCorpusIndex(docs, n_shards=4)
+        threaded = ShardedCorpusIndex(docs, n_shards=4, n_workers=4)
+        assert_full_parity(threaded, sequential, random_terms(rng))
+
+    def test_shards_cover_contiguous_ranges(self):
+        docs = [Document(f"d{i}", [["t"]]) for i in range(7)]
+        sharded = ShardedCorpusIndex(docs, n_shards=3)
+        assert [s.n_documents() for s in sharded.shards()] == [3, 2, 2]
+        assert sharded.shard_offsets() == (0, 3, 5)
+
+    def test_more_shards_than_documents(self):
+        docs = [Document("d0", [["a"]]), Document("d1", [["b"]])]
+        sharded = ShardedCorpusIndex(docs, n_shards=5)
+        assert sharded.n_shards == 5
+        assert sharded.n_documents() == 2
+        assert_full_parity(sharded, CorpusIndex(docs), ["a", "b", "a b"])
+
+    def test_empty_corpus(self):
+        sharded = ShardedCorpusIndex([], n_shards=3)
+        assert sharded.n_documents() == 0
+        assert sharded.fingerprint() == CorpusIndex([]).fingerprint()
+        assert sharded.term_frequency("a") == 0
+        assert sharded.occurrence_records(["a"]) == {"a": []}
+
+    def test_invalid_shard_and_worker_counts(self):
+        with pytest.raises(CorpusError, match="n_shards"):
+            ShardedCorpusIndex([], n_shards=0)
+        with pytest.raises(CorpusError, match="n_workers"):
+            ShardedCorpusIndex([], n_shards=2, n_workers=0)
+
+    def test_map_shards_preserves_shard_order(self):
+        docs = [Document(f"d{i}", [["t"] * (i + 1)]) for i in range(6)]
+        sharded = ShardedCorpusIndex(docs, n_shards=3)
+        expected = [s.n_tokens() for s in sharded.shards()]
+        assert sharded.map_shards(lambda s: s.n_tokens()) == expected
+        assert (
+            sharded.map_shards(lambda s: s.n_tokens(), n_workers=3)
+            == expected
+        )
+
+    def test_sharded_index_is_picklable(self):
+        # The process worker backend ships the index to pool workers.
+        rng = random.Random(5)
+        docs = random_documents(rng, n_docs=5)
+        sharded = ShardedCorpusIndex(docs, n_shards=2)
+        clone = pickle.loads(pickle.dumps(sharded))
+        assert_full_parity(clone, sharded, random_terms(rng))
+
+
+class TestIncrementalParity:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_add_documents_matches_fresh_build(self, seed):
+        rng = random.Random(seed)
+        docs = random_documents(rng)
+        split = rng.randint(0, len(docs))
+        incremental = CorpusIndex(docs[:split])
+        incremental.add_documents(docs[split:])
+        assert_full_parity(incremental, CorpusIndex(docs), random_terms(rng))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sharded_add_documents_matches_fresh_build(self, seed):
+        rng = random.Random(seed)
+        docs = random_documents(rng)
+        sharded = ShardedCorpusIndex(docs[:6], n_shards=3)
+        sharded.add_documents(docs[6:])
+        assert_full_parity(sharded, CorpusIndex(docs), random_terms(rng))
+
+    def test_fingerprint_extends_chain_per_document(self):
+        docs = [Document(f"d{i}", [["x", "y"]]) for i in range(4)]
+        grown = CorpusIndex([])
+        for doc in docs:
+            grown.add_documents([doc])
+        assert grown.fingerprint() == CorpusIndex(docs).fingerprint()
+
+    def test_add_documents_changes_fingerprint(self):
+        index = CorpusIndex([Document("d0", [["a"]])])
+        before = index.fingerprint()
+        index.add_documents([Document("d1", [["a"]])])
+        assert index.fingerprint() != before
+
+    def test_duplicate_ids_rejected_before_any_mutation(self):
+        index = CorpusIndex([Document("d0", [["a"]])])
+        fingerprint = index.fingerprint()
+        with pytest.raises(CorpusError, match="duplicate document id"):
+            index.add_documents(
+                [Document("d1", [["b"]]), Document("d0", [["c"]])]
+            )
+        # The batch was rejected atomically: d1 was never applied.
+        assert index.n_documents() == 1
+        assert index.fingerprint() == fingerprint
+        with pytest.raises(CorpusError, match="duplicate document id"):
+            index.add_documents(
+                [Document("dup", [["b"]]), Document("dup", [["c"]])]
+            )
+
+    def test_sharded_duplicate_across_shards_rejected(self):
+        docs = [Document(f"d{i}", [["a"]]) for i in range(4)]
+        sharded = ShardedCorpusIndex(docs, n_shards=2)
+        with pytest.raises(CorpusError, match="duplicate document id"):
+            sharded.add_documents([Document("d0", [["b"]])])  # in shard 0
+        with pytest.raises(CorpusError, match="duplicate document id"):
+            sharded.add_documents([Document("d3", [["b"]])])  # in last shard
+
+    def test_mixed_case_documents_normalised_on_add(self):
+        index = CorpusIndex([Document("d0", [["corneal", "injury"]])])
+        index.add_documents([Document("d1", [["Corneal", "Injury"]])])
+        assert index.term_frequency("corneal injury") == 2
+        assert index.document_frequency("corneal injury") == 2
+
+
+class TestCorpusShardingKnob:
+    def test_index_n_shards_builds_and_caches_sharded(self):
+        docs = [Document(f"d{i}", [["a", "b"]]) for i in range(6)]
+        corpus = Corpus(docs)
+        sharded = corpus.index(n_shards=3)
+        assert isinstance(sharded, ShardedCorpusIndex)
+        assert corpus.index() is sharded  # None reuses the cached index
+        assert corpus.index(n_shards=3) is sharded
+        mono = corpus.index(n_shards=1)
+        assert isinstance(mono, CorpusIndex)
+        assert mono is not sharded
+
+    def test_add_patches_cached_sharded_index(self):
+        docs = [Document(f"d{i}", [["a"]]) for i in range(4)]
+        corpus = Corpus(docs)
+        sharded = corpus.index(n_shards=2)
+        corpus.add(Document("d4", [["a"]]))
+        assert corpus.index() is sharded
+        assert sharded.n_documents() == 5
+        assert sharded.term_frequency("a") == 5
+        assert sharded.fingerprint() == CorpusIndex(corpus).fingerprint()
+
+    def test_invalid_n_shards_rejected(self):
+        corpus = Corpus([Document("d", [["a"]])])
+        with pytest.raises(CorpusError, match="n_shards"):
+            corpus.index(n_shards=0)

@@ -1,11 +1,19 @@
 """The staged pipeline: stage wiring, batching determinism, and timings."""
 
+import numpy as np
 import pytest
 
+from repro.corpus.corpus import Corpus
+from repro.corpus.document import Document
+from repro.corpus.index import ShardedCorpusIndex
 from repro.errors import ValidationError
+from repro.extraction.extractor import RankedTerm
+from repro.ontology.model import Concept, Ontology
+from repro.polysemy.cache import FeatureCache
 from repro.scenarios import make_enrichment_scenario
 from repro.workflow.config import EnrichmentConfig
 from repro.workflow.pipeline import (
+    CandidateWork,
     DetectStage,
     ExtractStage,
     InduceStage,
@@ -13,6 +21,7 @@ from repro.workflow.pipeline import (
     OntologyEnricher,
     PipelineContext,
 )
+from repro.workflow.report import TermReport
 
 
 def report_fingerprint(report):
@@ -286,3 +295,192 @@ class TestFeatureCacheWiring:
         cached = enrich(scenario)
         uncached = enrich(scenario, feature_cache=False)
         assert report_fingerprint(cached) == report_fingerprint(uncached)
+
+
+class TestIndexShardsKnob:
+    def test_sharded_index_does_not_change_the_report(self, scenario):
+        baseline = enrich(scenario)
+        sharded = enrich(scenario, index_shards=3)
+        assert report_fingerprint(baseline) == report_fingerprint(sharded)
+
+    def test_enrich_builds_and_caches_sharded_index(self):
+        scenario = make_enrichment_scenario(
+            seed=3, n_concepts=12, docs_per_concept=3,
+        )
+        config = EnrichmentConfig(
+            n_candidates=3, min_contexts=2, index_shards=2
+        )
+        enricher = OntologyEnricher(
+            scenario.ontology, config=config,
+            pos_lexicon=scenario.pos_lexicon,
+        )
+        enricher.enrich(scenario.corpus)
+        index = scenario.corpus.index()
+        assert isinstance(index, ShardedCorpusIndex)
+        assert index.n_shards == 2
+
+    def test_invalid_index_shards_rejected(self):
+        with pytest.raises(ValidationError, match="index_shards"):
+            EnrichmentConfig(index_shards=0)
+
+
+class TestTrainingFallback:
+    """Step II training failures: degrade loudly on bad data only."""
+
+    def test_successful_training_is_recorded(self, scenario):
+        report = enrich(scenario)
+        assert report.detector_trained is True
+        assert report.warnings == []
+
+    def test_degenerate_training_falls_back_with_warning(self):
+        # No ontology term occurs in the corpus, so the Step II dataset
+        # build fails with CorpusError: the workflow must survive,
+        # record the fallback, and treat candidates as monosemous.
+        scenario = make_enrichment_scenario(
+            seed=5, n_concepts=12, docs_per_concept=3,
+        )
+        ontology = Ontology()
+        ontology.add_concept(Concept("C1", "zzz qqq"))
+        config = EnrichmentConfig(n_candidates=3, min_contexts=2)
+        enricher = OntologyEnricher(
+            ontology, config=config, pos_lexicon=scenario.pos_lexicon
+        )
+        report = enricher.enrich(scenario.corpus)
+        assert report.detector_trained is False
+        assert len(report.warnings) == 1
+        assert "polysemy detector not trained" in report.warnings[0]
+        for t in report.terms:
+            assert t.polysemic in (False, None)
+
+    def test_programming_errors_propagate(self, scenario):
+        # Regression: a bare `except Exception` used to swallow even
+        # TypeError from the training path.
+        config = EnrichmentConfig(n_candidates=3, min_contexts=3)
+        enricher = OntologyEnricher(
+            scenario.ontology, config=config,
+            pos_lexicon=scenario.pos_lexicon,
+        )
+
+        def boom(corpus, *, index=None):
+            raise TypeError("boom")
+
+        enricher.train_polysemy_detector = boom
+        with pytest.raises(TypeError, match="boom"):
+            enricher.enrich(scenario.corpus)
+
+
+class _StubExtractor:
+    """Deterministic ranking of ``n_total`` synthetic terms."""
+
+    def __init__(self, n_total: int = 30) -> None:
+        self.n_total = n_total
+
+    def extract(self, corpus, *, top_k=None, index=None):
+        count = self.n_total if top_k is None else min(top_k, self.n_total)
+        return [
+            RankedTerm(
+                term=f"term {i}",
+                tokens=("term", str(i)),
+                score=float(self.n_total - i),
+                frequency=1,
+                rank=i + 1,
+            )
+            for i in range(count)
+        ]
+
+
+class _StubOntology:
+    def __init__(self, known) -> None:
+        self._known = set(known)
+
+    def has_term(self, term: str) -> bool:
+        return term in self._known
+
+
+class TestExtractBatchFilling:
+    """Regression: a fixed 3x over-fetch under-filled the batch when
+    skip_known_terms filtered more than 2/3 of the ranking."""
+
+    def make_ctx(self, known_count: int, n_candidates: int = 5):
+        known = {f"term {i}" for i in range(known_count)}
+        config = EnrichmentConfig(n_candidates=n_candidates, min_contexts=1)
+        ctx = PipelineContext(
+            corpus=None,
+            ontology=_StubOntology(known),
+            config=config,
+            index=None,
+        )
+        return _StubExtractor(n_total=30), ctx
+
+    def test_heavy_filtering_still_fills_the_batch(self):
+        # 14 of the top 15 (the old 3x5 window) are known terms: the old
+        # code selected a single candidate and stopped.
+        extractor, ctx = self.make_ctx(known_count=14)
+        ExtractStage(extractor).run(ctx)
+        assert [item.candidate.term for item in ctx.work] == [
+            f"term {i}" for i in range(14, 19)
+        ]
+
+    def test_exhausted_candidates_stop_cleanly(self):
+        extractor, ctx = self.make_ctx(known_count=28)  # only 2 unknown
+        ExtractStage(extractor).run(ctx)
+        assert [item.candidate.term for item in ctx.work] == [
+            "term 28", "term 29",
+        ]
+
+    def test_overfetch_window_preserved_when_batch_fills_early(self):
+        extractor, ctx = self.make_ctx(known_count=0)
+        ExtractStage(extractor).run(ctx)
+        assert len(ctx.work) == 5
+        assert len(ctx.ranked) == 15  # the historical 3x window
+
+    def test_ranked_covers_the_consumed_prefix_when_filtering_deep(self):
+        extractor, ctx = self.make_ctx(known_count=14)
+        ExtractStage(extractor).run(ctx)
+        assert len(ctx.ranked) == 19  # every candidate scanned
+
+
+class TestSkippedCandidateFeatureInvariant:
+    def test_cache_prefilled_features_cleared_on_skip(self):
+        # Regression: a cache-prefilled vector used to survive on work
+        # items skipped during materialisation, violating the invariant
+        # contexts is None => features is None.
+        corpus = Corpus([Document("d", [["rare", "pair", "x", "y"]])])
+        index = corpus.index()
+        config = EnrichmentConfig(n_candidates=1, min_contexts=4)
+        enricher = OntologyEnricher(Ontology(), config=config)
+        cache = FeatureCache()
+        config_fp = (
+            f"{enricher._feature_extractor.fingerprint()};"
+            f"detect_window={config.context_window};"
+            f"detect_cap={config.max_contexts_per_term}"
+        )
+        cache.store(
+            FeatureCache.key(index.fingerprint(), "rare pair", config_fp),
+            np.zeros(3),
+        )
+        item = CandidateWork(
+            candidate=RankedTerm(
+                term="rare pair", tokens=("rare", "pair"),
+                score=1.0, frequency=1, rank=1,
+            ),
+            report=TermReport(
+                term="rare pair", extraction_score=1.0, extraction_rank=1
+            ),
+        )
+        ctx = PipelineContext(
+            corpus=corpus,
+            ontology=Ontology(),
+            config=config,
+            index=index,
+            work=[item],
+        )
+        DetectStage(
+            enricher._detector,
+            enricher._feature_extractor,
+            trained=True,
+            cache=cache,
+        ).run(ctx)
+        assert item.report.skipped_reason is not None
+        assert item.contexts is None
+        assert item.features is None
