@@ -59,6 +59,8 @@ def _cmd_enrich(args: argparse.Namespace) -> int:
         community_backend=args.community_backend,
         index_shards=args.index_shards,
         feature_cache=not args.no_feature_cache,
+        cache_dir=args.cache_dir,
+        cache_max_bytes=args.cache_max_bytes,
     )
     enricher = OntologyEnricher(ontology, config=config)
     report = enricher.enrich(corpus)
@@ -182,6 +184,16 @@ def build_parser() -> argparse.ArgumentParser:
     enrich.add_argument(
         "--no-feature-cache", action="store_true",
         help="disable Step II feature-vector memoisation",
+    )
+    enrich.add_argument(
+        "--cache-dir", default=None,
+        help="persist the feature cache on disk here, shared across "
+        "runs and worker processes (see repro.polysemy.cache_store)",
+    )
+    enrich.add_argument(
+        "--cache-max-bytes", type=int, default=None,
+        help="size cap on the on-disk cache (LRU eviction above it; "
+        "requires --cache-dir)",
     )
     enrich.add_argument(
         "--timings", action="store_true",

@@ -11,6 +11,11 @@ term's induced co-occurrence graph, and :class:`PolysemyDetector` wraps a
 """
 
 from repro.polysemy.cache import FeatureCache
+from repro.polysemy.cache_store import (
+    CacheStore,
+    DiskCacheStore,
+    MemoryCacheStore,
+)
 from repro.polysemy.dataset import (
     PolysemyDataset,
     build_entity_polysemy_dataset,
@@ -26,9 +31,12 @@ from repro.polysemy.features import (
 
 __all__ = [
     "ALL_FEATURE_NAMES",
+    "CacheStore",
     "DIRECT_FEATURE_NAMES",
+    "DiskCacheStore",
     "FeatureCache",
     "GRAPH_FEATURE_NAMES",
+    "MemoryCacheStore",
     "PolysemyDataset",
     "PolysemyDetector",
     "PolysemyFeatureExtractor",

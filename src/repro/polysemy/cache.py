@@ -16,9 +16,19 @@ plus the caller's context-retrieval caps.  Callers that retrieve
 contexts differently (different window or per-term cap) therefore never
 share entries.
 
-The cache is in-memory, thread-safe, and counts hits/misses so the
-workflow report can expose cache effectiveness
-(:attr:`repro.workflow.report.EnrichmentReport.cache`).
+*Where* the vectors live is delegated to a pluggable
+:class:`~repro.polysemy.cache_store.CacheStore` backend: the default
+:class:`~repro.polysemy.cache_store.MemoryCacheStore` keeps the
+historical in-process dict, while a
+:class:`~repro.polysemy.cache_store.DiskCacheStore` persists entries on
+disk so separate runs, CLI invocations, and process-pool workers share
+them (see :mod:`repro.polysemy.cache_store`).
+
+The cache is thread-safe and counts hits/misses so the workflow report
+can expose cache effectiveness
+(:attr:`repro.workflow.report.EnrichmentReport.cache`); backend-level
+counters (``disk_hits``, ``evictions``, ``store_bytes``) are merged
+into :attr:`stats`.
 """
 
 from __future__ import annotations
@@ -27,12 +37,23 @@ import threading
 
 import numpy as np
 
-#: A fully-qualified cache key: (corpus fp, term, config fp).
-CacheKey = tuple[str, str, str]
+from repro.polysemy.cache_store import (
+    CacheKey,
+    CacheStore,
+    MemoryCacheStore,
+)
+
+__all__ = ["CacheKey", "FeatureCache"]
 
 
 class FeatureCache:
-    """In-memory memo of per-term feature vectors with hit/miss stats.
+    """Memo of per-term feature vectors with hit/miss stats.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.polysemy.cache_store.CacheStore` backend
+        holding the vectors (default: a fresh in-memory dict).
 
     Example
     -------
@@ -47,11 +68,19 @@ class FeatureCache:
     (1, 1)
     """
 
-    def __init__(self) -> None:
-        self._store: dict[CacheKey, np.ndarray] = {}
+    def __init__(self, store: CacheStore | None = None) -> None:
+        self._store: CacheStore = (
+            store if store is not None else MemoryCacheStore()
+        )
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._worker_disk_hits = 0
+
+    @property
+    def backing_store(self) -> CacheStore:
+        """The backend holding the vectors."""
+        return self._store
 
     @staticmethod
     def key(
@@ -86,23 +115,44 @@ class FeatureCache:
             else:
                 self._misses += 1
 
+    def absorb_worker_hits(self, disk_hits: int) -> None:
+        """Merge lookups served to pool workers straight from the store.
+
+        ``worker_backend="process"`` workers read a shared
+        :class:`~repro.polysemy.cache_store.DiskCacheStore` through
+        their *own* handle, so their disk-hit counts never touch this
+        process's store instance; the pipeline ships them back and
+        deposits them here so :attr:`stats` reports the whole run.
+        """
+        with self._lock:
+            self._worker_disk_hits += disk_hits
+
     def store(self, key: CacheKey, vector: np.ndarray) -> None:
         """Memoise ``vector`` under ``key`` (overwrites silently)."""
         with self._lock:
-            self._store[key] = vector
+            self._store.put(key, vector)
 
     def __len__(self) -> int:
         return len(self._store)
 
     @property
     def stats(self) -> dict[str, int]:
-        """``{"hits", "misses", "entries"}`` counters since creation."""
+        """Counters since creation.
+
+        ``hits``/``misses`` count lookups through this cache,
+        ``entries`` the backend's current size, and the backend's own
+        ``disk_hits``/``evictions``/``store_bytes`` are merged in (all
+        zero for the in-memory backend except ``store_bytes``).
+        """
         with self._lock:
-            return {
+            stats = {
                 "hits": self._hits,
                 "misses": self._misses,
                 "entries": len(self._store),
             }
+            stats.update(self._store.stats())
+            stats["disk_hits"] += self._worker_disk_hits
+            return stats
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
@@ -110,3 +160,4 @@ class FeatureCache:
             self._store.clear()
             self._hits = 0
             self._misses = 0
+            self._worker_disk_hits = 0

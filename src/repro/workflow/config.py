@@ -65,6 +65,17 @@ class EnrichmentConfig:
         Memoise per-term feature vectors across training runs and
         repeated ``enrich`` calls (keyed by corpus fingerprint, term,
         and feature configuration; see :mod:`repro.polysemy.cache`).
+    cache_dir:
+        Optional directory backing the feature cache with a persistent
+        :class:`~repro.polysemy.cache_store.DiskCacheStore`, so entries
+        survive the process and are shared between runs, CLI
+        invocations, and ``worker_backend="process"`` workers (see
+        :mod:`repro.polysemy.cache_store`).  None (default) keeps the
+        in-memory store.  Requires ``feature_cache=True``.
+    cache_max_bytes:
+        Optional size cap on the on-disk store; exceeding it evicts
+        least-recently-used entries (stale fingerprint generations
+        first, then the oldest shard files).  Requires ``cache_dir``.
     """
 
     language: str = "en"
@@ -88,6 +99,8 @@ class EnrichmentConfig:
     community_backend: str = "louvain"
     index_shards: int = 1
     feature_cache: bool = True
+    cache_dir: str | None = None
+    cache_max_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if self.n_candidates < 1:
@@ -119,6 +132,19 @@ class EnrichmentConfig:
             raise ValidationError(
                 f"index_shards must be >= 1, got {self.index_shards}"
             )
+        if self.cache_dir is not None and not self.feature_cache:
+            raise ValidationError(
+                "cache_dir requires feature_cache=True"
+            )
+        if self.cache_max_bytes is not None:
+            if self.cache_dir is None:
+                raise ValidationError(
+                    "cache_max_bytes requires cache_dir to be set"
+                )
+            if self.cache_max_bytes < 1:
+                raise ValidationError(
+                    f"cache_max_bytes must be >= 1, got {self.cache_max_bytes}"
+                )
         if self.worker_backend not in ("thread", "process"):
             raise ValidationError(
                 f"worker_backend must be thread|process, "

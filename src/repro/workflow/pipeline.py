@@ -39,7 +39,14 @@ Step II featurisation is memoised in a
 :class:`~repro.polysemy.cache.FeatureCache` keyed by (corpus
 fingerprint, term, config fingerprint), so repeated training runs and
 ``enrich`` calls skip recomputation; hit/miss counters surface in
-:attr:`EnrichmentReport.cache`.
+:attr:`EnrichmentReport.cache`.  With ``EnrichmentConfig(cache_dir=...)``
+the cache is backed by a persistent
+:class:`~repro.polysemy.cache_store.DiskCacheStore` shared across runs
+and processes: the parent prefills from the store, process-pool workers
+additionally read the store directly through their own handle (catching
+entries a concurrent run persisted mid-flight), and every *new* vector
+ships back to the parent, which is the store's single writer for the
+stage.
 """
 
 from __future__ import annotations
@@ -57,6 +64,7 @@ from repro.extraction.extractor import BioTexExtractor, RankedTerm
 from repro.linkage.linker import SemanticLinker
 from repro.ontology.model import Ontology
 from repro.polysemy.cache import FeatureCache
+from repro.polysemy.cache_store import DiskCacheStore
 from repro.polysemy.dataset import build_polysemy_dataset
 from repro.polysemy.detector import PolysemyDetector
 from repro.polysemy.features import PolysemyFeatureExtractor
@@ -89,6 +97,11 @@ class CandidateWork:
         :class:`~repro.polysemy.cache.FeatureCache` on a hit, computed
         by :class:`DetectStage` otherwise; ``None`` when Step II never
         featurised the candidate).
+    features_from_store:
+        True when a pool worker loaded ``features`` straight from the
+        shared :class:`~repro.polysemy.cache_store.DiskCacheStore`
+        (rather than computing them); the parent counts these as cache
+        hits and skips re-persisting them.
     """
 
     candidate: RankedTerm
@@ -96,6 +109,7 @@ class CandidateWork:
     contexts: list[tuple[str, ...]] | None = None
     doc_frequency: int = 0
     features: np.ndarray | None = None
+    features_from_store: bool = False
 
     @property
     def active(self) -> bool:
@@ -147,6 +161,7 @@ def _merge_work(target: CandidateWork, source: CandidateWork) -> None:
     target.contexts = source.contexts
     target.doc_frequency = source.doc_frequency
     target.features = source.features
+    target.features_from_store = source.features_from_store
 
 
 # The per-worker processor shipped once per process via the pool
@@ -270,6 +285,9 @@ class _DetectProcessor:
         features: PolysemyFeatureExtractor,
         detector: PolysemyDetector,
         trained: bool,
+        cache_store: DiskCacheStore | None = None,
+        corpus_fingerprint: str = "",
+        config_fingerprint: str = "",
     ) -> None:
         self._index = index
         self._min_contexts = min_contexts
@@ -278,6 +296,15 @@ class _DetectProcessor:
         self._features = features
         self._detector = detector
         self._trained = trained
+        # Only set under the process backend with a disk-backed cache:
+        # each worker reopens the store (it pickles to its directory
+        # path) and reads it directly for candidates the parent's
+        # prefill missed — e.g. entries a concurrent run persisted
+        # after the prefill.  Workers never write; new vectors ship
+        # back with the work item for the parent's single-writer merge.
+        self._cache_store = cache_store
+        self._corpus_fingerprint = corpus_fingerprint
+        self._config_fingerprint = config_fingerprint
 
     def __call__(self, item: CandidateWork) -> None:
         self._materialise(item)
@@ -314,6 +341,17 @@ class _DetectProcessor:
         if not self._trained:
             item.report.polysemic = False
             return
+        if item.features is None and self._cache_store is not None:
+            stored = self._cache_store.get(
+                FeatureCache.key(
+                    self._corpus_fingerprint,
+                    item.candidate.term,
+                    self._config_fingerprint,
+                )
+            )
+            if stored is not None:
+                item.features = stored
+                item.features_from_store = True
         if item.features is None:
             item.features = self._features.features_from_contexts(
                 item.candidate.term,
@@ -345,21 +383,12 @@ class DetectStage:
 
     def run(self, ctx: PipelineContext) -> None:
         cfg = ctx.config
-        processor = _DetectProcessor(
-            index=ctx.index,
-            min_contexts=cfg.min_contexts,
-            max_contexts=cfg.max_contexts_per_term,
-            window=cfg.context_window,
-            features=self._features,
-            detector=self._detector,
-            trained=self._trained,
-        )
         # Featurisation only happens with a trained detector, so only
         # then do cache lookups make sense (misses would never be
         # back-filled otherwise).
         cache = self._cache if self._trained else None
-        keys: dict[int, tuple[str, str, str]] = {}
-        prefilled: set[int] = set()
+        corpus_fp = config_fp = ""
+        worker_store: DiskCacheStore | None = None
         if cache is not None:
             corpus_fp = ctx.index.fingerprint()
             # Pin everything that shapes the vector: the extractor
@@ -369,6 +398,27 @@ class DetectStage:
                 f"detect_window={cfg.context_window};"
                 f"detect_cap={cfg.max_contexts_per_term}"
             )
+            if (
+                cfg.worker_backend == "process"
+                and cfg.n_workers > 1
+                and isinstance(cache.backing_store, DiskCacheStore)
+            ):
+                worker_store = cache.backing_store
+        processor = _DetectProcessor(
+            index=ctx.index,
+            min_contexts=cfg.min_contexts,
+            max_contexts=cfg.max_contexts_per_term,
+            window=cfg.context_window,
+            features=self._features,
+            detector=self._detector,
+            trained=self._trained,
+            cache_store=worker_store,
+            corpus_fingerprint=corpus_fp,
+            config_fingerprint=config_fp,
+        )
+        keys: dict[int, tuple[str, str, str]] = {}
+        prefilled: set[int] = set()
+        if cache is not None:
             for item in ctx.work:
                 key = FeatureCache.key(
                     corpus_fp, item.candidate.term, config_fp
@@ -388,13 +438,23 @@ class DetectStage:
             backend=cfg.worker_backend,
         )
         if cache is not None:
+            worker_hits = 0
             for item in ctx.work:
                 if item.contexts is None:
                     continue  # skipped before featurisation: no lookup
-                hit = id(item) in prefilled
+                hit = id(item) in prefilled or item.features_from_store
                 cache.record_lookup(hit)
-                if not hit and item.features is not None:
+                if item.features_from_store:
+                    worker_hits += 1
+                elif not hit and item.features is not None:
+                    # Single-writer merge: only the parent persists the
+                    # vectors workers computed.
                     cache.store(keys[id(item)], item.features)
+            if worker_hits:
+                # Workers read the store through their own handles, so
+                # their disk-hit counts must be merged back here (the
+                # report would under-count the process pool otherwise).
+                cache.absorb_worker_hits(worker_hits)
 
 
 class _InduceProcessor:
@@ -516,7 +576,15 @@ class OntologyEnricher:
             community_backend=cfg.community_backend,
             community_seed=cfg.seed,
         )
-        self._feature_cache = FeatureCache() if cfg.feature_cache else None
+        if cfg.feature_cache:
+            store = (
+                DiskCacheStore(cfg.cache_dir, max_bytes=cfg.cache_max_bytes)
+                if cfg.cache_dir is not None
+                else None
+            )
+            self._feature_cache = FeatureCache(store=store)
+        else:
+            self._feature_cache = None
         self._detector = PolysemyDetector(
             cfg.polysemy_classifier,
             extractor=self._feature_extractor,
@@ -581,7 +649,8 @@ class OntologyEnricher:
         on the corpus itself, so the second call is cheap either way).
         The feature cache (when enabled) also persists on the enricher,
         so repeated calls skip Step II featurisation for unchanged
-        corpora.
+        corpora; with ``cache_dir`` set it persists on disk, so even a
+        fresh enricher in a fresh process starts warm.
         """
         timings: dict[str, float] = {}
         cache_before = (
@@ -630,13 +699,17 @@ class OntologyEnricher:
             timings[stage.name] = time.perf_counter() - stage_started
         ctx.report.timings = timings
         if self._feature_cache is not None:
-            # Hits/misses are this call's delta (the cache itself is
-            # cumulative across the enricher's lifetime); entries is the
-            # absolute cache size.
+            # Hits/misses/disk_hits/evictions are this call's delta (the
+            # cache itself is cumulative across the enricher's
+            # lifetime); entries and store_bytes are the absolute state
+            # of the backing store after the call.
             after = self._feature_cache.stats
             ctx.report.cache = {
                 "hits": after["hits"] - cache_before["hits"],
                 "misses": after["misses"] - cache_before["misses"],
+                "disk_hits": after["disk_hits"] - cache_before["disk_hits"],
+                "evictions": after["evictions"] - cache_before["evictions"],
                 "entries": after["entries"],
+                "store_bytes": after["store_bytes"],
             }
         return ctx.report

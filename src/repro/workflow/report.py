@@ -66,9 +66,12 @@ class EnrichmentReport:
         :meth:`repro.workflow.pipeline.OntologyEnricher.enrich`.
     cache:
         Feature-cache effectiveness counters (see
-        :class:`repro.polysemy.cache.FeatureCache`): ``hits`` and
-        ``misses`` are this ``enrich`` call's delta, ``entries`` the
-        absolute cache size after the call.  Empty when the cache is
+        :class:`repro.polysemy.cache.FeatureCache`): ``hits``,
+        ``misses``, ``disk_hits`` (lookups served by reading the
+        persistent store, including process-pool workers' direct
+        reads), and ``evictions`` are this ``enrich`` call's delta;
+        ``entries`` and ``store_bytes`` are the absolute state of the
+        backing store after the call.  Empty when the cache is
         disabled.
     detector_trained:
         Whether Step II classified with a trained polysemy detector.

@@ -1,0 +1,385 @@
+"""DiskCacheStore behaviour: layout, sharing, eviction, corruption, wiring."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.polysemy.cache import FeatureCache
+from repro.polysemy.cache_store import (
+    CacheStore,
+    DiskCacheStore,
+    MemoryCacheStore,
+)
+from repro.scenarios import make_enrichment_scenario
+from repro.workflow.config import EnrichmentConfig
+from repro.workflow.pipeline import OntologyEnricher
+
+
+def key(term: str, corpus: str = "corpus-fp", config: str = "config-fp"):
+    return FeatureCache.key(corpus, term, config)
+
+
+def vector(seed: int, n: int = 23) -> np.ndarray:
+    return np.random.default_rng(seed).normal(size=n)
+
+
+class TestProtocol:
+    def test_both_backends_satisfy_the_protocol(self, tmp_path):
+        assert isinstance(MemoryCacheStore(), CacheStore)
+        assert isinstance(DiskCacheStore(tmp_path), CacheStore)
+
+    def test_invalid_sizes_rejected(self, tmp_path):
+        with pytest.raises(ValidationError, match="max_bytes"):
+            DiskCacheStore(tmp_path, max_bytes=0)
+        with pytest.raises(ValidationError, match="shard_max_bytes"):
+            DiskCacheStore(tmp_path, shard_max_bytes=0)
+
+
+class TestDiskRoundTrip:
+    def test_miss_put_get(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        assert store.get(key("heart attack")) is None
+        vec = vector(0)
+        store.put(key("heart attack"), vec)
+        np.testing.assert_array_equal(store.get(key("heart attack")), vec)
+        assert len(store) == 1
+
+    def test_fresh_handle_reads_from_disk(self, tmp_path):
+        vec = vector(1)
+        DiskCacheStore(tmp_path).put(key("term"), vec)
+        reopened = DiskCacheStore(tmp_path)
+        got = reopened.get(key("term"))
+        np.testing.assert_array_equal(got, vec)
+        assert got.dtype == vec.dtype
+        assert reopened.stats()["disk_hits"] == 1
+        # Second read is served from the in-process memo.
+        reopened.get(key("term"))
+        assert reopened.stats()["disk_hits"] == 1
+
+    def test_last_write_wins(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        store.put(key("term"), vector(0))
+        store.put(key("term"), vector(1))
+        np.testing.assert_array_equal(store.get(key("term")), vector(1))
+        assert len(store) == 1
+        reopened = DiskCacheStore(tmp_path)
+        np.testing.assert_array_equal(reopened.get(key("term")), vector(1))
+
+    def test_concurrent_writer_is_picked_up_without_reopen(self, tmp_path):
+        reader = DiskCacheStore(tmp_path)
+        assert reader.get(key("term")) is None
+        writer = DiskCacheStore(tmp_path)  # simulates another process
+        writer.put(key("term"), vector(2))
+        np.testing.assert_array_equal(reader.get(key("term")), vector(2))
+
+    def test_pickle_reopens_the_same_directory(self, tmp_path):
+        store = DiskCacheStore(tmp_path, max_bytes=10_000)
+        store.put(key("term"), vector(3))
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.cache_dir == store.cache_dir
+        assert clone.max_bytes == 10_000
+        np.testing.assert_array_equal(clone.get(key("term")), vector(3))
+
+    def test_clear_empties_disk_and_counters(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        store.put(key("term"), vector(4))
+        store.clear()
+        assert len(store) == 0
+        assert store.get(key("term")) is None
+        assert store.stats() == {
+            "disk_hits": 0,
+            "evictions": 0,
+            "store_bytes": 0,
+        }
+
+
+class TestFingerprintGenerations:
+    def test_fingerprints_never_collide(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        store.put(key("t", corpus="c1", config="f1"), vector(0))
+        assert store.get(key("t", corpus="c2", config="f1")) is None
+        assert store.get(key("t", corpus="c1", config="f2")) is None
+        assert store.get(key("t2", corpus="c1", config="f1")) is None
+        assert store.get(key("t", corpus="c1", config="f1")) is not None
+
+    def test_each_fingerprint_pair_gets_its_own_directory(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        store.put(key("t", corpus="c1"), vector(0))
+        store.put(key("t", corpus="c2"), vector(1))
+        generations = [p for p in tmp_path.iterdir() if p.is_dir()]
+        assert len(generations) == 2
+        assert len(store) == 2
+
+
+class TestShardingAndEviction:
+    def test_shards_rotate_at_the_size_cap(self, tmp_path):
+        store = DiskCacheStore(tmp_path, shard_max_bytes=256)
+        for i in range(8):
+            store.put(key(f"term {i}"), vector(i))
+        generation = next(p for p in tmp_path.iterdir() if p.is_dir())
+        shards = sorted(generation.glob("shard-*.bin"))
+        assert len(shards) > 1
+        for i in range(8):  # every entry still readable across shards
+            np.testing.assert_array_equal(
+                store.get(key(f"term {i}")), vector(i)
+            )
+
+    def test_size_cap_evicts_oldest_entries_first(self, tmp_path):
+        store = DiskCacheStore(
+            tmp_path, max_bytes=2_000, shard_max_bytes=256
+        )
+        for i in range(30):
+            store.put(key(f"term {i}"), vector(i))
+        stats = store.stats()
+        assert stats["evictions"] > 0
+        assert stats["store_bytes"] <= 2_000
+        # The most recent write always survives; the very first is gone.
+        np.testing.assert_array_equal(store.get(key("term 29")), vector(29))
+        assert store.get(key("term 0")) is None
+
+    def test_stale_generations_evicted_before_active_entries(self, tmp_path):
+        store = DiskCacheStore(tmp_path, max_bytes=6_000)
+        for i in range(12):
+            store.put(key(f"old {i}", corpus="old-corpus"), vector(i))
+        old_count = len(store)
+        assert old_count == 12
+        # Writing a new generation past the cap drops the stale one
+        # wholesale, not the entries just written.
+        for i in range(12):
+            store.put(key(f"new {i}", corpus="new-corpus"), vector(100 + i))
+        assert store.get(key("new 11", corpus="new-corpus")) is not None
+        assert store.get(key("old 0", corpus="old-corpus")) is None
+        assert store.stats()["evictions"] >= old_count
+
+    def test_reads_keep_a_generation_alive(self, tmp_path):
+        import time
+
+        store = DiskCacheStore(tmp_path, max_bytes=6_000)
+        for i in range(8):
+            store.put(key(f"read {i}", corpus="read-corpus"), vector(i))
+        time.sleep(0.02)
+        for i in range(8):
+            store.put(key(f"idle {i}", corpus="idle-corpus"), vector(50 + i))
+        time.sleep(0.02)
+        # A warm, read-only run touches the first generation: LRU is
+        # by *use*, so the unread one must be the eviction victim.
+        reader = DiskCacheStore(tmp_path, max_bytes=6_000)
+        assert reader.get(key("read 0", corpus="read-corpus")) is not None
+        time.sleep(0.02)
+        writer = DiskCacheStore(tmp_path, max_bytes=6_000)
+        for i in range(12):
+            writer.put(key(f"new {i}", corpus="new-corpus"), vector(100 + i))
+        survivor = DiskCacheStore(tmp_path)
+        assert survivor.get(key("idle 0", corpus="idle-corpus")) is None
+        assert survivor.get(key("read 0", corpus="read-corpus")) is not None
+
+    def test_eviction_survives_a_reopen(self, tmp_path):
+        store = DiskCacheStore(tmp_path, max_bytes=2_000, shard_max_bytes=256)
+        for i in range(30):
+            store.put(key(f"term {i}"), vector(i))
+        reopened = DiskCacheStore(tmp_path)
+        assert len(reopened) == len(store)
+        np.testing.assert_array_equal(
+            reopened.get(key("term 29")), vector(29)
+        )
+
+
+class TestCorruptionTolerance:
+    def put_two(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        store.put(key("first"), vector(0))
+        store.put(key("second"), vector(1))
+        return store
+
+    def generation_dir(self, tmp_path):
+        return next(p for p in tmp_path.iterdir() if p.is_dir())
+
+    def test_truncated_shard_is_a_miss_not_a_crash(self, tmp_path):
+        self.put_two(tmp_path)
+        shard = next(self.generation_dir(tmp_path).glob("shard-*.bin"))
+        data = shard.read_bytes()
+        shard.write_bytes(data[: len(data) // 2])
+        reopened = DiskCacheStore(tmp_path)
+        np.testing.assert_array_equal(reopened.get(key("first")), vector(0))
+        assert reopened.get(key("second")) is None
+
+    def test_flipped_byte_fails_the_crc_check(self, tmp_path):
+        self.put_two(tmp_path)
+        shard = next(self.generation_dir(tmp_path).glob("shard-*.bin"))
+        data = bytearray(shard.read_bytes())
+        data[-1] ^= 0xFF
+        shard.write_bytes(bytes(data))
+        reopened = DiskCacheStore(tmp_path)
+        np.testing.assert_array_equal(reopened.get(key("first")), vector(0))
+        assert reopened.get(key("second")) is None
+
+    def test_garbage_index_lines_are_skipped(self, tmp_path):
+        self.put_two(tmp_path)
+        index = self.generation_dir(tmp_path) / "index.jsonl"
+        lines = index.read_bytes().splitlines(keepends=True)
+        index.write_bytes(
+            b"not json at all\n" + lines[0] + b'{"term": 3}\n' + lines[1]
+        )
+        reopened = DiskCacheStore(tmp_path)
+        np.testing.assert_array_equal(reopened.get(key("first")), vector(0))
+        np.testing.assert_array_equal(reopened.get(key("second")), vector(1))
+        assert len(reopened) == 2
+
+    def test_torn_trailing_index_line_is_ignored(self, tmp_path):
+        self.put_two(tmp_path)
+        index = self.generation_dir(tmp_path) / "index.jsonl"
+        data = index.read_bytes()
+        index.write_bytes(data[:-10])  # writer died mid-append
+        reopened = DiskCacheStore(tmp_path)
+        np.testing.assert_array_equal(reopened.get(key("first")), vector(0))
+        assert reopened.get(key("second")) is None
+
+    def test_next_put_is_not_glued_onto_a_torn_index_tail(self, tmp_path):
+        # A writer killed mid-append leaves a torn trailing line; the
+        # next successful put must still be durable for fresh readers.
+        self.put_two(tmp_path)
+        index = self.generation_dir(tmp_path) / "index.jsonl"
+        index.write_bytes(index.read_bytes()[:-10])  # torn, no newline
+        writer = DiskCacheStore(tmp_path)
+        writer.put(key("third"), vector(2))
+        fresh = DiskCacheStore(tmp_path)
+        np.testing.assert_array_equal(fresh.get(key("first")), vector(0))
+        np.testing.assert_array_equal(fresh.get(key("third")), vector(2))
+        assert fresh.get(key("second")) is None  # the torn entry itself
+
+    def test_put_survives_a_concurrent_eviction_of_its_generation(
+        self, tmp_path
+    ):
+        import shutil
+
+        store = DiskCacheStore(tmp_path)
+        store.put(key("first"), vector(0))
+        # Another process's LRU eviction drops the whole generation
+        # between two of our writes.
+        shutil.rmtree(self.generation_dir(tmp_path))
+        store.put(key("second"), vector(1))  # must not raise
+        fresh = DiskCacheStore(tmp_path)
+        assert fresh.get(key("first")) is None
+        np.testing.assert_array_equal(fresh.get(key("second")), vector(1))
+
+    def test_missing_shard_file_is_a_miss(self, tmp_path):
+        store = self.put_two(tmp_path)
+        for shard in self.generation_dir(tmp_path).glob("shard-*.bin"):
+            shard.unlink()
+        reopened = DiskCacheStore(tmp_path)
+        assert reopened.get(key("first")) is None
+        assert reopened.get(key("second")) is None
+        # The handle that wrote them still serves from its memo.
+        np.testing.assert_array_equal(store.get(key("first")), vector(0))
+
+
+class TestConfigWiring:
+    def test_cache_dir_requires_feature_cache(self, tmp_path):
+        with pytest.raises(ValidationError, match="cache_dir"):
+            EnrichmentConfig(cache_dir=str(tmp_path), feature_cache=False)
+
+    def test_cache_max_bytes_requires_cache_dir(self):
+        with pytest.raises(ValidationError, match="cache_max_bytes"):
+            EnrichmentConfig(cache_max_bytes=1_000_000)
+
+    def test_cache_max_bytes_must_be_positive(self, tmp_path):
+        with pytest.raises(ValidationError, match="cache_max_bytes"):
+            EnrichmentConfig(cache_dir=str(tmp_path), cache_max_bytes=0)
+
+
+class TestWorkflowPersistence:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return make_enrichment_scenario(
+            seed=5, n_concepts=25, docs_per_concept=5,
+            polysemy_histogram={2: 4},
+        )
+
+    def run(self, scenario, cache_dir, **kwargs):
+        config = EnrichmentConfig(
+            n_candidates=8, cache_dir=str(cache_dir), **kwargs
+        )
+        enricher = OntologyEnricher(
+            scenario.ontology, config=config,
+            pos_lexicon=scenario.pos_lexicon,
+        )
+        return enricher.enrich(scenario.corpus)
+
+    @staticmethod
+    def outcome(report):
+        return [
+            (
+                t.term, t.polysemic, t.n_senses, t.skipped_reason,
+                [(p.rank, p.term, p.cosine) for p in t.propositions],
+            )
+            for t in report.terms
+        ]
+
+    def test_warm_run_from_a_fresh_enricher(self, scenario, tmp_path):
+        cold = self.run(scenario, tmp_path)
+        assert cold.cache["misses"] > 0
+        assert cold.cache["disk_hits"] == 0
+        assert cold.cache["store_bytes"] > 0
+        warm = self.run(scenario, tmp_path)  # brand-new enricher
+        assert warm.cache["misses"] == 0
+        assert warm.cache["hits"] == cold.cache["misses"]
+        assert warm.cache["disk_hits"] == warm.cache["hits"]
+        assert self.outcome(warm) == self.outcome(cold)
+
+    def test_warm_process_pool_counters_match_thread(self, scenario, tmp_path):
+        cold = self.run(scenario, tmp_path)
+        threaded = self.run(
+            scenario, tmp_path, n_workers=2, worker_backend="thread"
+        )
+        process = self.run(
+            scenario, tmp_path, n_workers=2, worker_backend="process",
+            batch_size=2,
+        )
+        assert process.cache == threaded.cache
+        assert process.cache["hits"] == cold.cache["misses"]
+        assert process.cache["misses"] == 0
+        assert self.outcome(process) == self.outcome(cold)
+
+    def test_worker_store_hits_are_merged_back(
+        self, scenario, tmp_path, monkeypatch
+    ):
+        # Regression: lookups that pool workers serve straight from the
+        # shared store must flow back into the parent's counters, or
+        # EnrichmentReport.cache under-reports the process pool.  Blind
+        # the parent's prefill (record=False peeks only) so every
+        # detect-stage lookup can only be satisfied inside a worker.
+        self.run(scenario, tmp_path)  # populate the store
+        original = FeatureCache.lookup
+
+        def blinded(self, key, *, record=True):
+            if not record:
+                return None
+            return original(self, key, record=record)
+
+        monkeypatch.setattr(FeatureCache, "lookup", blinded)
+        report = self.run(
+            scenario, tmp_path, n_workers=2, worker_backend="process",
+            batch_size=2,
+        )
+        featurised = [
+            t for t in report.terms if t.skipped_reason is None
+        ]
+        assert featurised
+        # Every featurised candidate was a worker-side store hit: no
+        # misses, and the disk-hit counter includes the workers' reads.
+        assert report.cache["misses"] == 0
+        assert report.cache["hits"] >= len(featurised)
+        assert report.cache["disk_hits"] >= len(featurised)
+
+    def test_capped_store_still_produces_identical_reports(
+        self, scenario, tmp_path
+    ):
+        cold = self.run(scenario, tmp_path)
+        capped_dir = tmp_path / "capped"
+        capped = self.run(
+            scenario, capped_dir, cache_max_bytes=4_096
+        )
+        assert self.outcome(capped) == self.outcome(cold)
+        assert capped.cache["store_bytes"] <= 4_096 + 2_048

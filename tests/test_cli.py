@@ -137,3 +137,34 @@ class TestEnrich:
             ["enrich", "--ontology", "o", "--corpus", "c"]
         )
         assert args.index_shards == 1
+
+    def test_cache_flags_default_off(self):
+        args = build_parser().parse_args(
+            ["enrich", "--ontology", "o", "--corpus", "c"]
+        )
+        assert args.cache_dir is None
+        assert args.cache_max_bytes is None
+
+    def test_enrich_with_cache_dir_warm_second_invocation(
+        self, scenario_dir, tmp_path, capsys
+    ):
+        cache_dir = tmp_path / "feature-cache"
+        argv = [
+            "enrich",
+            "--ontology", str(scenario_dir / "ontology.json"),
+            "--corpus", str(scenario_dir / "corpus.jsonl"),
+            "--candidates", "3",
+            "--top-k", "3",
+            "--cache-dir", str(cache_dir),
+            "--timings",
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert cache_dir.is_dir()
+        # A second CLI invocation is a fresh process in spirit: a new
+        # enricher warm-started purely from the on-disk store.
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "disk_hits" in warm
+        report_of = lambda out: out.split("Stage timings")[0]  # noqa: E731
+        assert report_of(warm) == report_of(cold)

@@ -23,6 +23,7 @@ def examples_on_path(monkeypatch):
             "enrich_mesh_snapshot",
             "index_reuse",
             "streaming_enrichment",
+            "persistent_cache",
         }:
             del sys.modules[name]
 
@@ -79,3 +80,9 @@ class TestExamples:
                           docs_per_concept=3)
         assert "index patched in place: True" in out
         assert "re-enrich" in out
+
+    def test_persistent_cache(self, capsys):
+        out = run_example("persistent_cache", capsys, n_concepts=15,
+                          docs_per_concept=4)
+        assert "identical reports: True" in out
+        assert "vectors served from disk" in out

@@ -17,7 +17,10 @@ class TestFeatureCache:
         assert cache.lookup(key) is None
         cache.store(key, np.arange(3.0))
         np.testing.assert_array_equal(cache.lookup(key), np.arange(3.0))
-        assert cache.stats == {"hits": 1, "misses": 1, "entries": 1}
+        stats = cache.stats
+        assert (stats["hits"], stats["misses"], stats["entries"]) == (1, 1, 1)
+        assert stats["disk_hits"] == 0 and stats["evictions"] == 0
+        assert stats["store_bytes"] == np.arange(3.0).nbytes
         assert len(cache) == 1
 
     def test_distinct_key_components_do_not_collide(self):
@@ -34,7 +37,9 @@ class TestFeatureCache:
         cache.lookup(FeatureCache.key("c", "t", "f"))
         cache.clear()
         assert len(cache) == 0
-        assert cache.stats == {"hits": 0, "misses": 0, "entries": 0}
+        stats = cache.stats
+        assert (stats["hits"], stats["misses"], stats["entries"]) == (0, 0, 0)
+        assert stats["store_bytes"] == 0
 
 
 class TestFingerprints:

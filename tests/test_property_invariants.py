@@ -1,5 +1,8 @@
 """Cross-module property-based tests on core invariants (hypothesis)."""
 
+import tempfile
+from pathlib import Path
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -14,6 +17,10 @@ from repro.ontology.generator import GeneratorSpec, OntologyGenerator
 from repro.ontology.io import ontology_from_json, ontology_to_json
 from repro.ontology.snapshot import snapshot_before
 from repro.ontology.stats import polysemy_histogram
+from repro.polysemy.cache import FeatureCache
+from repro.polysemy.cache_store import DiskCacheStore, MemoryCacheStore
+from repro.polysemy.dataset import build_polysemy_dataset
+from repro.scenarios import make_enrichment_scenario
 
 # -- strategies ---------------------------------------------------------------
 
@@ -137,3 +144,157 @@ class TestRetrievalConsistency:
         assert len(via_batch) == len(via_single)
         for batch_ctx, single_ctx in zip(via_batch, via_single):
             assert batch_ctx == single_ctx.tokens
+
+
+# -- cache-store strategies ---------------------------------------------------
+
+payload_dtype = st.sampled_from(["<f8", "<f4", "<i8", "<i4", "<u2", "<c16"])
+payload_shape = st.one_of(
+    st.tuples(),  # 0-d scalar array
+    st.tuples(st.integers(min_value=0, max_value=23)),
+    st.tuples(
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=0, max_value=6),
+    ),
+)
+
+
+def payload_array(dtype_str: str, shape: tuple, seed: int) -> np.ndarray:
+    """A deterministic array, NaN/inf-spiked for float dtypes."""
+    rng = np.random.default_rng(seed)
+    dtype = np.dtype(dtype_str)
+    if dtype.kind == "c":
+        values = rng.normal(size=shape) + 1j * rng.normal(size=shape)
+    elif dtype.kind == "f":
+        values = rng.normal(size=shape) * 1e6
+    else:
+        values = rng.integers(0, 1000, size=shape)
+    array = np.asarray(values).astype(dtype)
+    if dtype.kind in "fc" and array.size:
+        flat = array.reshape(-1).copy()
+        spikes = rng.integers(0, flat.size, size=min(3, flat.size))
+        flat[spikes[0]] = np.nan
+        if len(spikes) > 1:
+            flat[spikes[1]] = np.inf
+        if len(spikes) > 2:
+            flat[spikes[2]] = -np.inf
+        array = flat.reshape(shape)
+    return array
+
+
+def byte_identical(a: np.ndarray, b: np.ndarray) -> bool:
+    return (
+        a is not None
+        and b is not None
+        and a.dtype == b.dtype
+        and a.shape == b.shape
+        and a.tobytes() == b.tobytes()
+    )
+
+
+class TestCacheStoreParity:
+    """DiskCacheStore must be indistinguishable from the in-memory dict."""
+
+    @given(
+        dtype_str=payload_dtype,
+        shape=payload_shape,
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_disk_roundtrip_matches_memory_byte_identically(
+        self, dtype_str, shape, seed
+    ):
+        array = payload_array(dtype_str, shape, seed)
+        key = FeatureCache.key("corpus-fp", f"term {seed}", "config-fp")
+        memory = MemoryCacheStore()
+        memory.put(key, array)
+        with tempfile.TemporaryDirectory() as cache_dir:
+            disk = DiskCacheStore(cache_dir)
+            disk.put(key, array)
+            same_handle = disk.get(key)
+            reopened = DiskCacheStore(cache_dir).get(key)
+        expected = memory.get(key)
+        assert byte_identical(same_handle, expected)
+        assert byte_identical(reopened, expected)
+
+    @given(
+        n_entries=st.integers(min_value=1, max_value=6),
+        cut=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_truncated_shard_never_yields_a_wrong_vector(
+        self, n_entries, cut, seed
+    ):
+        arrays = {
+            f"term {i}": payload_array("<f8", (23,), seed + i)
+            for i in range(n_entries)
+        }
+        with tempfile.TemporaryDirectory() as cache_dir:
+            writer = DiskCacheStore(cache_dir)
+            for term, array in arrays.items():
+                writer.put(FeatureCache.key("c", term, "f"), array)
+            shard = next(Path(cache_dir).glob("*/shard-*.bin"))
+            data = shard.read_bytes()
+            shard.write_bytes(data[: int(len(data) * cut)])
+            survivor = DiskCacheStore(cache_dir)
+            for term, array in arrays.items():
+                got = survivor.get(FeatureCache.key("c", term, "f"))
+                # Simulated partial write: an entry either survives
+                # byte-identically or is a clean miss — never garbage.
+                assert got is None or byte_identical(got, array)
+
+    @given(
+        n_entries=st.integers(min_value=1, max_value=6),
+        cut=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_truncated_index_never_yields_a_wrong_vector(
+        self, n_entries, cut, seed
+    ):
+        arrays = {
+            f"term {i}": payload_array("<f4", (11,), seed + i)
+            for i in range(n_entries)
+        }
+        with tempfile.TemporaryDirectory() as cache_dir:
+            writer = DiskCacheStore(cache_dir)
+            for term, array in arrays.items():
+                writer.put(FeatureCache.key("c", term, "f"), array)
+            index = next(Path(cache_dir).glob("*/index.jsonl"))
+            data = index.read_bytes()
+            index.write_bytes(data[: int(len(data) * cut)])
+            survivor = DiskCacheStore(cache_dir)
+            for term, array in arrays.items():
+                got = survivor.get(FeatureCache.key("c", term, "f"))
+                assert got is None or byte_identical(got, array)
+
+    @pytest.mark.parametrize("seed", [0, 7, 23])
+    def test_seeded_corpus_features_roundtrip_through_disk(self, seed):
+        scenario = make_enrichment_scenario(
+            seed=seed, n_concepts=12, docs_per_concept=3,
+            polysemy_histogram={2: 2},
+        )
+        kwargs = dict(min_contexts=2, seed=0)
+        in_memory = build_polysemy_dataset(
+            scenario.ontology, scenario.corpus,
+            cache=FeatureCache(), **kwargs,
+        )
+        with tempfile.TemporaryDirectory() as cache_dir:
+            persisted = build_polysemy_dataset(
+                scenario.ontology, scenario.corpus,
+                cache=FeatureCache(store=DiskCacheStore(cache_dir)),
+                **kwargs,
+            )
+            # A fresh handle (a new run) must rebuild the identical
+            # matrix purely from disk.
+            warm_cache = FeatureCache(store=DiskCacheStore(cache_dir))
+            warm = build_polysemy_dataset(
+                scenario.ontology, scenario.corpus,
+                cache=warm_cache, **kwargs,
+            )
+        assert byte_identical(persisted.X, in_memory.X)
+        assert byte_identical(warm.X, in_memory.X)
+        assert warm.terms == in_memory.terms
+        assert warm_cache.stats["misses"] == 0
+        assert warm_cache.stats["disk_hits"] == in_memory.n_samples

@@ -270,9 +270,17 @@ class TestCommunityBackendKnob:
 class TestFeatureCacheWiring:
     def test_report_exposes_cache_counters(self, scenario):
         report = enrich(scenario)
-        assert set(report.cache) == {"hits", "misses", "entries"}
+        assert set(report.cache) == {
+            "hits", "misses", "disk_hits", "evictions", "entries",
+            "store_bytes",
+        }
         assert report.cache["misses"] > 0
         assert report.cache["entries"] > 0
+        # In-memory backend: nothing is ever served from (or evicted
+        # off) disk, but the resident vectors have a measurable size.
+        assert report.cache["disk_hits"] == 0
+        assert report.cache["evictions"] == 0
+        assert report.cache["store_bytes"] > 0
 
     def test_cache_disabled_reports_empty(self, scenario):
         report = enrich(scenario, feature_cache=False)
