@@ -1,0 +1,136 @@
+"""Cache-service benchmark: warm-over-HTTP vs cold enrichment.
+
+The served deployment claim (see :mod:`repro.service`): a long-lived
+``repro serve`` process owns the feature store, and *any* pipeline run
+pointing ``cache_url`` at it — a fresh enricher, a fresh process, a
+different machine — starts warm.  Recorded in
+``BENCH_cache_service.json``:
+
+* two runs sharing one server produce byte-identical reports, and the
+  second (warm) run's wall time is measurably below the cold run's
+  (``remote_hits > 0``, zero featurisation misses);
+* killing the server mid-deployment degrades the next run to clean
+  misses (``remote_errors > 0``), never an exception — the dead-server
+  run is also timed, bounding the cost of total service loss.
+"""
+
+import tempfile
+import time
+
+from benchmarks.conftest import emit_bench_json, print_paper_vs_measured, run_once
+from repro.polysemy.cache_store import DiskCacheStore
+from repro.scenarios import make_enrichment_scenario
+from repro.service.server import CacheServiceServer
+from repro.workflow.config import EnrichmentConfig
+from repro.workflow.pipeline import OntologyEnricher
+
+
+def outcome(report):
+    return [
+        (
+            t.term, t.polysemic, t.n_senses, t.skipped_reason,
+            [(p.rank, p.term, p.cosine) for p in t.propositions],
+        )
+        for t in report.terms
+    ]
+
+
+def run_measurements(n_concepts: int, docs_per_concept: int, seed: int,
+                     n_candidates: int):
+    scenario = make_enrichment_scenario(
+        seed=seed,
+        n_concepts=n_concepts,
+        docs_per_concept=docs_per_concept,
+    )
+    server = CacheServiceServer(
+        DiskCacheStore(tempfile.mkdtemp(prefix="bench-cache-service-")),
+        host="127.0.0.1",
+        port=0,
+    )
+    server.start()
+
+    def enrich_once():
+        # A brand-new enricher per run: nothing warm survives in-process,
+        # only what the service holds behind cache_url.
+        config = EnrichmentConfig(
+            n_candidates=n_candidates, cache_url=server.url, seed=0
+        )
+        enricher = OntologyEnricher(
+            scenario.ontology, config=config,
+            pos_lexicon=scenario.pos_lexicon,
+        )
+        started = time.perf_counter()
+        report = enricher.enrich(scenario.corpus)
+        return report, time.perf_counter() - started
+
+    try:
+        cold_report, cold_seconds = enrich_once()
+        warm_report, warm_seconds = enrich_once()
+    finally:
+        server.stop()
+    # The server is gone: the same config must still complete, eating
+    # one clean miss (plus one dropped write) per featurised candidate.
+    dead_report, dead_seconds = enrich_once()
+
+    assert outcome(cold_report) == outcome(warm_report), \
+        "served caching changed the enrichment output"
+    assert outcome(cold_report) == outcome(dead_report), \
+        "losing the service changed the enrichment output"
+    assert warm_report.cache["misses"] == 0, \
+        "warm run should featurise nothing"
+    assert warm_report.cache["remote_hits"] == warm_report.cache["hits"]
+    assert dead_report.cache["remote_errors"] > 0
+    assert dead_report.cache["remote_hits"] == 0
+
+    return {
+        "n_documents": scenario.corpus.n_documents(),
+        "n_tokens": scenario.corpus.n_tokens(),
+        "n_candidates": n_candidates,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "dead_server_seconds": dead_seconds,
+        "cold_cache": cold_report.cache,
+        "warm_cache": warm_report.cache,
+        "dead_server_cache": dead_report.cache,
+        "cold_stage_seconds": cold_report.timings,
+        "warm_stage_seconds": warm_report.timings,
+    }
+
+
+def test_warm_over_http_vs_cold(benchmark, scale):
+    n_concepts = 60 if scale == "paper" else 30
+    result = run_once(
+        benchmark,
+        run_measurements,
+        n_concepts=n_concepts,
+        docs_per_concept=6,
+        seed=5,
+        n_candidates=10,
+    )
+    speedup = result["cold_seconds"] / max(result["warm_seconds"], 1e-9)
+    print_paper_vs_measured(
+        "Cache service: warm-over-HTTP enrichment "
+        f"({result['n_documents']} docs, {result['n_tokens']:,} tokens)",
+        [
+            ("cold enrich (s)", "-", f"{result['cold_seconds']:.4f}"),
+            ("warm enrich (s)", "-", f"{result['warm_seconds']:.4f}"),
+            ("dead-server enrich (s)", "-",
+             f"{result['dead_server_seconds']:.4f}"),
+            ("warm speedup", "-", f"{speedup:.2f}x"),
+            ("cold misses", "-", result["cold_cache"]["misses"]),
+            ("warm remote hits", "-", result["warm_cache"]["remote_hits"]),
+            ("dead-server remote errors", "-",
+             result["dead_server_cache"]["remote_errors"]),
+        ],
+    )
+    emit_bench_json(
+        "cache_service", {**result, "warm_speedup": speedup}
+    )
+
+    # The acceptance bar: sharing a server must make the second run
+    # measurably faster than the cold one, and the warm vectors must
+    # actually have travelled over HTTP.
+    assert result["warm_cache"]["remote_hits"] > 0
+    assert speedup >= 1.3, (
+        f"warm-over-HTTP run is only {speedup:.2f}x faster than cold"
+    )

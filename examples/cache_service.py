@@ -1,0 +1,114 @@
+"""Served deployment on localhost: one cache service, many warm clients.
+
+The Aber-OWL lesson applied to enrichment: put the shared state behind
+a long-lived HTTP service.  This example boots ``repro serve``
+in-process on an ephemeral port, registers a corpus for server-side
+jobs, then
+
+1. runs a **cold** pipeline against ``cache_url`` (every Step II vector
+   is computed and pushed to the service),
+2. runs a **warm** pipeline from a brand-new enricher — every vector
+   arrives over HTTP (``remote_hits``), no featurisation happens,
+3. submits the same enrichment as a **server-side job** and polls it,
+4. stops the server and runs once more: every lookup degrades to a
+   clean miss (``remote_errors``), the report is unchanged.
+
+Run: ``PYTHONPATH=src python examples/cache_service.py``
+
+Against a real deployment, replace the in-process server with::
+
+    repro serve --cache-dir /var/cache/repro --port 8750 \\
+        --scenario demo=/data/demo
+    repro enrich ... --cache-url http://cache-host:8750
+"""
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.corpus.io import write_corpus_jsonl
+from repro.ontology.io import write_ontology_json
+from repro.polysemy.cache_store import DiskCacheStore
+from repro.scenarios import make_enrichment_scenario
+from repro.service.client import ServiceClient
+from repro.service.server import CacheServiceServer
+from repro.workflow.config import EnrichmentConfig
+from repro.workflow.pipeline import OntologyEnricher
+
+
+def enrich_with_fresh_enricher(scenario, cache_url: str):
+    config = EnrichmentConfig(
+        n_candidates=8, cache_url=cache_url, cache_timeout=0.5, seed=0
+    )
+    enricher = OntologyEnricher(
+        scenario.ontology, config=config, pos_lexicon=scenario.pos_lexicon
+    )
+    started = time.perf_counter()
+    report = enricher.enrich(scenario.corpus)
+    return report, time.perf_counter() - started
+
+
+def main(n_concepts: int = 30, docs_per_concept: int = 5) -> None:
+    scenario = make_enrichment_scenario(
+        seed=5, n_concepts=n_concepts, docs_per_concept=docs_per_concept
+    )
+    workdir = Path(tempfile.mkdtemp(prefix="repro-cache-service-"))
+    write_ontology_json(scenario.ontology, workdir / "ontology.json")
+    write_corpus_jsonl(scenario.corpus, workdir / "corpus.jsonl")
+
+    server = CacheServiceServer(
+        DiskCacheStore(workdir / "cache"),
+        host="127.0.0.1",
+        port=0,  # ephemeral
+        corpora={
+            "demo": (workdir / "ontology.json", workdir / "corpus.jsonl")
+        },
+    )
+    server.start()
+    print(f"cache service listening on {server.url}")
+
+    cold, cold_seconds = enrich_with_fresh_enricher(scenario, server.url)
+    print(
+        f"cold run : {cold_seconds:.2f}s — "
+        f"{cold.cache['misses']} misses pushed to the service"
+    )
+    warm, warm_seconds = enrich_with_fresh_enricher(scenario, server.url)
+    print(
+        f"warm run : {warm_seconds:.2f}s — "
+        f"{warm.cache['remote_hits']} vectors served over HTTP, "
+        f"{warm.cache['misses']} misses "
+        f"({cold_seconds / max(warm_seconds, 1e-9):.1f}x faster)"
+    )
+    assert warm.cache["remote_hits"] > 0 and warm.cache["misses"] == 0
+
+    # The service also *runs* enrichment: submit, poll, fetch.
+    client = ServiceClient(server.url)
+    job_id = client.submit_job("demo", config={"n_candidates": 8})
+    document = client.wait_for_job(job_id, timeout=300)
+    print(
+        f"job {job_id}: {document['status']}, "
+        f"{document['report']['n_candidates']} candidates, "
+        f"cache {document['report']['cache']['hits']} hits"
+    )
+
+    # Identical output with and without the service, warm or cold.
+    rows = lambda report: json.dumps(  # noqa: E731
+        [t.to_dict() for t in report.terms], sort_keys=True
+    )
+    assert rows(cold) == rows(warm)
+
+    server.stop()
+    dead, dead_seconds = enrich_with_fresh_enricher(scenario, server.url)
+    print(
+        f"dead run : {dead_seconds:.2f}s — server gone, "
+        f"{dead.cache['remote_errors']} failures degraded to misses, "
+        "report unchanged"
+    )
+    assert dead.cache["remote_errors"] > 0
+    assert rows(dead) == rows(cold)
+    print("served deployment round trip OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,11 +1,15 @@
 """Command-line interface.
 
-Four subcommands mirror how a downstream user drives the library:
+Six subcommands mirror how a downstream user drives the library:
 
 * ``generate`` — produce a scenario (ontology JSON + corpus JSONL);
 * ``enrich`` — run the four-step workflow over an ontology + corpus;
 * ``link`` — position one candidate term (Table 3 style output);
-* ``evaluate`` — run the Table 4 protocol over held-out terms.
+* ``evaluate`` — run the Table 4 protocol over held-out terms;
+* ``serve`` — run the HTTP enrichment & shared-cache service
+  (see :mod:`repro.service`);
+* ``cache-info`` — inspect a feature-cache store's layout, on disk
+  (``--cache-dir``) or through a live service (``--cache-url``).
 
 Run ``python -m repro.cli <command> --help`` for options.
 """
@@ -14,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 from repro.clustering.community import COMMUNITY_BACKEND_NAMES
@@ -61,6 +66,8 @@ def _cmd_enrich(args: argparse.Namespace) -> int:
         feature_cache=not args.no_feature_cache,
         cache_dir=args.cache_dir,
         cache_max_bytes=args.cache_max_bytes,
+        cache_url=args.cache_url,
+        cache_timeout=args.cache_timeout,
     )
     enricher = OntologyEnricher(ontology, config=config)
     report = enricher.enrich(corpus)
@@ -138,6 +145,108 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_scenario_specs(specs: list[str]) -> dict[str, tuple[Path, Path]]:
+    """``NAME=DIR`` specs → corpus registry (``repro generate`` layout)."""
+    corpora: dict[str, tuple[Path, Path]] = {}
+    for spec in specs:
+        name, sep, directory = spec.partition("=")
+        if not sep or not name or not directory:
+            raise SystemExit(
+                f"--scenario must look like NAME=DIR, got {spec!r}"
+            )
+        root = Path(directory)
+        corpora[name] = (root / "ontology.json", root / "corpus.jsonl")
+    return corpora
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import serve
+
+    return serve(
+        cache_dir=args.cache_dir,
+        host=args.host,
+        port=args.port,
+        cache_max_bytes=args.cache_max_bytes,
+        corpora=_parse_scenario_specs(args.scenario),
+        job_workers=args.job_workers,
+    )
+
+
+def _cmd_cache_info(args: argparse.Namespace) -> int:
+    if (args.cache_dir is None) == (args.cache_url is None):
+        print(
+            "error: exactly one of --cache-dir / --cache-url is required",
+            file=sys.stderr,
+        )
+        return 2
+    if args.cache_url is not None:
+        from repro.service.client import ServiceClient, ServiceError
+
+        try:
+            info = ServiceClient(args.cache_url).cache_info()
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        source = args.cache_url
+    else:
+        from repro.polysemy.cache_store import DiskCacheStore
+
+        if not Path(args.cache_dir).is_dir():
+            # Inspection must not create the directory it was asked to
+            # look at (DiskCacheStore would, and a typo'd path would
+            # print an empty store instead of the mistake).
+            print(
+                f"error: no cache store at {args.cache_dir}",
+                file=sys.stderr,
+            )
+            return 1
+        info = DiskCacheStore(args.cache_dir).describe()
+        source = info["cache_dir"]
+    max_bytes = info.get("max_bytes")
+    print(
+        format_table(
+            ["property", "value"],
+            [
+                ["entries", info.get("entries", 0)],
+                ["store bytes", info.get("store_bytes", 0)],
+                ["max bytes", max_bytes if max_bytes is not None else "-"],
+                ["shard max bytes", info.get("shard_max_bytes", "-")],
+                ["generations", info.get("n_generations", 0)],
+                ["session disk hits", info.get("disk_hits", 0)],
+                ["session evictions", info.get("evictions", 0)],
+            ],
+            title=f"Feature cache store at {source}",
+        )
+    )
+    generations = info.get("generations", [])
+    if generations:
+        eviction_rank = {
+            name: position + 1
+            for position, name in enumerate(info.get("eviction_order", []))
+        }
+        now = time.time()
+        print()
+        print(
+            format_table(
+                ["generation", "entries", "shards", "bytes",
+                 "idle (s)", "evict #"],
+                [
+                    [
+                        g["name"],
+                        g["entries"],
+                        g["shards"],
+                        g["bytes"],
+                        f"{max(0.0, now - g['last_used']):.0f}",
+                        eviction_rank.get(g["name"], "-"),
+                    ]
+                    for g in generations
+                ],
+                title="Generations (evict # = LRU eviction order)",
+            )
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -196,6 +305,16 @@ def build_parser() -> argparse.ArgumentParser:
         "requires --cache-dir)",
     )
     enrich.add_argument(
+        "--cache-url", default=None,
+        help="base URL of a `repro serve` cache service backing the "
+        "feature cache over HTTP (mutually exclusive with --cache-dir; "
+        "network failures degrade to cache misses)",
+    )
+    enrich.add_argument(
+        "--cache-timeout", type=float, default=5.0,
+        help="per-request network timeout (seconds) for --cache-url",
+    )
+    enrich.add_argument(
         "--timings", action="store_true",
         help="print per-stage wall times after the report",
     )
@@ -215,6 +334,49 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--end-year", type=int, default=2015)
     evaluate.add_argument("--max-terms", type=int, default=None)
     evaluate.set_defaults(fn=_cmd_evaluate)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP enrichment & shared-cache service",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8750,
+        help="listen port (0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--cache-dir", required=True,
+        help="DiskCacheStore directory the service owns and serves",
+    )
+    serve.add_argument(
+        "--cache-max-bytes", type=int, default=None,
+        help="size cap on the served store (LRU eviction above it)",
+    )
+    serve.add_argument(
+        "--scenario", action="append", default=[], metavar="NAME=DIR",
+        help="register a corpus for server-side enrichment jobs; DIR "
+        "holds ontology.json + corpus.jsonl (the `repro generate` "
+        "layout); repeatable",
+    )
+    serve.add_argument(
+        "--job-workers", type=int, default=1,
+        help="concurrent server-side enrichment jobs",
+    )
+    serve.set_defaults(fn=_cmd_serve)
+
+    info = sub.add_parser(
+        "cache-info",
+        help="inspect a feature-cache store's layout and usage",
+    )
+    info.add_argument(
+        "--cache-dir", default=None,
+        help="inspect this DiskCacheStore directory",
+    )
+    info.add_argument(
+        "--cache-url", default=None,
+        help="inspect the store behind a live `repro serve` service",
+    )
+    info.set_defaults(fn=_cmd_cache_info)
     return parser
 
 

@@ -75,7 +75,8 @@ class FeatureCache:
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
-        self._worker_disk_hits = 0
+        self._worker_store_hits = 0
+        self._worker_store_errors = 0
 
     @property
     def backing_store(self) -> CacheStore:
@@ -115,17 +116,31 @@ class FeatureCache:
             else:
                 self._misses += 1
 
-    def absorb_worker_hits(self, disk_hits: int) -> None:
+    def absorb_worker_hits(self, store_hits: int) -> None:
         """Merge lookups served to pool workers straight from the store.
 
-        ``worker_backend="process"`` workers read a shared
-        :class:`~repro.polysemy.cache_store.DiskCacheStore` through
-        their *own* handle, so their disk-hit counts never touch this
-        process's store instance; the pipeline ships them back and
-        deposits them here so :attr:`stats` reports the whole run.
+        ``worker_backend="process"`` workers read a shared store — a
+        :class:`~repro.polysemy.cache_store.DiskCacheStore` or a
+        :class:`~repro.service.client.RemoteCacheStore` — through their
+        *own* handle, so their hit counts never touch this process's
+        store instance; the pipeline ships them back and deposits them
+        here so :attr:`stats` reports the whole run.  They are counted
+        under the backend's ``WORKER_HIT_KEY`` (``disk_hits`` for local
+        stores, ``remote_hits`` for the served one).
         """
         with self._lock:
-            self._worker_disk_hits += disk_hits
+            self._worker_store_hits += store_hits
+
+    def absorb_worker_errors(self, store_errors: int) -> None:
+        """Merge store failures pool workers hit on their own handles.
+
+        The served backend counts every degraded-to-miss network
+        failure; a worker's counter dies with the worker process unless
+        the pipeline ships it back here, where it joins the parent's
+        ``remote_errors`` in :attr:`stats`.
+        """
+        with self._lock:
+            self._worker_store_errors += store_errors
 
     def store(self, key: CacheKey, vector: np.ndarray) -> None:
         """Memoise ``vector`` under ``key`` (overwrites silently)."""
@@ -141,8 +156,10 @@ class FeatureCache:
 
         ``hits``/``misses`` count lookups through this cache,
         ``entries`` the backend's current size, and the backend's own
-        ``disk_hits``/``evictions``/``store_bytes`` are merged in (all
-        zero for the in-memory backend except ``store_bytes``).
+        counters (``disk_hits``/``evictions``/``store_bytes``, plus
+        ``remote_hits``/``remote_errors`` for the served backend) are
+        merged in; the keys are uniform across backends, zero-filled
+        where a backend has no such notion.
         """
         with self._lock:
             stats = {
@@ -151,7 +168,17 @@ class FeatureCache:
                 "entries": len(self._store),
             }
             stats.update(self._store.stats())
-            stats["disk_hits"] += self._worker_disk_hits
+            for key in (
+                "disk_hits",
+                "evictions",
+                "store_bytes",
+                "remote_hits",
+                "remote_errors",
+            ):
+                stats.setdefault(key, 0)
+            hit_key = getattr(self._store, "WORKER_HIT_KEY", "disk_hits")
+            stats[hit_key] += self._worker_store_hits
+            stats["remote_errors"] += self._worker_store_errors
             return stats
 
     def clear(self) -> None:
@@ -160,4 +187,5 @@ class FeatureCache:
             self._store.clear()
             self._hits = 0
             self._misses = 0
-            self._worker_disk_hits = 0
+            self._worker_store_hits = 0
+            self._worker_store_errors = 0

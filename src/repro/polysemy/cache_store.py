@@ -108,7 +108,10 @@ class CacheStore(Protocol):
         """Drop every entry and reset the backend counters."""
 
     def stats(self) -> dict[str, int]:
-        """``{"disk_hits", "evictions", "store_bytes"}`` counters."""
+        """Backend counters — at least ``{"disk_hits", "evictions",
+        "store_bytes"}``; served backends add ``remote_hits`` /
+        ``remote_errors`` (see
+        :class:`repro.service.client.RemoteCacheStore`)."""
 
 
 class MemoryCacheStore:
@@ -117,6 +120,10 @@ class MemoryCacheStore:
     Thread safety is provided by the owning
     :class:`~repro.polysemy.cache.FeatureCache`'s lock.
     """
+
+    #: Where worker store-hits merged back by the pipeline are counted
+    #: (see :meth:`repro.polysemy.cache.FeatureCache.stats`).
+    WORKER_HIT_KEY = "disk_hits"
 
     def __init__(self) -> None:
         self._entries: dict[CacheKey, np.ndarray] = {}
@@ -219,6 +226,9 @@ class DiskCacheStore:
     >>> DiskCacheStore(store.cache_dir).get(key).tolist()  # new process
     [0.0, 1.0, 2.0]
     """
+
+    #: Worker store-hits merged back by the pipeline land here.
+    WORKER_HIT_KEY = "disk_hits"
 
     def __init__(
         self,
@@ -423,6 +433,48 @@ class DiskCacheStore:
                 "disk_hits": self._disk_hits,
                 "evictions": self._evictions,
                 "store_bytes": self._store_bytes(),
+            }
+
+    def describe(self) -> dict:
+        """The store's on-disk layout (``repro cache-info``'s payload).
+
+        Walks ``cache_dir`` and reports, per generation: entry count,
+        shard-file count, byte usage, and the LRU recency stamp.
+        ``eviction_order`` lists generation names least recently used
+        first — the order :meth:`put`-triggered eviction would claim
+        them.  ``disk_hits``/``evictions`` are this handle's session
+        counters (a fresh CLI handle reports 0).
+        """
+        with self._lock:
+            generations = []
+            for child in self._generation_dirs():
+                index = self._parse_index(child / _INDEX_NAME)
+                shard_files = sorted(child.glob("shard-*.bin"))
+                generations.append(
+                    {
+                        "name": child.name,
+                        "entries": len(index),
+                        "shards": len(shard_files),
+                        "bytes": self._dir_bytes(child),
+                        "last_used": self._last_used(child),
+                    }
+                )
+            return {
+                "cache_dir": str(self._dir),
+                "max_bytes": self._max_bytes,
+                "shard_max_bytes": self._shard_max_bytes,
+                "entries": sum(g["entries"] for g in generations),
+                "store_bytes": sum(g["bytes"] for g in generations),
+                "n_generations": len(generations),
+                "generations": generations,
+                "eviction_order": [
+                    g["name"]
+                    for g in sorted(
+                        generations, key=lambda g: g["last_used"]
+                    )
+                ],
+                "disk_hits": self._disk_hits,
+                "evictions": self._evictions,
             }
 
     # -- generation bookkeeping -------------------------------------------

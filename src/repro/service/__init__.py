@@ -1,0 +1,57 @@
+"""``repro.service`` — the served deployment of the enrichment system.
+
+One long-lived ``repro serve`` process owns a
+:class:`~repro.polysemy.cache_store.DiskCacheStore` and exposes it (plus
+submit/poll/fetch enrichment jobs) over plain stdlib HTTP; any number
+of pipeline runs on any machine share its warm Step II vectors through
+:class:`RemoteCacheStore` (``EnrichmentConfig(cache_url=...)`` / CLI
+``--cache-url``).
+
+Public surface:
+
+* :class:`RemoteCacheStore` — the ``CacheStore`` protocol over HTTP
+  (every network failure degrades to a clean cache miss);
+* :class:`ServiceClient` — strict JSON client (stats, cache layout,
+  job lifecycle);
+* :class:`CacheServiceServer` / :func:`serve` — the server;
+* :class:`JobManager` — server-side enrichment job execution;
+* the wire-format helpers of :mod:`repro.service.wire`.
+
+Exports resolve lazily (PEP 562): the *client* side imports no
+workflow code, so ``repro.workflow.pipeline`` can depend on
+:class:`RemoteCacheStore` while the *server* side depends on the
+pipeline — without an import cycle.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "RemoteCacheStore": "repro.service.client",
+    "ServiceClient": "repro.service.client",
+    "ServiceError": "repro.service.client",
+    "DEFAULT_TIMEOUT": "repro.service.client",
+    "CacheService": "repro.service.server",
+    "CacheServiceServer": "repro.service.server",
+    "serve": "repro.service.server",
+    "Job": "repro.service.jobs",
+    "JobManager": "repro.service.jobs",
+    "encode_vector": "repro.service.wire",
+    "decode_vector": "repro.service.wire",
+    "encode_key": "repro.service.wire",
+    "decode_key": "repro.service.wire",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

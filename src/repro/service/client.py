@@ -1,0 +1,453 @@
+"""HTTP clients of the cache/enrichment service.
+
+:class:`RemoteCacheStore` is the served counterpart of
+:class:`~repro.polysemy.cache_store.DiskCacheStore`: it implements the
+same :class:`~repro.polysemy.cache_store.CacheStore` protocol, but every
+``get``/``put`` is an HTTP round trip to a long-lived
+``repro serve`` process, so warm Step II vectors are shared across
+*machines*, not just across processes on one host.
+
+Design constraints (they shape everything below):
+
+* **The pipeline must never block on the service.**  Every network
+  failure — connection refused, timeout, a mid-response disconnect, a
+  malformed payload — degrades to a clean cache miss (``get`` returns
+  None, ``put`` is dropped) and bumps the ``remote_errors`` counter;
+  nothing ever raises into the enrichment run.  A dead cache service
+  costs recomputation, never correctness or uptime.
+* **Connection reuse.**  One persistent ``http.client.HTTPConnection``
+  per store (guarded by a lock), re-established transparently when the
+  server closes it; a stale keep-alive connection gets one silent
+  retry on a fresh connection before the operation counts as failed.
+* **Process-pool friendly.**  The store pickles to its URL + timeout
+  (like :class:`DiskCacheStore` pickles to its directory), so
+  ``worker_backend="process"`` workers reopen their own connection and
+  read the service directly.
+
+:class:`ServiceClient` is the JSON-level companion for everything that
+is not a vector: stats, cache layout (``repro cache-info``), and the
+submit/poll/fetch lifecycle of server-side enrichment jobs.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import time
+from urllib.parse import urlsplit
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.polysemy.cache_store import CacheKey
+from repro.service.wire import (
+    HEADER_CRC,
+    HEADER_DTYPE,
+    HEADER_MISS,
+    HEADER_SHAPE,
+    decode_vector,
+    encode_key,
+    encode_vector,
+)
+
+#: Default per-request network timeout (seconds).
+DEFAULT_TIMEOUT = 5.0
+
+#: Exceptions that mean "the network/service failed", never the caller.
+_NETWORK_ERRORS = (OSError, http.client.HTTPException)
+
+
+class _NoDelayHTTPConnection(http.client.HTTPConnection):
+    """HTTPConnection with Nagle disabled.
+
+    Cache traffic is many small request/response pairs on one
+    keep-alive connection; leaving Nagle on lets it interact with
+    delayed ACKs into ~40ms stalls per round trip — orders of
+    magnitude over the actual localhost/LAN cost.
+    """
+
+    def connect(self) -> None:
+        super().connect()
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+
+class ServiceError(ValidationError):
+    """A service request failed where the caller asked for strictness.
+
+    Only raised by :class:`ServiceClient` (the operator-facing JSON
+    client); :class:`RemoteCacheStore` never raises it.
+    """
+
+
+def _parse_base_url(base_url: str) -> tuple[str, int, str]:
+    """``(host, port, path_prefix)`` of a service base URL."""
+    parsed = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+    if parsed.scheme not in ("", "http"):
+        raise ValidationError(
+            f"cache service URL must be http://, got {base_url!r}"
+        )
+    if not parsed.hostname:
+        raise ValidationError(f"cache service URL has no host: {base_url!r}")
+    try:
+        port = parsed.port  # urlsplit raises here on a bad/oob port
+    except ValueError as exc:
+        raise ValidationError(
+            f"cache service URL has an invalid port: {base_url!r} ({exc})"
+        ) from None
+    return (
+        parsed.hostname,
+        port or 80,
+        parsed.path.rstrip("/"),
+    )
+
+
+class _HttpChannel:
+    """One lock-guarded, reused HTTP connection with stale-retry."""
+
+    def __init__(self, base_url: str, timeout: float) -> None:
+        if timeout <= 0:
+            raise ValidationError(f"timeout must be > 0, got {timeout}")
+        self.base_url = base_url
+        self.timeout = timeout
+        self._host, self._port, self._prefix = _parse_base_url(base_url)
+        self._lock = threading.Lock()
+        self._conn: http.client.HTTPConnection | None = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._close_locked()
+
+    def _close_locked(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except Exception:  # pragma: no cover - close never matters
+                pass
+            self._conn = None
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: bytes | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict[str, str], bytes] | None:
+        """``(status, headers, body)`` of one request, None on failure.
+
+        The response is fully read (keep-alive hygiene).  A failure on
+        a *reused* connection gets one retry on a fresh connection —
+        the server may simply have closed an idle socket.
+        """
+        with self._lock:
+            for attempt in (0, 1):
+                fresh = self._conn is None
+                if fresh:
+                    self._conn = _NoDelayHTTPConnection(
+                        self._host, self._port, timeout=self.timeout
+                    )
+                try:
+                    self._conn.request(
+                        method,
+                        self._prefix + path,
+                        body=body,
+                        headers=headers or {},
+                    )
+                    response = self._conn.getresponse()
+                    payload = response.read()
+                    return (
+                        response.status,
+                        {k.lower(): v for k, v in response.getheaders()},
+                        payload,
+                    )
+                except _NETWORK_ERRORS:
+                    self._close_locked()
+                    if fresh or attempt:
+                        return None
+            return None  # pragma: no cover - loop always returns
+
+
+class RemoteCacheStore:
+    """:class:`~repro.polysemy.cache_store.CacheStore` over HTTP.
+
+    Parameters
+    ----------
+    base_url:
+        Where ``repro serve`` listens, e.g. ``http://cache-host:8750``
+        (a bare ``host:port`` is accepted).
+    timeout:
+        Per-request network timeout in seconds.  Keep it small: the
+        worst case is paid per candidate on an unresponsive server,
+        and a timeout is just a miss.
+
+    Example
+    -------
+    >>> store = RemoteCacheStore("http://127.0.0.1:1")  # nothing there
+    >>> store.get(("fp", "heart attack", "cfg")) is None  # clean miss
+    True
+    >>> store.stats()["remote_errors"]
+    1
+    """
+
+    #: Worker store-hits merged back by the pipeline land on this
+    #: counter (see :meth:`repro.polysemy.cache.FeatureCache.stats`).
+    WORKER_HIT_KEY = "remote_hits"
+
+    def __init__(
+        self, base_url: str, *, timeout: float = DEFAULT_TIMEOUT
+    ) -> None:
+        self._channel = _HttpChannel(base_url, timeout)
+        self._counter_lock = threading.Lock()
+        self._remote_hits = 0
+        self._remote_errors = 0
+
+    # -- pickling (process workers reopen their own connection) -----------
+
+    def __getstate__(self) -> dict:
+        return {
+            "base_url": self._channel.base_url,
+            "timeout": self._channel.timeout,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["base_url"], timeout=state["timeout"])
+
+    @property
+    def base_url(self) -> str:
+        """The configured service URL."""
+        return self._channel.base_url
+
+    @property
+    def timeout(self) -> float:
+        """The per-request network timeout (seconds)."""
+        return self._channel.timeout
+
+    def close(self) -> None:
+        """Drop the persistent connection (reopened on next use)."""
+        self._channel.close()
+
+    @property
+    def error_count(self) -> int:
+        """Local failed-operation count — no network round trip.
+
+        The pipeline reads this around worker batches to ship each
+        process-pool worker's failures back to the parent's report.
+        """
+        with self._counter_lock:
+            return self._remote_errors
+
+    def _error(self) -> None:
+        with self._counter_lock:
+            self._remote_errors += 1
+
+    # -- CacheStore protocol ----------------------------------------------
+
+    def get(self, key: CacheKey) -> np.ndarray | None:
+        result = self._channel.request(
+            "GET", "/cache/vector?" + encode_key(key)
+        )
+        if result is None:
+            self._error()
+            return None
+        status, headers, body = result
+        if status == 404 and headers.get(HEADER_MISS.lower()) == "1":
+            return None  # an honest miss from the service, not a failure
+        if status != 200:
+            # Including unmarked 404s: those come from the wrong server
+            # or a wrong path prefix, and counting them as plain misses
+            # would hide the misconfiguration behind a cold cache.
+            self._error()
+            return None
+        vector = decode_vector(
+            headers.get(HEADER_DTYPE.lower()),
+            headers.get(HEADER_SHAPE.lower()),
+            headers.get(HEADER_CRC.lower()),
+            body,
+        )
+        if vector is None:
+            self._error()
+            return None
+        with self._counter_lock:
+            self._remote_hits += 1
+        return vector
+
+    def put(self, key: CacheKey, vector: np.ndarray) -> None:
+        headers, body = encode_vector(np.asarray(vector))
+        result = self._channel.request(
+            "PUT",
+            "/cache/vector?" + encode_key(key),
+            body=body,
+            headers=headers,
+        )
+        if result is None or result[0] not in (200, 204):
+            self._error()
+
+    def __len__(self) -> int:
+        stats = self._fetch_json("/stats")
+        if stats is None:
+            return 0
+        try:
+            return int(stats["entries"])
+        except (KeyError, TypeError, ValueError):
+            return 0
+
+    def clear(self) -> None:
+        result = self._channel.request("POST", "/cache/clear")
+        if result is None or result[0] not in (200, 204):
+            # The server's entries are still there: keep the local
+            # counters (including the failure just recorded) honest.
+            self._error()
+            return
+        with self._counter_lock:
+            self._remote_hits = 0
+            self._remote_errors = 0
+
+    def stats(self) -> dict[str, int]:
+        """Client-local counters plus the server's absolute store size.
+
+        ``remote_hits``/``remote_errors`` are this handle's traffic;
+        ``store_bytes``/``entries`` come from the server (0 when it is
+        unreachable — stats polling never counts as a failure);
+        ``disk_hits``/``evictions`` are server-side notions other
+        clients share, so they are reported as 0 here to keep the
+        report's per-run deltas client-local.
+        """
+        remote = self._fetch_json("/stats") or {}
+        with self._counter_lock:
+            return {
+                "disk_hits": 0,
+                "evictions": 0,
+                "store_bytes": int(remote.get("store_bytes", 0) or 0),
+                "remote_hits": self._remote_hits,
+                "remote_errors": self._remote_errors,
+            }
+
+    # -- shared JSON plumbing ---------------------------------------------
+
+    def _fetch_json(self, path: str) -> dict | None:
+        result = self._channel.request("GET", path)
+        if result is None or result[0] != 200:
+            return None
+        try:
+            payload = json.loads(result[2].decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+
+class ServiceClient:
+    """JSON client for the service's operational surface.
+
+    Unlike :class:`RemoteCacheStore` this client is *strict*: operators
+    asking for stats or submitting a job want the error, not a silent
+    miss, so failures raise :class:`ServiceError`.
+    """
+
+    def __init__(
+        self, base_url: str, *, timeout: float = DEFAULT_TIMEOUT
+    ) -> None:
+        self._channel = _HttpChannel(base_url, timeout)
+
+    @property
+    def base_url(self) -> str:
+        """The configured service URL."""
+        return self._channel.base_url
+
+    def close(self) -> None:
+        """Drop the persistent connection."""
+        self._channel.close()
+
+    def _json(
+        self,
+        method: str,
+        path: str,
+        *,
+        payload: dict | None = None,
+        expect: tuple[int, ...] = (200,),
+    ) -> dict:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        result = self._channel.request(
+            method, path, body=body, headers=headers
+        )
+        if result is None:
+            raise ServiceError(
+                f"cache service unreachable at {self.base_url}"
+            )
+        status, _, data = result
+        try:
+            decoded = json.loads(data.decode("utf-8")) if data else {}
+        except (UnicodeDecodeError, ValueError):
+            decoded = {}
+        if status not in expect:
+            detail = decoded.get("error") if isinstance(decoded, dict) else None
+            raise ServiceError(
+                f"{method} {path} failed with HTTP {status}"
+                + (f": {detail}" if detail else "")
+            )
+        if not isinstance(decoded, dict):
+            raise ServiceError(f"{method} {path} returned non-object JSON")
+        return decoded
+
+    # -- operational surface ----------------------------------------------
+
+    def healthz(self) -> dict:
+        """The service liveness document."""
+        return self._json("GET", "/healthz")
+
+    def stats(self) -> dict:
+        """Server-side cache counters (entries, store_bytes, ...)."""
+        return self._json("GET", "/stats")
+
+    def cache_info(self) -> dict:
+        """The store's generation/shard layout (``repro cache-info``)."""
+        return self._json("GET", "/cache/info")
+
+    def corpora(self) -> list[str]:
+        """Names of the corpora registered for server-side enrichment."""
+        return list(self._json("GET", "/corpora").get("corpora", []))
+
+    def submit_job(
+        self, corpus: str, *, config: dict | None = None
+    ) -> str:
+        """Submit an enrichment job; returns its job id."""
+        response = self._json(
+            "POST",
+            "/jobs",
+            payload={"corpus": corpus, "config": config or {}},
+            expect=(202,),
+        )
+        return str(response["job"])
+
+    def job(self, job_id: str) -> dict:
+        """The current status document of one job."""
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def wait_for_job(
+        self, job_id: str, *, timeout: float = 120.0, poll: float = 0.1
+    ) -> dict:
+        """Poll until the job leaves the queue; returns its final doc.
+
+        Raises :class:`ServiceError` when ``timeout`` elapses first or
+        the job failed server-side.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            document = self.job(job_id)
+            status = document.get("status")
+            if status == "done":
+                return document
+            if status == "failed":
+                raise ServiceError(
+                    f"job {job_id} failed: {document.get('error')}"
+                )
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {status!r} after {timeout}s"
+                )
+            time.sleep(poll)

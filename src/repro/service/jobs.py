@@ -1,0 +1,253 @@
+"""Server-side enrichment jobs: submit, poll, fetch.
+
+The service is not just a vector cache — it *runs* enrichment too, the
+Aber-OWL deployment shape: corpora registered at startup, clients
+submitting jobs over HTTP and polling for the finished
+:class:`~repro.workflow.report.EnrichmentReport`.
+
+A job names a registered corpus and may override a whitelisted subset
+of :class:`~repro.workflow.config.EnrichmentConfig` fields (anything
+structural — cache wiring — is forced server-side so every job shares
+the service's one store).  Jobs run on a small worker pool
+(``job_workers``, default 1 so the single-writer discipline of the
+shared :class:`~repro.polysemy.cache_store.DiskCacheStore` matches the
+pipeline's); loaded corpora/ontologies are cached per name, so the
+second job against a corpus skips the parse *and* starts with a warm
+feature cache.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+
+from repro.corpus.corpus import Corpus
+from repro.corpus.io import read_corpus_jsonl
+from repro.errors import ValidationError
+from repro.ontology.io import read_ontology_json
+from repro.ontology.model import Ontology
+from repro.polysemy.cache_store import DiskCacheStore
+from repro.workflow.config import EnrichmentConfig
+from repro.workflow.pipeline import OntologyEnricher
+
+#: Config fields a job may NOT override: the service owns cache wiring
+#: (every job must share the server's store) and worker plumbing (a
+#: remote client must not control server-side process fan-out; jobs
+#: parallelise across each other via ``job_workers`` instead).
+_LOCKED_CONFIG_FIELDS = frozenset(
+    {
+        "cache_dir",
+        "cache_max_bytes",
+        "cache_url",
+        "feature_cache",
+        "worker_backend",
+        "n_workers",
+    }
+)
+
+#: Finished/failed jobs kept for polling before the oldest are dropped
+#: (the server is long-lived; unbounded retention would leak reports).
+DEFAULT_MAX_FINISHED_JOBS = 256
+
+
+@dataclass
+class Job:
+    """One enrichment job's lifecycle record."""
+
+    job_id: str
+    corpus: str
+    overrides: dict
+    status: str = "queued"  # queued | running | done | failed
+    error: str | None = None
+    report: dict | None = None
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+
+    def to_dict(self) -> dict:
+        """JSON document served by ``GET /jobs/<id>``."""
+        document = {
+            "job": self.job_id,
+            "corpus": self.corpus,
+            "overrides": self.overrides,
+            "status": self.status,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.error is not None:
+            document["error"] = self.error
+        if self.report is not None:
+            document["report"] = self.report
+        return document
+
+
+class JobManager:
+    """Run enrichment jobs against named corpora on a shared store.
+
+    Parameters
+    ----------
+    corpora:
+        ``name -> (ontology_json_path, corpus_jsonl_path)`` of the
+        corpora clients may enrich (the ``repro generate`` layout).
+    store:
+        The service's shared cache store; jobs are forced onto it so
+        their Step II vectors land where every other client reads.
+    job_workers:
+        Concurrent enrichment jobs (default 1: jobs queue behind each
+        other, matching the store's single-writer discipline).
+    max_finished_jobs:
+        Finished/failed job documents retained for polling; submitting
+        past the cap drops the oldest finished ones (queued and running
+        jobs are never dropped).
+    """
+
+    def __init__(
+        self,
+        corpora: dict[str, tuple[str | Path, str | Path]] | None = None,
+        *,
+        store: DiskCacheStore | None = None,
+        job_workers: int = 1,
+        max_finished_jobs: int = DEFAULT_MAX_FINISHED_JOBS,
+    ) -> None:
+        if job_workers < 1:
+            raise ValidationError(
+                f"job_workers must be >= 1, got {job_workers}"
+            )
+        if max_finished_jobs < 1:
+            raise ValidationError(
+                f"max_finished_jobs must be >= 1, got {max_finished_jobs}"
+            )
+        self._max_finished_jobs = max_finished_jobs
+        self._corpora = {
+            name: (Path(ontology), Path(corpus))
+            for name, (ontology, corpus) in (corpora or {}).items()
+        }
+        self._store = store
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._loaded: dict[str, tuple[Ontology, Corpus]] = {}
+        self._ids = itertools.count(1)
+        self._pool = ThreadPoolExecutor(
+            max_workers=job_workers, thread_name_prefix="repro-job"
+        )
+
+    def corpora(self) -> list[str]:
+        """Registered corpus names, sorted."""
+        return sorted(self._corpora)
+
+    def jobs(self) -> list[dict]:
+        """Status documents of every job, newest first."""
+        with self._lock:
+            # job_id breaks submitted_at ties (ids are zero-padded and
+            # monotonic, so lexicographic order is submission order).
+            records = sorted(
+                self._jobs.values(),
+                key=lambda job: (job.submitted_at, job.job_id),
+                reverse=True,
+            )
+            return [job.to_dict() for job in records]
+
+    def job(self, job_id: str) -> dict | None:
+        """One job's status document, or None for an unknown id."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            return job.to_dict() if job is not None else None
+
+    def submit(self, corpus: str, overrides: dict | None = None) -> str:
+        """Queue one enrichment run; returns the new job id.
+
+        Raises :class:`~repro.errors.ValidationError` for an unknown
+        corpus or a rejected override (unknown field, or one of the
+        cache/worker fields the service owns).
+        """
+        overrides = dict(overrides or {})
+        if corpus not in self._corpora:
+            raise ValidationError(
+                f"unknown corpus {corpus!r}; registered: {self.corpora()}"
+            )
+        allowed = {f.name for f in fields(EnrichmentConfig)}
+        for name in overrides:
+            if name in _LOCKED_CONFIG_FIELDS:
+                raise ValidationError(
+                    f"config field {name!r} is owned by the service"
+                )
+            if name not in allowed:
+                raise ValidationError(f"unknown config field {name!r}")
+        with self._lock:
+            job = Job(
+                job_id=f"job-{next(self._ids):06d}",
+                corpus=corpus,
+                overrides=overrides,
+            )
+            self._jobs[job.job_id] = job
+            self._prune_finished_locked()
+        self._pool.submit(self._run, job)
+        return job.job_id
+
+    def _prune_finished_locked(self) -> None:
+        """Drop the oldest finished jobs beyond the retention cap."""
+        finished = [
+            job
+            for job in self._jobs.values()
+            if job.status in ("done", "failed")
+        ]
+        excess = len(finished) - self._max_finished_jobs
+        if excess <= 0:
+            return
+        finished.sort(key=lambda job: (job.submitted_at, job.job_id))
+        for job in finished[:excess]:
+            del self._jobs[job.job_id]
+
+    def shutdown(self, *, wait: bool = False) -> None:
+        """Stop accepting work and (optionally) wait for running jobs."""
+        self._pool.shutdown(wait=wait, cancel_futures=True)
+
+    # -- internals ---------------------------------------------------------
+
+    def _load(self, name: str) -> tuple[Ontology, Corpus]:
+        with self._lock:
+            loaded = self._loaded.get(name)
+        if loaded is not None:
+            return loaded
+        ontology_path, corpus_path = self._corpora[name]
+        loaded = (
+            read_ontology_json(ontology_path),
+            read_corpus_jsonl(corpus_path),
+        )
+        with self._lock:
+            # Lost-race duplicates are harmless: both loads are
+            # identical, last one wins.
+            self._loaded[name] = loaded
+        return loaded
+
+    def _config(self, overrides: dict) -> EnrichmentConfig:
+        forced: dict = {"feature_cache": True}
+        if self._store is not None:
+            forced["cache_dir"] = str(self._store.cache_dir)
+            forced["cache_max_bytes"] = self._store.max_bytes
+        return EnrichmentConfig(**{**overrides, **forced})
+
+    def _run(self, job: Job) -> None:
+        with self._lock:
+            job.status = "running"
+            job.started_at = time.time()
+        try:
+            ontology, corpus = self._load(job.corpus)
+            config = self._config(job.overrides)
+            enricher = OntologyEnricher(ontology, config=config)
+            report = enricher.enrich(corpus)
+            with self._lock:
+                job.report = report.to_dict()
+                job.status = "done"
+                job.finished_at = time.time()
+        except Exception as exc:  # noqa: BLE001 - job isolation boundary:
+            # a failed job must answer its poll, not kill the service.
+            with self._lock:
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.status = "failed"
+                job.finished_at = time.time()

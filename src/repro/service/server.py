@@ -1,0 +1,518 @@
+"""The stdlib HTTP service: shared feature cache + enrichment jobs.
+
+``repro serve`` turns the single-host
+:class:`~repro.polysemy.cache_store.DiskCacheStore` into an Aber-OWL
+style *served* deployment: one long-lived process owns the store, and
+any number of pipeline runs — on any machine — point
+``EnrichmentConfig(cache_url=...)`` at it to share warm Step II
+vectors.  The server is pure standard library
+(:class:`http.server.ThreadingHTTPServer`), so serving adds **zero**
+runtime dependencies.
+
+Routes
+------
+===========================  ==========================================
+``GET  /healthz``            liveness document
+``GET  /stats``              store counters (entries, store_bytes, ...)
+``GET  /cache/info``         generation/shard layout (``repro cache-info``)
+``GET  /cache/vector?...``   one vector, binary (404 = miss)
+``PUT  /cache/vector?...``   store one vector, binary body
+``POST /cache/clear``        drop every entry
+``GET  /corpora``            corpus names registered for jobs
+``POST /jobs``               submit an enrichment job (202 + job id)
+``GET  /jobs``               every job's status document
+``GET  /jobs/<id>``          one job's status/result document
+===========================  ==========================================
+
+Vector payloads use the raw-binary wire format of
+:mod:`repro.service.wire`; everything else is JSON.  Concurrency: the
+threading server handles each connection on its own thread, and
+:class:`DiskCacheStore` serialises writers internally (thread lock +
+cross-process flock), so N concurrent clients behave exactly like N
+concurrent pipeline processes on one cache directory — a layout the
+store's concurrency suite already hammers.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import socket
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from urllib.parse import urlsplit
+
+from repro.errors import ValidationError
+from repro.polysemy.cache_store import DiskCacheStore
+from repro.service.jobs import JobManager
+from repro.service.wire import (
+    HEADER_CRC,
+    HEADER_DTYPE,
+    HEADER_MISS,
+    HEADER_SHAPE,
+    decode_key,
+    decode_vector,
+    encode_vector,
+)
+
+#: Largest accepted PUT body (a feature vector is ~a few hundred bytes;
+#: this bound just keeps a confused client from streaming gigabytes).
+MAX_VECTOR_BYTES = 64 << 20
+
+
+class CacheService:
+    """The served state: one store, one job manager, request counters."""
+
+    def __init__(
+        self,
+        store: DiskCacheStore,
+        *,
+        corpora: dict[str, tuple[str | Path, str | Path]] | None = None,
+        job_workers: int = 1,
+    ) -> None:
+        self.store = store
+        self.jobs = JobManager(
+            corpora, store=store, job_workers=job_workers
+        )
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._vector_gets = 0
+        self._vector_puts = 0
+        self._vector_hits = 0
+
+    def count_request(self, *, get=False, put=False, hit=False) -> None:
+        """Bump the service-level traffic counters."""
+        with self._lock:
+            self._requests += 1
+            self._vector_gets += int(get)
+            self._vector_puts += int(put)
+            self._vector_hits += int(hit)
+
+    def stats(self) -> dict:
+        """The ``GET /stats`` document: store + traffic counters."""
+        with self._lock:
+            traffic = {
+                "requests": self._requests,
+                "vector_gets": self._vector_gets,
+                "vector_puts": self._vector_puts,
+                "vector_hits": self._vector_hits,
+            }
+        return {
+            "entries": len(self.store),
+            **self.store.stats(),
+            **traffic,
+        }
+
+    def shutdown(self) -> None:
+        """Stop the job pool (running jobs are abandoned)."""
+        self.jobs.shutdown(wait=False)
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that hands the service to its handlers.
+
+    Open keep-alive connections are tracked so a graceful shutdown can
+    actually sever them — without this, an idle client connection would
+    keep being served by its handler thread after ``shutdown()``, and a
+    "stopped" in-process server would behave nothing like a killed one.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, address, service: CacheService) -> None:
+        self.service = service
+        self._open_connections: set[socket.socket] = set()
+        self._connections_guard = threading.Lock()
+        super().__init__(address, _ServiceHandler)
+
+    def track_connection(self, connection: socket.socket) -> None:
+        with self._connections_guard:
+            self._open_connections.add(connection)
+
+    def untrack_connection(self, connection: socket.socket) -> None:
+        with self._connections_guard:
+            self._open_connections.discard(connection)
+
+    def handle_error(self, request, client_address) -> None:
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (ConnectionError, TimeoutError)):
+            return  # clients vanish mid-request; that is not our error
+        super().handle_error(request, client_address)
+
+    def close_connections(self) -> None:
+        """Sever every live client connection (used at shutdown)."""
+        with self._connections_guard:
+            connections = list(self._open_connections)
+            self._open_connections.clear()
+        for connection in connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass  # already closing on its own
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - double close
+                pass
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    server_version = "repro-service/1.0"
+    #: Keep-alive so RemoteCacheStore's connection reuse actually reuses.
+    protocol_version = "HTTP/1.1"
+    #: TCP_NODELAY on accepted sockets: cache traffic is many small
+    #: request/response pairs, and Nagle + delayed-ACK would add ~40ms
+    #: to every round trip.
+    disable_nagle_algorithm = True
+
+    @property
+    def service(self) -> CacheService:
+        return self.server.service
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # request logging is the operator's proxy's job, not ours
+
+    def setup(self) -> None:
+        super().setup()
+        self.server.track_connection(self.connection)
+
+    def finish(self) -> None:
+        try:
+            super().finish()
+        finally:
+            self.server.untrack_connection(self.connection)
+
+    # -- response helpers ---------------------------------------------------
+
+    def _send(
+        self, status: int, body: bytes, *, headers: dict[str, str]
+    ) -> None:
+        self.send_response(status)
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if body:
+            self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._send(
+            status, body, headers={"Content-Type": "application/json"}
+        )
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_body(self) -> bytes | None:
+        """The request body, or None when the declared length is bad.
+
+        A body we refuse to read leaves unread bytes on the keep-alive
+        stream — the next "request line" would be vector bytes — so the
+        None path also marks the connection for closure.
+        """
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_VECTOR_BYTES:
+            self.close_connection = True
+            return None
+        return self.rfile.read(length) if length else b""
+
+    def _drain_body(self) -> None:
+        """Consume a request body we are about to error out on.
+
+        Error responses that skip ``rfile.read`` would desynchronise
+        the HTTP/1.1 keep-alive stream (the unread body bytes become
+        the "next request"); draining keeps the connection usable.
+        """
+        self._read_body()
+
+    # -- routing ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib dispatch name
+        parsed = urlsplit(self.path)
+        route = parsed.path.rstrip("/") or "/"
+        if route == "/healthz":
+            self.service.count_request()
+            self._send_json(
+                200, {"status": "ok", "service": self.server_version}
+            )
+        elif route == "/stats":
+            self.service.count_request()
+            self._send_json(200, self.service.stats())
+        elif route == "/cache/info":
+            self.service.count_request()
+            self._send_json(200, self.service.store.describe())
+        elif route == "/cache/vector":
+            self._get_vector(parsed.query)
+        elif route == "/corpora":
+            self.service.count_request()
+            self._send_json(200, {"corpora": self.service.jobs.corpora()})
+        elif route == "/jobs":
+            self.service.count_request()
+            self._send_json(200, {"jobs": self.service.jobs.jobs()})
+        elif route.startswith("/jobs/"):
+            self.service.count_request()
+            document = self.service.jobs.job(route[len("/jobs/"):])
+            if document is None:
+                self._send_error_json(404, "unknown job id")
+            else:
+                self._send_json(200, document)
+        else:
+            self._send_error_json(404, f"unknown route {route!r}")
+
+    def do_PUT(self) -> None:  # noqa: N802 - stdlib dispatch name
+        parsed = urlsplit(self.path)
+        if parsed.path.rstrip("/") != "/cache/vector":
+            self._drain_body()
+            self._send_error_json(404, f"unknown route {parsed.path!r}")
+            return
+        self._put_vector(parsed.query)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib dispatch name
+        route = urlsplit(self.path).path.rstrip("/")
+        if route == "/cache/clear":
+            self._drain_body()
+            self.service.count_request()
+            self.service.store.clear()
+            self._send(204, b"", headers={})
+        elif route == "/jobs":
+            self._submit_job()
+        else:
+            self._drain_body()
+            self._send_error_json(404, f"unknown route {route!r}")
+
+    # -- vector endpoints -----------------------------------------------------
+
+    def _get_vector(self, query: str) -> None:
+        key = decode_key(query)
+        if key is None:
+            self.service.count_request(get=True)
+            self._send_error_json(
+                400, "corpus, term, and config query params required"
+            )
+            return
+        vector = self.service.store.get(key)
+        self.service.count_request(get=True, hit=vector is not None)
+        if vector is None:
+            # The miss marker distinguishes "this service, entry absent"
+            # from any other 404 (misrouted URL), which clients count as
+            # a failure.
+            body = json.dumps({"error": "miss"}).encode("utf-8")
+            self._send(
+                404,
+                body,
+                headers={
+                    "Content-Type": "application/json",
+                    HEADER_MISS: "1",
+                },
+            )
+            return
+        headers, body = encode_vector(vector)
+        headers["Content-Type"] = "application/octet-stream"
+        self._send(200, body, headers=headers)
+
+    def _put_vector(self, query: str) -> None:
+        self.service.count_request(put=True)
+        # Read the body before any validation verdict: an error response
+        # with the body left unread would desynchronise keep-alive.
+        body = self._read_body()
+        key = decode_key(query)
+        if key is None:
+            self._send_error_json(
+                400, "corpus, term, and config query params required"
+            )
+            return
+        if body is None:
+            self._send_error_json(400, "bad Content-Length")
+            return
+        vector = decode_vector(
+            self.headers.get(HEADER_DTYPE),
+            self.headers.get(HEADER_SHAPE),
+            self.headers.get(HEADER_CRC),
+            body,
+        )
+        if vector is None:
+            self._send_error_json(
+                400, "malformed vector payload (dtype/shape/crc headers)"
+            )
+            return
+        self.service.store.put(key, vector)
+        self._send(204, b"", headers={})
+
+    # -- job endpoints --------------------------------------------------------
+
+    def _submit_job(self) -> None:
+        self.service.count_request()
+        body = self._read_body()
+        if body is None:
+            self._send_error_json(400, "bad Content-Length")
+            return
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, ValueError):
+            self._send_error_json(400, "request body must be JSON")
+            return
+        if not isinstance(payload, dict) or "corpus" not in payload:
+            self._send_error_json(400, 'JSON body with a "corpus" required')
+            return
+        overrides = payload.get("config")
+        if overrides is None:
+            overrides = {}
+        if not isinstance(overrides, dict):
+            self._send_error_json(400, '"config" must be an object')
+            return
+        try:
+            job_id = self.service.jobs.submit(
+                str(payload["corpus"]), overrides
+            )
+        except ValidationError as exc:
+            self._send_error_json(400, str(exc))
+            return
+        self._send_json(202, {"job": job_id})
+
+
+class CacheServiceServer:
+    """Lifecycle wrapper: bind, serve (foreground or background), stop.
+
+    Parameters
+    ----------
+    store:
+        The :class:`DiskCacheStore` to serve (its directory is the
+        service's persistent state).
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (the bound
+        port is available as :attr:`port` right after construction —
+        handy for tests and benchmarks).
+    corpora:
+        Optional ``name -> (ontology_json, corpus_jsonl)`` registry for
+        the enrichment-job endpoints.
+    job_workers:
+        Concurrent server-side enrichment jobs.
+
+    Example
+    -------
+    >>> import tempfile
+    >>> server = CacheServiceServer(
+    ...     DiskCacheStore(tempfile.mkdtemp()), host="127.0.0.1", port=0)
+    >>> server.start()
+    >>> server.url.startswith("http://127.0.0.1:")
+    True
+    >>> server.stop()
+    """
+
+    def __init__(
+        self,
+        store: DiskCacheStore,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        corpora: dict[str, tuple[str | Path, str | Path]] | None = None,
+        job_workers: int = 1,
+    ) -> None:
+        self.service = CacheService(
+            store, corpora=corpora, job_workers=job_workers
+        )
+        self._httpd = _ServiceHTTPServer((host, port), self.service)
+        self._thread: threading.Thread | None = None
+        self._serving = False
+
+    @property
+    def host(self) -> str:
+        """The bound host."""
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved even when constructed with 0)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should use."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> None:
+        """Serve on a background thread (returns immediately)."""
+        if self._thread is not None:
+            raise ValidationError("server already started")
+        self._serving = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serve",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`stop` or an interrupt."""
+        self._serving = True
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        """Graceful shutdown: stop accepting, close sockets, stop jobs."""
+        if self._serving:
+            # shutdown() blocks until the serve loop acknowledges; only
+            # safe when a serve loop ran (the event starts cleared).
+            self._httpd.shutdown()
+            self._serving = False
+        self._httpd.close_connections()
+        self._httpd.server_close()
+        self.service.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+def serve(
+    *,
+    cache_dir: str | Path,
+    host: str = "127.0.0.1",
+    port: int = 8750,
+    cache_max_bytes: int | None = None,
+    corpora: dict[str, tuple[str | Path, str | Path]] | None = None,
+    job_workers: int = 1,
+    ready: "threading.Event | None" = None,
+) -> int:
+    """Blocking entry point of ``repro serve``.
+
+    Installs SIGTERM/SIGINT handlers for a graceful shutdown (stop
+    accepting connections, close the listening socket, stop the job
+    pool) and serves until one arrives.  ``ready`` (when given) is set
+    once the socket is bound — tests use it to avoid sleeping.
+    """
+    store = DiskCacheStore(cache_dir, max_bytes=cache_max_bytes)
+    server = CacheServiceServer(
+        store,
+        host=host,
+        port=port,
+        corpora=corpora,
+        job_workers=job_workers,
+    )
+
+    def _interrupt(signum, frame):  # pragma: no cover - signal plumbing
+        raise KeyboardInterrupt
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _interrupt)
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+    print(f"repro service listening on {server.url} "
+          f"(cache_dir={store.cache_dir})", flush=True)
+    if ready is not None:
+        ready.set()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        for signum, handler in previous.items():  # pragma: no cover
+            signal.signal(signum, handler)
+    print("repro service stopped", flush=True)
+    return 0

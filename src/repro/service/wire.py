@@ -1,0 +1,109 @@
+"""Wire format shared by the cache service and its clients.
+
+The service speaks two payload kinds:
+
+* **JSON** for everything structural (stats, job submission/status,
+  cache layout) — small, human-debuggable with ``curl``;
+* **raw binary** for the feature vectors themselves — a vector travels
+  as its C-contiguous buffer bytes in the HTTP body, described by three
+  response/request headers (:data:`HEADER_DTYPE`, :data:`HEADER_SHAPE`,
+  :data:`HEADER_CRC`), exactly mirroring the
+  :class:`~repro.polysemy.cache_store.DiskCacheStore` shard record so
+  nothing is re-encoded on the hot path (no JSON/base64 blow-up).
+
+Cache keys (corpus fingerprint, term, config fingerprint) travel as
+URL-encoded query parameters, so any unicode term round-trips.
+
+Decoding is defensive in the same way disk reads are: a missing header,
+a shape/length mismatch, or a CRC failure makes :func:`decode_vector`
+return ``None`` — the caller treats it as a clean miss, never a crash
+or a wrong vector.
+"""
+
+from __future__ import annotations
+
+import zlib
+from urllib.parse import parse_qs, urlencode
+
+import numpy as np
+
+from repro.polysemy.cache_store import CacheKey
+
+#: numpy dtype string (e.g. ``<f8``) of the body bytes.
+HEADER_DTYPE = "X-Repro-Dtype"
+#: Comma-separated vector shape (empty string for a 0-d array).
+HEADER_SHAPE = "X-Repro-Shape"
+#: CRC-32 of the body bytes, decimal.
+HEADER_CRC = "X-Repro-Crc"
+#: Marks a vector 404 as an *honest* cache miss from this service.  A
+#: 404 without it came from something else (wrong path prefix, wrong
+#: server, a proxy) — the client counts that as a failure, so a
+#: misconfigured ``cache_url`` surfaces in ``remote_errors`` instead of
+#: masquerading as an eternally cold cache.
+HEADER_MISS = "X-Repro-Miss"
+
+
+def encode_vector(vector: np.ndarray) -> tuple[dict[str, str], bytes]:
+    """``(headers, body)`` describing ``vector`` on the wire."""
+    vector = np.asarray(vector)
+    if not vector.flags["C_CONTIGUOUS"]:
+        vector = np.ascontiguousarray(vector)
+    body = vector.tobytes()
+    headers = {
+        HEADER_DTYPE: vector.dtype.str,
+        HEADER_SHAPE: ",".join(str(n) for n in vector.shape),
+        HEADER_CRC: str(zlib.crc32(body)),
+    }
+    return headers, body
+
+
+def decode_vector(
+    dtype_str: str | None,
+    shape_str: str | None,
+    crc_str: str | None,
+    body: bytes,
+) -> np.ndarray | None:
+    """The vector the headers + body describe, or None when malformed.
+
+    Every failure mode — absent headers, unknown dtype, a length that
+    does not match the declared shape, a CRC mismatch — returns None
+    so transport corruption degrades to a cache miss.
+    """
+    if dtype_str is None or shape_str is None or crc_str is None:
+        return None
+    try:
+        dtype = np.dtype(dtype_str)
+        shape = tuple(
+            int(n) for n in shape_str.split(",") if n != ""
+        )
+        crc = int(crc_str)
+    except (TypeError, ValueError):
+        return None
+    expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+    if expected != len(body) or zlib.crc32(body) != crc:
+        return None
+    try:
+        return np.frombuffer(body, dtype=dtype).reshape(shape)
+    except ValueError:
+        return None
+
+
+def encode_key(key: CacheKey) -> str:
+    """URL query string addressing one cache entry."""
+    corpus_fp, term, config_fp = key
+    return urlencode(
+        {"corpus": corpus_fp, "term": term, "config": config_fp}
+    )
+
+
+def decode_key(query: str) -> CacheKey | None:
+    """Parse :func:`encode_key`'s query string back (None if incomplete)."""
+    params = parse_qs(query, keep_blank_values=True)
+    try:
+        return (
+            params["corpus"][0],
+            params["term"][0],
+            params["config"][0],
+        )
+    except KeyError:
+        return None

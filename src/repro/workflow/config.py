@@ -76,6 +76,18 @@ class EnrichmentConfig:
         Optional size cap on the on-disk store; exceeding it evicts
         least-recently-used entries (stale fingerprint generations
         first, then the oldest shard files).  Requires ``cache_dir``.
+    cache_url:
+        Optional base URL of a ``repro serve`` cache service (e.g.
+        ``http://cache-host:8750``) backing the feature cache with a
+        :class:`~repro.service.client.RemoteCacheStore`, so warm Step
+        II vectors are shared across *machines*.  Every network failure
+        degrades to a clean cache miss (counted in the report's
+        ``remote_errors``), never an error — a dead service costs
+        recomputation, not the run.  Mutually exclusive with
+        ``cache_dir``; requires ``feature_cache=True``.
+    cache_timeout:
+        Per-request network timeout (seconds) of the cache service
+        client.  Requires ``cache_url``.
     """
 
     language: str = "en"
@@ -101,6 +113,8 @@ class EnrichmentConfig:
     feature_cache: bool = True
     cache_dir: str | None = None
     cache_max_bytes: int | None = None
+    cache_url: str | None = None
+    cache_timeout: float = 5.0
 
     def __post_init__(self) -> None:
         if self.n_candidates < 1:
@@ -145,6 +159,18 @@ class EnrichmentConfig:
                 raise ValidationError(
                     f"cache_max_bytes must be >= 1, got {self.cache_max_bytes}"
                 )
+        if self.cache_url is not None:
+            if not self.feature_cache:
+                raise ValidationError("cache_url requires feature_cache=True")
+            if self.cache_dir is not None:
+                raise ValidationError(
+                    "cache_url and cache_dir are mutually exclusive "
+                    "(the service owns the disk store)"
+                )
+        if self.cache_timeout <= 0:
+            raise ValidationError(
+                f"cache_timeout must be > 0, got {self.cache_timeout}"
+            )
         if self.worker_backend not in ("thread", "process"):
             raise ValidationError(
                 f"worker_backend must be thread|process, "

@@ -46,7 +46,11 @@ and processes: the parent prefills from the store, process-pool workers
 additionally read the store directly through their own handle (catching
 entries a concurrent run persisted mid-flight), and every *new* vector
 ships back to the parent, which is the store's single writer for the
-stage.
+stage.  ``EnrichmentConfig(cache_url=...)`` swaps the disk store for a
+:class:`~repro.service.client.RemoteCacheStore` talking to a
+``repro serve`` process, so the very same warm-vector sharing works
+across machines — with every network failure degrading to a cache miss
+(``remote_errors`` in :attr:`EnrichmentReport.cache`), never an error.
 """
 
 from __future__ import annotations
@@ -65,6 +69,7 @@ from repro.linkage.linker import SemanticLinker
 from repro.ontology.model import Ontology
 from repro.polysemy.cache import FeatureCache
 from repro.polysemy.cache_store import DiskCacheStore
+from repro.service.client import RemoteCacheStore
 from repro.polysemy.dataset import build_polysemy_dataset
 from repro.polysemy.detector import PolysemyDetector
 from repro.polysemy.features import PolysemyFeatureExtractor
@@ -175,11 +180,22 @@ def _init_worker_processor(processor) -> None:
     _WORKER_PROCESSOR = processor
 
 
-def _run_worker_batch(batch: list[CandidateWork]) -> list[CandidateWork]:
-    """Process one pickled batch in a pool worker and ship it back."""
+def _run_worker_batch(
+    batch: list[CandidateWork],
+) -> tuple[list[CandidateWork], int]:
+    """Process one pickled batch in a pool worker; ship it back with the
+    worker store-error delta (a remote store failing inside a worker
+    must still surface in the parent's ``remote_errors``)."""
+    errors_before = _worker_store_errors()
     for item in batch:
         _WORKER_PROCESSOR(item)
-    return batch
+    return batch, _worker_store_errors() - errors_before
+
+
+def _worker_store_errors() -> int:
+    """The worker processor's store failure count (0 when storeless)."""
+    counter = getattr(_WORKER_PROCESSOR, "store_error_count", None)
+    return counter() if counter is not None else 0
 
 
 def _for_each_candidate(
@@ -189,7 +205,7 @@ def _for_each_candidate(
     n_workers: int,
     batch_size: int,
     backend: str = "thread",
-) -> None:
+) -> int:
     """Apply ``fn`` to every work item, optionally over a worker pool.
 
     Items are independent, so execution order cannot change results;
@@ -197,11 +213,15 @@ def _for_each_candidate(
     picks the pool for ``n_workers > 1``: ``"thread"`` mutates the items
     in place, ``"process"`` requires ``fn`` and the items to be
     picklable and merges the returned copies back into the originals.
+
+    Returns the summed worker *store-error* count (process backend
+    only; 0 otherwise) — sequential and thread modes hit the parent's
+    own store handle, which counts its failures itself.
     """
     if n_workers <= 1 or len(items) <= 1:
         for item in items:
             fn(item)
-        return
+        return 0
     batches = [
         items[start : start + batch_size]
         for start in range(0, len(items), batch_size)
@@ -213,10 +233,12 @@ def _for_each_candidate(
             initargs=(fn,),
         ) as pool:
             done = list(pool.map(_run_worker_batch, batches))
-        for batch, done_batch in zip(batches, done):
+        worker_errors = 0
+        for batch, (done_batch, batch_errors) in zip(batches, done):
+            worker_errors += batch_errors
             for item, result in zip(batch, done_batch):
                 _merge_work(item, result)
-        return
+        return worker_errors
 
     def run_batch(batch: list[CandidateWork]) -> None:
         for item in batch:
@@ -225,6 +247,7 @@ def _for_each_candidate(
     with ThreadPoolExecutor(max_workers=n_workers) as pool:
         # Drain the iterator so worker exceptions propagate here.
         list(pool.map(run_batch, batches))
+    return 0
 
 
 class ExtractStage:
@@ -285,7 +308,7 @@ class _DetectProcessor:
         features: PolysemyFeatureExtractor,
         detector: PolysemyDetector,
         trained: bool,
-        cache_store: DiskCacheStore | None = None,
+        cache_store: DiskCacheStore | RemoteCacheStore | None = None,
         corpus_fingerprint: str = "",
         config_fingerprint: str = "",
     ) -> None:
@@ -309,6 +332,15 @@ class _DetectProcessor:
     def __call__(self, item: CandidateWork) -> None:
         self._materialise(item)
         self._classify(item)
+
+    def store_error_count(self) -> int:
+        """Failed store operations on this worker's own handle.
+
+        Only a remote store fails per-operation; the pool batch runner
+        samples this around each batch so worker-side failures merge
+        into the parent report's ``remote_errors``.
+        """
+        return getattr(self._cache_store, "error_count", 0)
 
     def _materialise(self, item: CandidateWork) -> None:
         occurrences = self._index.contexts_for_term(
@@ -388,7 +420,7 @@ class DetectStage:
         # back-filled otherwise).
         cache = self._cache if self._trained else None
         corpus_fp = config_fp = ""
-        worker_store: DiskCacheStore | None = None
+        worker_store: DiskCacheStore | RemoteCacheStore | None = None
         if cache is not None:
             corpus_fp = ctx.index.fingerprint()
             # Pin everything that shapes the vector: the extractor
@@ -401,7 +433,9 @@ class DetectStage:
             if (
                 cfg.worker_backend == "process"
                 and cfg.n_workers > 1
-                and isinstance(cache.backing_store, DiskCacheStore)
+                and isinstance(
+                    cache.backing_store, (DiskCacheStore, RemoteCacheStore)
+                )
             ):
                 worker_store = cache.backing_store
         processor = _DetectProcessor(
@@ -430,7 +464,7 @@ class DetectStage:
                 item.features = cache.lookup(key, record=False)
                 if item.features is not None:
                     prefilled.add(id(item))
-        _for_each_candidate(
+        worker_errors = _for_each_candidate(
             processor,
             ctx.work,
             n_workers=cfg.n_workers,
@@ -438,6 +472,8 @@ class DetectStage:
             backend=cfg.worker_backend,
         )
         if cache is not None:
+            if worker_errors:
+                cache.absorb_worker_errors(worker_errors)
             worker_hits = 0
             for item in ctx.work:
                 if item.contexts is None:
@@ -577,11 +613,16 @@ class OntologyEnricher:
             community_seed=cfg.seed,
         )
         if cfg.feature_cache:
-            store = (
-                DiskCacheStore(cfg.cache_dir, max_bytes=cfg.cache_max_bytes)
-                if cfg.cache_dir is not None
-                else None
-            )
+            if cfg.cache_url is not None:
+                store = RemoteCacheStore(
+                    cfg.cache_url, timeout=cfg.cache_timeout
+                )
+            elif cfg.cache_dir is not None:
+                store = DiskCacheStore(
+                    cfg.cache_dir, max_bytes=cfg.cache_max_bytes
+                )
+            else:
+                store = None
             self._feature_cache = FeatureCache(store=store)
         else:
             self._feature_cache = None
@@ -709,6 +750,12 @@ class OntologyEnricher:
                 "misses": after["misses"] - cache_before["misses"],
                 "disk_hits": after["disk_hits"] - cache_before["disk_hits"],
                 "evictions": after["evictions"] - cache_before["evictions"],
+                "remote_hits": (
+                    after["remote_hits"] - cache_before["remote_hits"]
+                ),
+                "remote_errors": (
+                    after["remote_errors"] - cache_before["remote_errors"]
+                ),
                 "entries": after["entries"],
                 "store_bytes": after["store_bytes"],
             }

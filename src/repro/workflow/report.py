@@ -51,6 +51,47 @@ class TermReport:
         """Number of induced senses (0 when Step III did not run)."""
         return self.senses.k if self.senses is not None else 0
 
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot of the row (the service's wire shape).
+
+        Propositions and senses are flattened to plain lists/dicts;
+        per-sense detail keeps the defining words and support counts
+        (the sweep internals — index values, label arrays — stay
+        server-side).
+        """
+        senses = None
+        if self.senses is not None:
+            senses = {
+                "k": self.senses.k,
+                "senses": [
+                    {
+                        "sense_id": sense.sense_id,
+                        "top_features": list(sense.top_features),
+                        "support": sense.support,
+                    }
+                    for sense in self.senses.senses
+                ],
+            }
+        return {
+            "term": self.term,
+            "extraction_score": self.extraction_score,
+            "extraction_rank": self.extraction_rank,
+            "n_contexts": self.n_contexts,
+            "polysemic": self.polysemic,
+            "n_senses": self.n_senses,
+            "senses": senses,
+            "propositions": [
+                {
+                    "rank": p.rank,
+                    "term": p.term,
+                    "concept_ids": list(p.concept_ids),
+                    "cosine": p.cosine,
+                }
+                for p in self.propositions
+            ],
+            "skipped_reason": self.skipped_reason,
+        }
+
 
 @dataclass
 class EnrichmentReport:
@@ -101,6 +142,24 @@ class EnrichmentReport:
     def polysemic_terms(self) -> list[TermReport]:
         """Candidates Step II flagged as polysemic."""
         return [t for t in self.terms if t.polysemic]
+
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot of the whole report.
+
+        This is what the enrichment service returns from
+        ``GET /jobs/<id>`` — stable, structural, diffable: two runs
+        over the same inputs serialise byte-identically (timings and
+        cache counters are runtime measurements, so they live in
+        separate keys callers can drop when comparing).
+        """
+        return {
+            "n_candidates": self.n_candidates,
+            "terms": [term.to_dict() for term in self.terms],
+            "timings": dict(self.timings),
+            "cache": dict(self.cache),
+            "detector_trained": self.detector_trained,
+            "warnings": list(self.warnings),
+        }
 
     def to_table(self, *, max_rows: int | None = None) -> str:
         """Human-readable summary table."""

@@ -168,3 +168,130 @@ class TestEnrich:
         assert "disk_hits" in warm
         report_of = lambda out: out.split("Stage timings")[0]  # noqa: E731
         assert report_of(warm) == report_of(cold)
+
+
+class TestServeAndCacheInfoParsers:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--cache-dir", "x"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8750
+        assert args.cache_max_bytes is None
+        assert args.scenario == []
+        assert args.job_workers == 1
+
+    def test_serve_requires_cache_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_scenarios_are_repeatable(self):
+        args = build_parser().parse_args(
+            ["serve", "--cache-dir", "x",
+             "--scenario", "a=/tmp/a", "--scenario", "b=/tmp/b"]
+        )
+        assert args.scenario == ["a=/tmp/a", "b=/tmp/b"]
+
+    def test_bad_scenario_spec_rejected(self):
+        from repro.cli import _parse_scenario_specs
+
+        with pytest.raises(SystemExit, match="NAME=DIR"):
+            _parse_scenario_specs(["no-equals-sign"])
+        corpora = _parse_scenario_specs(["demo=/data/demo"])
+        ontology, corpus = corpora["demo"]
+        assert ontology.name == "ontology.json"
+        assert corpus.name == "corpus.jsonl"
+
+    def test_enrich_cache_url_flags(self):
+        args = build_parser().parse_args(
+            ["enrich", "--ontology", "o", "--corpus", "c",
+             "--cache-url", "http://h:1", "--cache-timeout", "0.5"]
+        )
+        assert args.cache_url == "http://h:1"
+        assert args.cache_timeout == 0.5
+
+
+class TestCacheInfo:
+    def test_requires_exactly_one_source(self, capsys, tmp_path):
+        assert main(["cache-info"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert main(
+            ["cache-info", "--cache-dir", str(tmp_path),
+             "--cache-url", "http://h:1"]
+        ) == 2
+
+    def test_prints_disk_layout(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.polysemy.cache_store import DiskCacheStore
+
+        store = DiskCacheStore(tmp_path)
+        store.put(("fp-a", "term one", "cfg"), np.arange(4.0))
+        store.put(("fp-b", "term two", "cfg"), np.arange(6.0))
+        assert main(["cache-info", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "generations" in out.lower()
+        assert " 2" in out  # two entries across two generations
+
+    def test_missing_cache_dir_is_an_error_not_a_mkdir(
+        self, tmp_path, capsys
+    ):
+        missing = tmp_path / "typo" / "cache"
+        assert main(["cache-info", "--cache-dir", str(missing)]) == 1
+        assert "no cache store" in capsys.readouterr().err
+        # Inspection must not have created the directory it inspected.
+        assert not missing.exists()
+
+    def test_unreachable_service_reports_error(self, capsys):
+        code = main(["cache-info", "--cache-url", "http://127.0.0.1:1"])
+        assert code == 1
+        assert "unreachable" in capsys.readouterr().err
+
+    def test_reads_a_live_service(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.polysemy.cache_store import DiskCacheStore
+        from repro.service.client import RemoteCacheStore
+        from repro.service.server import CacheServiceServer
+
+        server = CacheServiceServer(DiskCacheStore(tmp_path), port=0)
+        server.start()
+        try:
+            RemoteCacheStore(server.url).put(
+                ("fp", "served term", "cfg"), np.arange(3.0)
+            )
+            assert main(["cache-info", "--cache-url", server.url]) == 0
+            out = capsys.readouterr().out
+            assert server.url in out
+        finally:
+            server.stop()
+
+
+class TestEnrichThroughService:
+    def test_cache_url_warm_second_invocation(
+        self, scenario_dir, tmp_path, capsys
+    ):
+        from repro.polysemy.cache_store import DiskCacheStore
+        from repro.service.server import CacheServiceServer
+
+        server = CacheServiceServer(
+            DiskCacheStore(tmp_path / "served"), port=0
+        )
+        server.start()
+        try:
+            argv = [
+                "enrich",
+                "--ontology", str(scenario_dir / "ontology.json"),
+                "--corpus", str(scenario_dir / "corpus.jsonl"),
+                "--candidates", "3",
+                "--top-k", "3",
+                "--cache-url", server.url,
+                "--timings",
+            ]
+            assert main(argv) == 0
+            cold = capsys.readouterr().out
+            assert main(argv) == 0
+            warm = capsys.readouterr().out
+        finally:
+            server.stop()
+        assert "remote_hits" in warm
+        report_of = lambda out: out.split("Stage timings")[0]  # noqa: E731
+        assert report_of(warm) == report_of(cold)

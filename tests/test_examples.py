@@ -24,6 +24,7 @@ def examples_on_path(monkeypatch):
             "index_reuse",
             "streaming_enrichment",
             "persistent_cache",
+            "cache_service",
         }:
             del sys.modules[name]
 
@@ -86,3 +87,10 @@ class TestExamples:
                           docs_per_concept=4)
         assert "identical reports: True" in out
         assert "vectors served from disk" in out
+
+    def test_cache_service(self, capsys):
+        out = run_example("cache_service", capsys, n_concepts=15,
+                          docs_per_concept=4)
+        assert "vectors served over HTTP" in out
+        assert "degraded to misses" in out
+        assert "served deployment round trip OK" in out

@@ -127,6 +127,102 @@ class TestShardedParity:
         assert_full_parity(clone, sharded, random_terms(rng))
 
 
+class TestParallelQueryFanOut:
+    """Every query method fans over the worker pool with identical results.
+
+    A :class:`ShardedCorpusIndex` built with ``n_workers > 1`` answers
+    queries through the same thread pool (via ``map_shards``'s default),
+    and parallel answers must be byte-identical to both a sequential
+    sharded index and the monolithic reference.  The default fan-out is
+    size-gated (dispatch overhead dominates on tiny corpora), so these
+    tests drop the gate to exercise the parallel path on small inputs.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _always_fan_out(self, monkeypatch):
+        import repro.corpus.index as index_module
+
+        monkeypatch.setattr(index_module, "PARALLEL_QUERY_MIN_TOKENS", 0)
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("n_shards", [2, 3, 7])
+    def test_parallel_queries_match_monolithic(self, seed, n_shards):
+        rng = random.Random(seed)
+        docs = random_documents(rng, n_docs=11)
+        reference = CorpusIndex(docs)
+        parallel = ShardedCorpusIndex(
+            docs, n_shards=n_shards, n_workers=4
+        )
+        assert_full_parity(parallel, reference, random_terms(rng))
+
+    def test_parallel_queries_match_sequential_sharded(self):
+        rng = random.Random(17)
+        docs = random_documents(rng, n_docs=10)
+        sequential = ShardedCorpusIndex(docs, n_shards=3, n_workers=1)
+        parallel = ShardedCorpusIndex(docs, n_shards=3, n_workers=4)
+        assert_full_parity(parallel, sequential, random_terms(rng))
+
+    def test_query_pool_is_reused_and_lazy(self):
+        rng = random.Random(3)
+        docs = random_documents(rng, n_docs=6)
+        sharded = ShardedCorpusIndex(docs, n_shards=3, n_workers=3)
+        assert sharded._pool is None  # nothing built until a query needs it
+        sharded.term_frequency("a")
+        pool = sharded._pool
+        assert pool is not None
+        sharded.document_frequency("a b")
+        sharded.occurrence_records(["a", "b c"])
+        assert sharded._pool is pool  # one pool for the index's lifetime
+
+    def test_sequential_index_never_builds_a_pool(self):
+        rng = random.Random(4)
+        docs = random_documents(rng, n_docs=6)
+        sharded = ShardedCorpusIndex(docs, n_shards=3)
+        sharded.term_frequency("a")
+        sharded.occurrence_records(["a"])
+        assert sharded._pool is None
+
+    def test_parallel_index_pickles_without_its_pool(self):
+        rng = random.Random(6)
+        docs = random_documents(rng, n_docs=8)
+        sharded = ShardedCorpusIndex(docs, n_shards=2, n_workers=4)
+        sharded.term_frequency("a")  # force the pool into existence
+        assert sharded._pool is not None
+        clone = pickle.loads(pickle.dumps(sharded))
+        assert clone._pool is None
+        assert_full_parity(clone, sharded, random_terms(rng))
+        assert clone._pool is not None  # rebuilt lazily on first query
+
+    def test_empty_needles_still_raise_under_fan_out(self):
+        sharded = ShardedCorpusIndex(
+            [Document("d", [["a", "b"]])], n_shards=2, n_workers=2
+        )
+        with pytest.raises(CorpusError, match="at least one token"):
+            sharded.phrase_occurrences("")
+        with pytest.raises(CorpusError, match="at least one token"):
+            sharded.term_frequency([])
+        with pytest.raises(CorpusError, match="at least one token"):
+            sharded.contexts_for_term("  ")
+
+    def test_small_corpora_stay_sequential_by_default(self, monkeypatch):
+        """The size gate: below PARALLEL_QUERY_MIN_TOKENS, default
+        queries skip the pool (dispatch would cost more than the
+        traversal); explicit n_workers still forces fan-out."""
+        import repro.corpus.index as index_module
+
+        monkeypatch.setattr(
+            index_module, "PARALLEL_QUERY_MIN_TOKENS", 1_000_000
+        )
+        rng = random.Random(8)
+        docs = random_documents(rng, n_docs=6)
+        sharded = ShardedCorpusIndex(docs, n_shards=3, n_workers=4)
+        sharded.term_frequency("a")
+        sharded.occurrence_records(["a", "b"])
+        assert sharded._pool is None  # gate held: no pool, no dispatch
+        sharded.map_shards(lambda s: s.n_tokens(), n_workers=4)
+        assert sharded._pool is not None  # explicit override fans out
+
+
 class TestIncrementalParity:
     @pytest.mark.parametrize("seed", range(8))
     def test_add_documents_matches_fresh_build(self, seed):

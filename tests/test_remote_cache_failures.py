@@ -1,0 +1,233 @@
+"""RemoteCacheStore failure modes: every network fault is a clean miss.
+
+The contract under test (see :mod:`repro.service.client`): the pipeline
+must never block on — or crash because of — the cache service.  Server
+down, a mid-response disconnect, a malformed payload, and a timeout all
+make ``get`` return None (and ``put`` drop silently), increment
+``remote_errors``, and raise nothing.  Fault injection uses raw
+listening sockets speaking just enough HTTP to misbehave on purpose.
+"""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.polysemy.cache import FeatureCache
+from repro.service.client import RemoteCacheStore
+from repro.service.wire import encode_vector
+
+
+def key(term="heart attack"):
+    return FeatureCache.key("corpus-fp", term, "config-fp")
+
+
+def free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class FaultyServer:
+    """A one-connection-at-a-time server with a scripted response.
+
+    ``respond(connection)`` decides the fault; the server accepts
+    connections until closed, so clients that retry on a fresh
+    connection still hit the same behaviour.
+    """
+
+    def __init__(self, respond) -> None:
+        self._respond = respond
+        self._listener = socket.socket()
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self._closing = False
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self._listener.getsockname()[1]}"
+
+    def _serve(self) -> None:
+        while not self._closing:
+            try:
+                connection, _ = self._listener.accept()
+            except OSError:
+                return
+            try:
+                # Read the request head so the client finishes sending.
+                connection.settimeout(2.0)
+                data = b""
+                while b"\r\n\r\n" not in data:
+                    chunk = connection.recv(65536)
+                    if not chunk:
+                        break
+                    data += chunk
+                self._respond(connection)
+            except OSError:
+                pass
+            finally:
+                try:
+                    connection.close()
+                except OSError:
+                    pass
+
+    def close(self) -> None:
+        self._closing = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._thread.join(timeout=2.0)
+
+
+def assert_clean_miss(store: RemoteCacheStore, *, errors_at_least=1):
+    """get() misses, put() swallows, counters record the failures."""
+    assert store.get(key()) is None
+    store.put(key(), np.arange(4.0))  # must not raise either
+    stats = store.stats()
+    assert stats["remote_hits"] == 0
+    assert stats["remote_errors"] >= errors_at_least
+    return stats
+
+
+class TestServerDown:
+    def test_connection_refused_counts_errors_per_operation(self):
+        port = free_port()  # bound then released: nothing listens here
+        store = RemoteCacheStore(f"http://127.0.0.1:{port}", timeout=0.5)
+        stats = assert_clean_miss(store)
+        # One error for the get, one for the put — nothing sticky.
+        assert stats["remote_errors"] == 2
+        assert len(store) == 0  # stats polling fails soft too
+
+    def test_feature_cache_over_a_dead_service_counts_misses(self):
+        port = free_port()
+        cache = FeatureCache(
+            store=RemoteCacheStore(f"http://127.0.0.1:{port}", timeout=0.5)
+        )
+        assert cache.lookup(key()) is None
+        cache.store(key(), np.arange(3.0))
+        stats = cache.stats
+        assert stats["misses"] == 1
+        assert stats["hits"] == 0
+        assert stats["remote_errors"] >= 2
+
+
+class TestMidResponseDisconnect:
+    def test_truncated_body_is_a_miss(self):
+        headers, body = encode_vector(np.arange(32.0))
+
+        def respond(connection):
+            head = (
+                "HTTP/1.1 200 OK\r\n"
+                f"X-Repro-Dtype: {headers['X-Repro-Dtype']}\r\n"
+                f"X-Repro-Shape: {headers['X-Repro-Shape']}\r\n"
+                f"X-Repro-Crc: {headers['X-Repro-Crc']}\r\n"
+                f"Content-Length: {len(body)}\r\n\r\n"
+            )
+            # Promise the full vector, deliver a fragment, vanish.
+            connection.sendall(head.encode() + body[: len(body) // 3])
+
+        server = FaultyServer(respond)
+        try:
+            store = RemoteCacheStore(server.url, timeout=1.0)
+            assert_clean_miss(store)
+        finally:
+            server.close()
+
+    def test_disconnect_before_any_response(self):
+        def respond(connection):
+            pass  # close immediately after reading the request
+
+        server = FaultyServer(respond)
+        try:
+            store = RemoteCacheStore(server.url, timeout=1.0)
+            assert_clean_miss(store)
+        finally:
+            server.close()
+
+
+class TestMalformedPayload:
+    @staticmethod
+    def _serve_response(raw: bytes):
+        def respond(connection):
+            connection.sendall(raw)
+
+        return FaultyServer(respond)
+
+    def test_wrong_crc_is_a_miss(self):
+        headers, body = encode_vector(np.arange(8.0))
+        raw = (
+            "HTTP/1.1 200 OK\r\n"
+            f"X-Repro-Dtype: {headers['X-Repro-Dtype']}\r\n"
+            f"X-Repro-Shape: {headers['X-Repro-Shape']}\r\n"
+            "X-Repro-Crc: 1\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode() + body
+        server = self._serve_response(raw)
+        try:
+            assert_clean_miss(RemoteCacheStore(server.url, timeout=1.0))
+        finally:
+            server.close()
+
+    def test_missing_vector_headers_is_a_miss(self):
+        body = b"\x00" * 24
+        raw = (
+            "HTTP/1.1 200 OK\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode() + body
+        server = self._serve_response(raw)
+        try:
+            assert_clean_miss(RemoteCacheStore(server.url, timeout=1.0))
+        finally:
+            server.close()
+
+    def test_garbage_bytes_are_a_miss(self):
+        server = self._serve_response(b"NOT HTTP AT ALL\r\n\r\n")
+        try:
+            assert_clean_miss(RemoteCacheStore(server.url, timeout=1.0))
+        finally:
+            server.close()
+
+
+class TestTimeout:
+    def test_stalled_server_is_a_miss_within_the_timeout(self):
+        stall = threading.Event()
+
+        def respond(connection):
+            stall.wait(5.0)  # hold the response hostage past the timeout
+
+        server = FaultyServer(respond)
+        try:
+            store = RemoteCacheStore(server.url, timeout=0.3)
+            assert store.get(key()) is None
+            assert store.stats()["remote_errors"] == 1
+        finally:
+            stall.set()
+            server.close()
+
+
+class TestRecovery:
+    def test_errors_do_not_poison_later_requests(self, tmp_path):
+        """A store that failed against a dead port works once pointed at
+        a live server — the connection is rebuilt transparently."""
+        from repro.polysemy.cache_store import DiskCacheStore
+        from repro.service.server import CacheServiceServer
+
+        server = CacheServiceServer(DiskCacheStore(tmp_path), port=0)
+        server.start()
+        try:
+            store = RemoteCacheStore(server.url, timeout=2.0)
+            vec = np.arange(6.0)
+            store.put(key(), vec)
+            np.testing.assert_array_equal(store.get(key()), vec)
+            # Sever the server-side socket; the next call fails, the one
+            # after that reconnects and succeeds.
+            server._httpd.close_connections()
+            np.testing.assert_array_equal(store.get(key()), vec)
+            assert store.stats()["remote_hits"] == 2
+        finally:
+            server.stop()

@@ -1,0 +1,495 @@
+"""The HTTP enrichment & shared-cache service, end to end.
+
+Covers the wire format, every server route, the
+:class:`~repro.service.client.RemoteCacheStore` protocol behaviour,
+server-side enrichment jobs, and the workflow-level acceptance shape:
+two pipeline runs sharing one server produce byte-identical reports
+with the second run warm (``remote_hits > 0``), and a dead server
+degrades to misses — never an exception.
+"""
+
+import json
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.corpus.io import write_corpus_jsonl
+from repro.errors import ValidationError
+from repro.ontology.io import write_ontology_json
+from repro.polysemy.cache import FeatureCache
+from repro.polysemy.cache_store import CacheStore, DiskCacheStore
+from repro.scenarios import make_enrichment_scenario
+from repro.service.client import RemoteCacheStore, ServiceClient, ServiceError
+from repro.service.jobs import JobManager
+from repro.service.server import CacheServiceServer
+from repro.service.wire import (
+    decode_key,
+    decode_vector,
+    encode_key,
+    encode_vector,
+)
+from repro.workflow.config import EnrichmentConfig
+from repro.workflow.pipeline import OntologyEnricher
+
+
+def key(term="heart attack", corpus="corpus-fp", config="config-fp"):
+    return FeatureCache.key(corpus, term, config)
+
+
+@pytest.fixture()
+def server(tmp_path):
+    instance = CacheServiceServer(
+        DiskCacheStore(tmp_path / "cache"), host="127.0.0.1", port=0
+    )
+    instance.start()
+    yield instance
+    instance.stop()
+
+
+class TestWireFormat:
+    @pytest.mark.parametrize(
+        "vector",
+        [
+            np.arange(5.0),
+            np.zeros((2, 3), dtype=np.float32),
+            np.array(3.5),  # 0-d
+            np.array([], dtype=np.float64),
+            np.arange(6, dtype=np.int32).reshape(3, 2),
+        ],
+    )
+    def test_vector_roundtrip(self, vector):
+        headers, body = encode_vector(vector)
+        decoded = decode_vector(
+            headers["X-Repro-Dtype"],
+            headers["X-Repro-Shape"],
+            headers["X-Repro-Crc"],
+            body,
+        )
+        np.testing.assert_array_equal(decoded, vector)
+        assert decoded.dtype == vector.dtype
+        assert decoded.shape == vector.shape
+
+    def test_decode_rejects_corruption(self):
+        headers, body = encode_vector(np.arange(4.0))
+        dtype = headers["X-Repro-Dtype"]
+        shape = headers["X-Repro-Shape"]
+        crc = headers["X-Repro-Crc"]
+        assert decode_vector(None, shape, crc, body) is None
+        assert decode_vector(dtype, None, crc, body) is None
+        assert decode_vector(dtype, shape, None, body) is None
+        assert decode_vector(dtype, "7", crc, body) is None  # wrong length
+        assert decode_vector(dtype, shape, "1", body) is None  # wrong crc
+        assert decode_vector(dtype, shape, crc, body[:-3]) is None  # torn
+        assert decode_vector("not-a-dtype", shape, crc, body) is None
+        assert decode_vector(dtype, "a,b", crc, body) is None
+
+    def test_key_roundtrip_survives_unicode_and_separators(self):
+        original = ("fp/with?odd&chars", "véso-constriction du cœur", "w=10;&x")
+        assert decode_key(encode_key(original)) == original
+
+    def test_incomplete_key_is_none(self):
+        assert decode_key("corpus=a&term=b") is None
+        assert decode_key("") is None
+
+
+class TestServerRoutes:
+    def test_healthz_and_stats(self, server):
+        client = ServiceClient(server.url)
+        assert client.healthz()["status"] == "ok"
+        stats = client.stats()
+        assert stats["entries"] == 0
+        assert stats["requests"] >= 1
+
+    def test_vector_roundtrip_and_counters(self, server):
+        remote = RemoteCacheStore(server.url)
+        assert remote.get(key()) is None  # honest miss: no error counted
+        vec = np.random.default_rng(0).normal(size=17)
+        remote.put(key(), vec)
+        np.testing.assert_array_equal(remote.get(key()), vec)
+        assert len(remote) == 1
+        stats = remote.stats()
+        assert stats["remote_hits"] == 1
+        assert stats["remote_errors"] == 0
+        assert stats["store_bytes"] > 0
+        server_stats = ServiceClient(server.url).stats()
+        assert server_stats["vector_gets"] == 2
+        assert server_stats["vector_puts"] == 1
+        assert server_stats["vector_hits"] == 1
+
+    def test_vectors_persist_in_the_backing_disk_store(self, server, tmp_path):
+        remote = RemoteCacheStore(server.url)
+        vec = np.arange(9.0)
+        remote.put(key("persisted term"), vec)
+        # A direct disk handle on the served directory sees the entry.
+        direct = DiskCacheStore(tmp_path / "cache")
+        np.testing.assert_array_equal(direct.get(key("persisted term")), vec)
+
+    def test_clear_empties_the_store(self, server):
+        remote = RemoteCacheStore(server.url)
+        remote.put(key(), np.arange(3.0))
+        assert len(remote) == 1
+        remote.clear()
+        assert len(remote) == 0
+        assert remote.get(key()) is None
+
+    def test_cache_info_route(self, server):
+        RemoteCacheStore(server.url).put(key(), np.arange(3.0))
+        info = ServiceClient(server.url).cache_info()
+        assert info["entries"] == 1
+        assert info["n_generations"] == 1
+        assert info["generations"][0]["shards"] == 1
+        assert info["eviction_order"] == [info["generations"][0]["name"]]
+
+    def test_unknown_routes_404(self, server):
+        client = ServiceClient(server.url)
+        with pytest.raises(ServiceError, match="404"):
+            client._json("GET", "/nope")
+        with pytest.raises(ServiceError, match="404"):
+            client._json("POST", "/nope")
+
+    def test_error_responses_keep_the_connection_usable(self, server):
+        """Error paths must drain request bodies: an undrained PUT body
+        would desynchronise the keep-alive stream and poison every
+        later request on the same connection."""
+        remote = RemoteCacheStore(server.url)
+        headers, body = encode_vector(np.arange(16.0))
+        # PUT with a body but no key params → 400, body drained.
+        result = remote._channel.request(
+            "PUT", "/cache/vector", body=body, headers=headers
+        )
+        assert result[0] == 400
+        # PUT with a body to an unknown route → 404, body drained.
+        result = remote._channel.request(
+            "PUT", "/nope", body=body, headers=headers
+        )
+        assert result[0] == 404
+        # POST with a body to an unknown route → 404, body drained.
+        result = remote._channel.request(
+            "POST", "/nope", body=b"{}",
+            headers={"Content-Type": "application/json"},
+        )
+        assert result[0] == 404
+        # The same connection must still serve a real request cleanly.
+        vec = np.arange(3.0)
+        remote.put(key("after errors"), vec)
+        np.testing.assert_array_equal(remote.get(key("after errors")), vec)
+        assert remote.stats()["remote_errors"] == 0
+
+    def test_bad_vector_requests_400(self, server):
+        client = ServiceClient(server.url)
+        with pytest.raises(ServiceError, match="400"):
+            client._json("GET", "/cache/vector?corpus=a")  # incomplete key
+        remote = RemoteCacheStore(server.url)
+        # A PUT whose CRC does not match its body is rejected server-side
+        # and the client records the failure without raising.
+        result = remote._channel.request(
+            "PUT",
+            "/cache/vector?" + encode_key(key()),
+            body=b"\x00" * 16,
+            headers={
+                "X-Repro-Dtype": "<f8",
+                "X-Repro-Shape": "2",
+                "X-Repro-Crc": "12345",
+            },
+        )
+        assert result[0] == 400
+        assert len(remote) == 0
+
+
+class TestRemoteCacheStoreProtocol:
+    def test_satisfies_the_cache_store_protocol(self, server):
+        assert isinstance(RemoteCacheStore(server.url), CacheStore)
+
+    def test_pickles_to_its_url(self, server):
+        remote = RemoteCacheStore(server.url, timeout=2.5)
+        remote.put(key(), np.arange(4.0))
+        clone = pickle.loads(pickle.dumps(remote))
+        assert clone.base_url == server.url
+        assert clone.timeout == 2.5
+        np.testing.assert_array_equal(clone.get(key()), np.arange(4.0))
+
+    def test_bare_host_port_accepted(self, server):
+        remote = RemoteCacheStore(f"127.0.0.1:{server.port}")
+        remote.put(key(), np.arange(2.0))
+        assert remote.stats()["remote_errors"] == 0
+
+    def test_rejects_non_http_urls(self):
+        with pytest.raises(ValidationError, match="http"):
+            RemoteCacheStore("https://secure:1")
+        with pytest.raises(ValidationError, match="host"):
+            RemoteCacheStore("http://")
+        with pytest.raises(ValidationError, match="timeout"):
+            RemoteCacheStore("http://127.0.0.1:1", timeout=0)
+        with pytest.raises(ValidationError, match="port"):
+            RemoteCacheStore("http://h:99999")  # out of range
+        with pytest.raises(ValidationError, match="port"):
+            RemoteCacheStore("http://h:abc")
+
+    def test_misrouted_url_counts_as_error_not_miss(self, server):
+        """A 404 without the service's miss marker (wrong path prefix,
+        wrong server) is a misconfiguration, not a cold cache."""
+        misrouted = RemoteCacheStore(server.url + "/wrong-prefix")
+        assert misrouted.get(key()) is None
+        assert misrouted.stats()["remote_errors"] == 1
+        # The genuine service miss stays error-free.
+        honest = RemoteCacheStore(server.url)
+        assert honest.get(key("absent")) is None
+        assert honest.stats()["remote_errors"] == 0
+
+    def test_failed_clear_keeps_the_counters(self):
+        import socket as socket_mod
+
+        with socket_mod.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        store = RemoteCacheStore(f"http://127.0.0.1:{port}", timeout=0.5)
+        assert store.get(key()) is None
+        assert store.stats()["remote_errors"] == 1
+        store.clear()  # fails: nothing listening
+        # The failure is recorded, not wiped by the reset-on-success.
+        assert store.stats()["remote_errors"] == 2
+
+    def test_feature_cache_merges_remote_counters(self, server):
+        cache = FeatureCache(store=RemoteCacheStore(server.url))
+        assert cache.lookup(key()) is None
+        cache.store(key(), np.arange(3.0))
+        assert cache.lookup(key()) is not None
+        stats = cache.stats
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["remote_hits"] == 1
+        assert stats["remote_errors"] == 0
+        assert stats["disk_hits"] == 0
+
+    def test_worker_hits_merge_onto_the_remote_counter(self, server):
+        cache = FeatureCache(store=RemoteCacheStore(server.url))
+        cache.absorb_worker_hits(7)
+        stats = cache.stats
+        assert stats["remote_hits"] == 7
+        assert stats["disk_hits"] == 0
+
+
+class TestConfigValidation:
+    def test_cache_url_requires_feature_cache(self):
+        with pytest.raises(ValidationError, match="feature_cache"):
+            EnrichmentConfig(cache_url="http://x:1", feature_cache=False)
+
+    def test_cache_url_excludes_cache_dir(self, tmp_path):
+        with pytest.raises(ValidationError, match="mutually exclusive"):
+            EnrichmentConfig(
+                cache_url="http://x:1", cache_dir=str(tmp_path)
+            )
+
+    def test_cache_timeout_must_be_positive(self):
+        with pytest.raises(ValidationError, match="cache_timeout"):
+            EnrichmentConfig(cache_timeout=0)
+
+
+class TestServedWorkflow:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return make_enrichment_scenario(
+            seed=5, n_concepts=25, docs_per_concept=5,
+            polysemy_histogram={2: 4},
+        )
+
+    def run(self, scenario, cache_url, **kwargs):
+        config = EnrichmentConfig(
+            n_candidates=8, cache_url=cache_url, **kwargs
+        )
+        enricher = OntologyEnricher(
+            scenario.ontology, config=config,
+            pos_lexicon=scenario.pos_lexicon,
+        )
+        return enricher.enrich(scenario.corpus)
+
+    @staticmethod
+    def outcome(report):
+        return json.dumps(
+            [t.to_dict() for t in report.terms], sort_keys=True
+        )
+
+    def test_two_runs_share_one_server(self, scenario, server):
+        cold = self.run(scenario, server.url)
+        assert cold.cache["misses"] > 0
+        assert cold.cache["remote_hits"] == 0
+        assert cold.cache["remote_errors"] == 0
+        warm = self.run(scenario, server.url)  # brand-new enricher
+        assert warm.cache["misses"] == 0
+        assert warm.cache["remote_hits"] == warm.cache["hits"]
+        assert warm.cache["hits"] == cold.cache["misses"]
+        assert self.outcome(warm) == self.outcome(cold)
+
+    def test_dead_server_degrades_to_misses(self, scenario, tmp_path):
+        live = CacheServiceServer(
+            DiskCacheStore(tmp_path / "dead-cache"), port=0
+        )
+        live.start()
+        cold = self.run(scenario, live.url)
+        live.stop()  # killed mid-deployment: connections severed
+        dead = self.run(scenario, live.url)
+        assert dead.cache["remote_hits"] == 0
+        assert dead.cache["remote_errors"] > 0
+        assert dead.cache["misses"] > 0
+        # Degradation changes only the cache economics, never the output.
+        assert self.outcome(dead) == self.outcome(cold)
+
+    def test_process_pool_workers_read_the_service(self, scenario, server):
+        cold = self.run(scenario, server.url)
+        process = self.run(
+            scenario, server.url, n_workers=2,
+            worker_backend="process", batch_size=2,
+        )
+        assert process.cache["misses"] == 0
+        assert process.cache["hits"] == cold.cache["misses"]
+        assert process.cache["remote_hits"] == process.cache["hits"]
+        assert self.outcome(process) == self.outcome(cold)
+
+    def test_worker_remote_errors_are_merged_back(self, scenario, tmp_path):
+        live = CacheServiceServer(
+            DiskCacheStore(tmp_path / "short-lived"), port=0
+        )
+        live.start()
+        baseline = self.run(scenario, live.url)
+        live.stop()
+        dead = self.run(
+            scenario, live.url, n_workers=2,
+            worker_backend="process", batch_size=2, cache_timeout=0.5,
+        )
+        assert self.outcome(dead) == self.outcome(baseline)
+        # Sequential/thread paths pay exactly 2 failures per miss (the
+        # parent's prefill get + its post-compute put); process workers
+        # additionally probe the store themselves, and those failures
+        # must ship back — without the merge this equals 2 * misses.
+        assert dead.cache["remote_errors"] > 2 * dead.cache["misses"]
+
+
+class TestEnrichmentJobs:
+    @pytest.fixture(scope="class")
+    def corpus_dir(self, tmp_path_factory):
+        scenario = make_enrichment_scenario(
+            seed=0, n_concepts=20, docs_per_concept=4
+        )
+        root = tmp_path_factory.mktemp("served-corpus")
+        write_ontology_json(scenario.ontology, root / "ontology.json")
+        write_corpus_jsonl(scenario.corpus, root / "corpus.jsonl")
+        return root
+
+    @pytest.fixture()
+    def job_server(self, tmp_path, corpus_dir):
+        instance = CacheServiceServer(
+            DiskCacheStore(tmp_path / "cache"),
+            port=0,
+            corpora={
+                "demo": (
+                    corpus_dir / "ontology.json",
+                    corpus_dir / "corpus.jsonl",
+                )
+            },
+        )
+        instance.start()
+        yield instance
+        instance.stop()
+
+    def test_submit_poll_fetch(self, job_server):
+        client = ServiceClient(job_server.url)
+        assert client.corpora() == ["demo"]
+        job_id = client.submit_job("demo", config={"n_candidates": 5})
+        document = client.wait_for_job(job_id, timeout=180)
+        assert document["status"] == "done"
+        report = document["report"]
+        assert report["n_candidates"] == 5
+        assert all("term" in row for row in report["terms"])
+        # Round two is served warm from the shared store and identical.
+        second = client.wait_for_job(
+            client.submit_job("demo", config={"n_candidates": 5}),
+            timeout=180,
+        )
+        assert second["report"]["cache"]["misses"] == 0
+        assert json.dumps(report["terms"], sort_keys=True) == json.dumps(
+            second["report"]["terms"], sort_keys=True
+        )
+
+    def test_job_validation_errors_are_http_400(self, job_server):
+        client = ServiceClient(job_server.url)
+        with pytest.raises(ServiceError, match="unknown corpus"):
+            client.submit_job("nope")
+        with pytest.raises(ServiceError, match="owned by the service"):
+            client.submit_job("demo", config={"cache_dir": "/tmp/x"})
+        with pytest.raises(ServiceError, match="owned by the service"):
+            # Worker plumbing is locked too: a remote client must not
+            # control server-side process fan-out.
+            client.submit_job("demo", config={"n_workers": 16})
+        with pytest.raises(ServiceError, match="owned by the service"):
+            client.submit_job("demo", config={"worker_backend": "process"})
+        with pytest.raises(ServiceError, match="unknown config field"):
+            client.submit_job("demo", config={"frobnicate": 1})
+        with pytest.raises(ServiceError, match="404"):
+            client.job("job-999999")
+        # Falsy non-objects must not slip through as "no overrides".
+        with pytest.raises(ServiceError, match="must be an object"):
+            client._json(
+                "POST", "/jobs",
+                payload={"corpus": "demo", "config": []},
+                expect=(202,),
+            )
+
+    def test_finished_jobs_are_pruned_past_the_cap(self, corpus_dir):
+        manager = JobManager(
+            {
+                "demo": (
+                    corpus_dir / "ontology.json",
+                    corpus_dir / "corpus.jsonl",
+                )
+            },
+            max_finished_jobs=2,
+        )
+        try:
+            ids = [
+                manager.submit("demo", {"n_candidates": 2})
+                for _ in range(4)
+            ]
+            deadline = time.monotonic() + 300
+            while any(
+                (manager.job(i) or {"status": "gone"})["status"]
+                in ("queued", "running")
+                for i in ids
+            ):
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+            manager.submit("demo", {"n_candidates": 2})  # triggers pruning
+            retained = [i for i in ids if manager.job(i) is not None]
+            # Only the cap's worth of *finished* jobs survives; the
+            # oldest were dropped.
+            assert len(retained) == 2
+            assert retained == ids[-2:]
+        finally:
+            manager.shutdown(wait=True)
+
+    def test_failed_job_reports_not_raises(self, tmp_path):
+        manager = JobManager(
+            {"broken": (tmp_path / "missing.json", tmp_path / "missing.jsonl")}
+        )
+        try:
+            job_id = manager.submit("broken")
+            deadline = 100
+            while manager.job(job_id)["status"] in ("queued", "running"):
+                deadline -= 1
+                assert deadline > 0, "job never finished"
+                time.sleep(0.05)
+            document = manager.job(job_id)
+            assert document["status"] == "failed"
+            assert "error" in document
+        finally:
+            manager.shutdown()
+
+    def test_jobs_listing_is_newest_first(self, job_server):
+        client = ServiceClient(job_server.url)
+        first = client.submit_job("demo", config={"n_candidates": 3})
+        second = client.submit_job("demo", config={"n_candidates": 3})
+        client.wait_for_job(first, timeout=180)
+        client.wait_for_job(second, timeout=180)
+        listing = client._json("GET", "/jobs")["jobs"]
+        assert [job["job"] for job in listing[:2]] == [second, first]

@@ -272,14 +272,17 @@ class TestFeatureCacheWiring:
         report = enrich(scenario)
         assert set(report.cache) == {
             "hits", "misses", "disk_hits", "evictions", "entries",
-            "store_bytes",
+            "store_bytes", "remote_hits", "remote_errors",
         }
         assert report.cache["misses"] > 0
         assert report.cache["entries"] > 0
         # In-memory backend: nothing is ever served from (or evicted
-        # off) disk, but the resident vectors have a measurable size.
+        # off) disk or a cache service, but the resident vectors have a
+        # measurable size.
         assert report.cache["disk_hits"] == 0
         assert report.cache["evictions"] == 0
+        assert report.cache["remote_hits"] == 0
+        assert report.cache["remote_errors"] == 0
         assert report.cache["store_bytes"] > 0
 
     def test_cache_disabled_reports_empty(self, scenario):
