@@ -1,11 +1,13 @@
 """Command-line interface.
 
-Six subcommands mirror how a downstream user drives the library:
+Seven subcommands mirror how a downstream user drives the library:
 
 * ``generate`` — produce a scenario (ontology JSON + corpus JSONL);
 * ``enrich`` — run the four-step workflow over an ontology + corpus;
 * ``link`` — position one candidate term (Table 3 style output);
 * ``evaluate`` — run the Table 4 protocol over held-out terms;
+* ``index`` — build (``index build``) or inspect (``index inspect``)
+  an on-disk corpus index store (see :mod:`repro.corpus.index_store`);
 * ``serve`` — run the HTTP enrichment & shared-cache service
   (see :mod:`repro.service`);
 * ``cache-info`` — inspect a feature-cache store's layout, on disk
@@ -63,6 +65,7 @@ def _cmd_enrich(args: argparse.Namespace) -> int:
         worker_backend=args.worker_backend,
         community_backend=args.community_backend,
         index_shards=args.index_shards,
+        index_dir=args.index_dir,
         feature_cache=not args.no_feature_cache,
         cache_dir=args.cache_dir,
         cache_max_bytes=args.cache_max_bytes,
@@ -145,6 +148,88 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_index_build(args: argparse.Namespace) -> int:
+    from repro.corpus.index_store import IndexStore
+
+    corpus = read_corpus_jsonl(args.corpus)
+    store = IndexStore(args.index_dir)
+    started = time.perf_counter()
+    index = store.load_or_build(
+        corpus,
+        n_shards=args.shards,
+        n_workers=args.workers,
+        build_backend=args.build_backend,
+    )
+    elapsed = time.perf_counter() - started
+    fingerprint = index.fingerprint()
+    stored = store.path_for(fingerprint).is_dir()
+    print(
+        format_table(
+            ["property", "value"],
+            [
+                ["fingerprint", fingerprint],
+                ["documents", index.n_documents()],
+                ["tokens", index.n_tokens()],
+                ["shards", getattr(index, "n_shards", 1)],
+                ["stored", "yes" if stored else "no (store unwritable)"],
+                ["seconds", f"{elapsed:.3f}"],
+            ],
+            title=f"Corpus index at {store.directory}",
+        )
+    )
+    return 0
+
+
+def _cmd_index_inspect(args: argparse.Namespace) -> int:
+    from repro.corpus.index_store import IndexStore
+
+    if not Path(args.index_dir).is_dir():
+        # Inspection must not create the directory it was asked to look
+        # at (IndexStore would, and a typo'd path would print an empty
+        # store instead of the mistake).
+        print(f"error: no index store at {args.index_dir}", file=sys.stderr)
+        return 1
+    info = IndexStore(args.index_dir).describe()
+    print(
+        format_table(
+            ["property", "value"],
+            [
+                ["generations", info["n_generations"]],
+                ["store bytes", info["store_bytes"]],
+            ],
+            title=f"Corpus index store at {info['index_dir']}",
+        )
+    )
+    generations = info["generations"]
+    if generations:
+        print()
+        print(
+            format_table(
+                ["fingerprint", "kind", "docs", "tokens", "shards", "bytes"],
+                [
+                    [
+                        g["fingerprint"][:12],
+                        g["kind"],
+                        g.get("n_documents", "-"),
+                        g.get("n_tokens", "-"),
+                        g.get("n_shards", "-"),
+                        g["bytes"],
+                    ]
+                    for g in generations
+                ],
+                title="Generations",
+            )
+        )
+        for g in generations:
+            if g["kind"] == "corrupt":
+                print(
+                    f"warning: {g['fingerprint'][:12]} is corrupt "
+                    f"({g['error']}); the next build will replace it",
+                    file=sys.stderr,
+                )
+    return 0
+
+
 def _parse_scenario_specs(specs: list[str]) -> dict[str, tuple[Path, Path]]:
     """``NAME=DIR`` specs → corpus registry (``repro generate`` layout)."""
     corpora: dict[str, tuple[Path, Path]] = {}
@@ -169,6 +254,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_max_bytes=args.cache_max_bytes,
         corpora=_parse_scenario_specs(args.scenario),
         job_workers=args.job_workers,
+        index_dir=args.index_dir,
     )
 
 
@@ -291,6 +377,11 @@ def build_parser() -> argparse.ArgumentParser:
         "results are identical across shard counts)",
     )
     enrich.add_argument(
+        "--index-dir", default=None,
+        help="persist the corpus index here (repro.corpus.index_store); "
+        "later runs mmap-reopen it in O(1) instead of rebuilding",
+    )
+    enrich.add_argument(
         "--no-feature-cache", action="store_true",
         help="disable Step II feature-vector memoisation",
     )
@@ -335,6 +426,41 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--max-terms", type=int, default=None)
     evaluate.set_defaults(fn=_cmd_evaluate)
 
+    index = sub.add_parser(
+        "index",
+        help="build or inspect an on-disk corpus index store",
+    )
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+    index_build = index_sub.add_parser(
+        "build",
+        help="fingerprint a corpus and persist its index (idempotent: "
+        "an existing generation is mmap-reopened, not rebuilt)",
+    )
+    index_build.add_argument("--corpus", required=True,
+                             help="corpus JSONL path")
+    index_build.add_argument("--index-dir", required=True,
+                             help="index store root directory")
+    index_build.add_argument(
+        "--shards", type=int, default=1,
+        help="index partitions (>1 persists a sharded index)",
+    )
+    index_build.add_argument(
+        "--workers", type=int, default=1,
+        help="workers for a sharded build",
+    )
+    index_build.add_argument(
+        "--build-backend", choices=("thread", "process"), default="process",
+        help="shard-build pool kind (process escapes the GIL)",
+    )
+    index_build.set_defaults(fn=_cmd_index_build)
+    index_inspect = index_sub.add_parser(
+        "inspect",
+        help="summarise the store's generations (corrupt ones flagged)",
+    )
+    index_inspect.add_argument("--index-dir", required=True,
+                               help="index store root directory")
+    index_inspect.set_defaults(fn=_cmd_index_inspect)
+
     serve = sub.add_parser(
         "serve",
         help="run the HTTP enrichment & shared-cache service",
@@ -361,6 +487,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--job-workers", type=int, default=1,
         help="concurrent server-side enrichment jobs",
+    )
+    serve.add_argument(
+        "--index-dir", default=None,
+        help="persist registered corpora's indexes in this index store "
+        "(first job builds, later jobs and restarts mmap-reopen)",
     )
     serve.set_defaults(fn=_cmd_serve)
 

@@ -35,6 +35,19 @@ from repro.utils.rng import ensure_rng
 #: Minimum modularity gain for a node move to be accepted.
 DEFAULT_MIN_GAIN = 1e-12
 
+#: Auto-dispatch gate of the vectorized local-move sweep: the numpy
+#: path wins once per-node numpy call overhead (a handful of µs) is
+#: amortised over enough neighbours.  Below either bound the plain-list
+#: sweep is faster (element access on numpy arrays boxes a scalar per
+#: read, which dominates on the pipeline's few-hundred-node graphs).
+VECTORIZE_MIN_AVG_DEGREE = 32
+VECTORIZE_MIN_NODES = 64
+#: The numpy sweep's dense per-node accumulator costs ``O(n_nodes)``
+#: per visit, so it only pays off when the node count stays within a
+#: small multiple of the average degree (dense co-occurrence graphs);
+#: on sparse wide graphs the ``O(degree)`` dict sweep wins.
+VECTORIZE_MAX_NODES_PER_DEGREE = 16
+
 
 @dataclass(frozen=True)
 class CSRGraph:
@@ -135,6 +148,16 @@ def _relabel_first_seen(labels: np.ndarray) -> np.ndarray:
     return out
 
 
+def _should_vectorize(graph: CSRGraph) -> bool:
+    """True when the numpy local-move sweep beats the list sweep."""
+    n = graph.n_nodes
+    return (
+        n >= VECTORIZE_MIN_NODES
+        and graph.indices.size >= VECTORIZE_MIN_AVG_DEGREE * n
+        and n * n <= VECTORIZE_MAX_NODES_PER_DEGREE * graph.indices.size
+    )
+
+
 def _local_moves(
     graph: CSRGraph,
     order: np.ndarray,
@@ -142,13 +165,46 @@ def _local_moves(
     resolution: float,
     min_gain: float,
     max_sweeps: int,
+    vectorize: bool | None = None,
 ) -> tuple[np.ndarray, bool]:
     """Phase 1: greedy node moves until no move improves modularity.
 
-    The loop runs on plain Python lists — element access on numpy
-    arrays boxes a scalar per read, which dominates at these graph
-    sizes (a few hundred nodes, degree tens).
+    Two implementations of the identical algorithm, dispatched on graph
+    size (``vectorize=None``): a plain-list sweep for the pipeline's
+    few-hundred-node graphs, and a numpy sweep whose neighbour-weight
+    accumulation is batched per node for the wide graphs of the corpus
+    scale benchmarks.  Both perform the same IEEE-754 operations in the
+    same order (see :func:`_local_moves_arrays`), so labels are
+    **bit-identical** across paths for any seed.
     """
+    if vectorize is None:
+        vectorize = _should_vectorize(graph)
+    if vectorize:
+        return _local_moves_arrays(
+            graph,
+            order,
+            resolution=resolution,
+            min_gain=min_gain,
+            max_sweeps=max_sweeps,
+        )
+    return _local_moves_lists(
+        graph,
+        order,
+        resolution=resolution,
+        min_gain=min_gain,
+        max_sweeps=max_sweeps,
+    )
+
+
+def _local_moves_lists(
+    graph: CSRGraph,
+    order: np.ndarray,
+    *,
+    resolution: float,
+    min_gain: float,
+    max_sweeps: int,
+) -> tuple[np.ndarray, bool]:
+    """The plain-list sweep: fastest at small node counts / degrees."""
     indptr = graph.indptr.tolist()
     indices = graph.indices.tolist()
     weights = graph.weights.tolist()
@@ -193,39 +249,165 @@ def _local_moves(
     return np.asarray(labels, dtype=np.int64), improved
 
 
-def _aggregate(graph: CSRGraph, labels: np.ndarray) -> CSRGraph:
-    """Phase 2: one node per community, weights summed (loops doubled)."""
-    n_comms = int(labels.max()) + 1 if labels.size else 0
-    edge_weight: dict[tuple[int, int], float] = {}
+def _local_moves_arrays(
+    graph: CSRGraph,
+    order: np.ndarray,
+    *,
+    resolution: float,
+    min_gain: float,
+    max_sweeps: int,
+) -> tuple[np.ndarray, bool]:
+    """The numpy sweep: neighbour-weight accumulation batched per node.
+
+    Bit-parity with :func:`_local_moves_lists` is a hard contract (the
+    labels feed cached, golden-tested feature vectors), so every float
+    is produced by the same operations in the same order:
+
+    * per-community weights accumulate via ``np.bincount`` over the
+      neighbour communities — bincount's C loop walks the edge list in
+      order, adding each weight to its bin exactly like the dict
+      sweep's per-key ``+=``, so every partial sum is the same float;
+    * the sequential ``> best + min_gain`` candidate scan collapses to
+      ``np.argmax`` whenever the maximum gain is unique and no other
+      candidate falls inside ``[g_max - min_gain, g_max)`` — with
+      that window empty every record accepted before the maximum sits
+      below ``g_max - min_gain``, so the maximum is accepted when
+      reached and nothing after it can displace it; exact ties and
+      window hits (the only places epsilon chains or dict order can
+      change the answer) fall back to the literal sequential scan;
+    * community totals live in a float64 array mutated by the same
+      scalar ``-=``/``+=`` as the list sweep (IEEE-identical).
+
+    The dense accumulator costs ``O(n)`` per visited node, which is
+    why :func:`_should_vectorize` additionally requires the graph to
+    be dense enough that ``n`` is within a small factor of the average
+    degree.
+    """
     indptr = graph.indptr.tolist()
-    indices = graph.indices.tolist()
-    weights = graph.weights.tolist()
-    label_list = labels.tolist()
-    for i in range(graph.n_nodes):
-        ci = label_list[i]
-        for e in range(indptr[i], indptr[i + 1]):
-            j = indices[e]
-            if j < i:
-                continue  # each undirected entry pair visited once
-            cj = label_list[j]
-            key = (ci, cj) if ci <= cj else (cj, ci)
-            if i == j:
-                # Stored once, already strength-doubled: carry as-is.
-                edge_weight[key] = edge_weight.get(key, 0.0) + weights[e]
-            elif ci == cj:
-                # Internal edge becomes self-loop mass (doubled).
-                edge_weight[key] = edge_weight.get(key, 0.0) + 2.0 * weights[e]
+    indices = graph.indices
+    weights = graph.weights
+    strengths = graph.strengths()
+    strength_list = strengths.tolist()
+    two_m = graph.total_weight()
+    n = graph.n_nodes
+    labels = np.arange(n, dtype=np.int64)
+    comm_tot = np.array(strength_list, dtype=np.float64)
+    # Rows carrying a self-loop (rare after level 0 only): just these
+    # need the neighbour mask, so the common case skips two ufunc calls.
+    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
+    loop_rows = set(rows[indices == rows].tolist())
+    visit_order = [int(i) for i in order]
+    improved = False
+    for __ in range(max_sweeps):
+        n_moved = 0
+        for i in visit_order:
+            lo, hi = indptr[i], indptr[i + 1]
+            nbr = indices[lo:hi]
+            wts = weights[lo:hi]
+            if i in loop_rows:
+                keep = nbr != i
+                nbr = nbr[keep]
+                wts = wts[keep]
+            k_i = strength_list[i]
+            current = int(labels[i])
+            comm_tot[current] -= k_i
+            scale = resolution * k_i / two_m
+            if nbr.size == 0:
+                comm_tot[current] += k_i
+                continue
+            comm = labels[nbr]
+            wsum = np.bincount(comm, weights=wts, minlength=n)
+            occ = np.bincount(comm, minlength=n)
+            gains = np.where(occ > 0, wsum - scale * comm_tot, -np.inf)
+            if occ[current]:
+                best_gain = float(gains[current])
             else:
-                edge_weight[key] = edge_weight.get(key, 0.0) + weights[e]
-    n_edges = len(edge_weight)
-    rows = np.empty(n_edges, dtype=np.int64)
-    cols = np.empty(n_edges, dtype=np.int64)
-    w = np.empty(n_edges, dtype=np.float64)
-    for k, ((ci, cj), value) in enumerate(sorted(edge_weight.items())):
-        rows[k], cols[k] = ci, cj
-        # from_edges doubles self-loops; ours are pre-doubled, so halve.
-        w[k] = value / 2.0 if ci == cj else value
-    return CSRGraph.from_edges(n_comms, rows, cols, w)
+                best_gain = 0.0 - scale * float(comm_tot[current])
+            best_comm = current
+            gains[current] = -np.inf
+            g_max = float(np.max(gains))
+            if g_max > best_gain + min_gain:
+                # Unique max with an empty epsilon window below it is
+                # provably the sequential scan's answer; anything else
+                # (an exact tie, where dict order breaks it, or a
+                # window hit, where epsilon chains can matter) replays
+                # the literal scan in first-appearance order.
+                near = int(np.count_nonzero(gains >= g_max - min_gain))
+                if near == 1:
+                    best_comm = int(np.argmax(gains))
+                    best_gain = g_max
+                else:
+                    acc: dict[int, float] = {}
+                    get_acc = acc.get
+                    for c, w in zip(comm.tolist(), wts.tolist()):
+                        acc[c] = get_acc(c, 0.0) + w
+                    for c, w in acc.items():
+                        if c == current:
+                            continue
+                        gain = w - scale * float(comm_tot[c])
+                        if gain > best_gain + min_gain:
+                            best_comm, best_gain = c, gain
+            comm_tot[best_comm] += k_i
+            if best_comm != current:
+                labels[i] = best_comm
+                n_moved += 1
+        if n_moved == 0:
+            break
+        improved = True
+    return labels, improved
+
+
+def _aggregate(graph: CSRGraph, labels: np.ndarray) -> CSRGraph:
+    """Phase 2: one node per community, weights summed (loops doubled).
+
+    Vectorized, with the same floats as the historical dict loop: a
+    *stable* lexsort groups entries by community pair while preserving
+    CSR traversal order inside each group, and ``np.add.reduceat``
+    folds each group left to right — the dict's accumulation order
+    exactly.  Output pairs come out key-sorted, matching the dict
+    version's ``sorted(edge_weight.items())``.
+    """
+    n_comms = int(labels.max()) + 1 if labels.size else 0
+    n = graph.n_nodes
+    rows = np.repeat(
+        np.arange(n, dtype=np.int64), np.diff(graph.indptr)
+    )
+    cols = graph.indices
+    # Each undirected entry pair visited once (j >= i keeps the
+    # self-loop, stored once and already strength-doubled).
+    keep = cols >= rows
+    rows = rows[keep]
+    cols = cols[keep]
+    weights = graph.weights[keep]
+    ci = labels[rows]
+    cj = labels[cols]
+    kmin = np.minimum(ci, cj)
+    kmax = np.maximum(ci, cj)
+    # Self-entries carry as-is; internal edges become doubled self-loop
+    # mass; cross-community edges carry as-is.
+    contribution = np.where(
+        rows == cols, weights, np.where(ci == cj, 2.0 * weights, weights)
+    )
+    order = np.lexsort((kmax, kmin))  # stable: CSR order within a key
+    kmin = kmin[order]
+    kmax = kmax[order]
+    contribution = contribution[order]
+    if kmin.size:
+        boundary = np.empty(kmin.size, dtype=bool)
+        boundary[0] = True
+        np.not_equal(kmin[1:], kmin[:-1], out=boundary[1:])
+        boundary[1:] |= kmax[1:] != kmax[:-1]
+        starts = np.flatnonzero(boundary)
+        sums = np.add.reduceat(contribution, starts)
+        out_rows = kmin[starts]
+        out_cols = kmax[starts]
+    else:
+        sums = np.empty(0, dtype=np.float64)
+        out_rows = np.empty(0, dtype=np.int64)
+        out_cols = np.empty(0, dtype=np.int64)
+    # from_edges doubles self-loops; ours are pre-doubled, so halve.
+    w = np.where(out_rows == out_cols, sums / 2.0, sums)
+    return CSRGraph.from_edges(n_comms, out_rows, out_cols, w)
 
 
 def louvain_labels(
@@ -236,6 +418,7 @@ def louvain_labels(
     min_gain: float = DEFAULT_MIN_GAIN,
     max_sweeps: int = 100,
     max_levels: int = 20,
+    vectorize: bool | None = None,
 ) -> np.ndarray:
     """Community label per node via Louvain modularity optimisation.
 
@@ -253,6 +436,11 @@ def louvain_labels(
     max_sweeps / max_levels:
         Safety bounds on local-move sweeps per level and on aggregation
         levels (converges far earlier in practice).
+    vectorize:
+        Local-move implementation: ``None`` (default) picks per level
+        by graph size, ``True``/``False`` force the numpy-batched or
+        plain-list sweep.  Labels are bit-identical either way — the
+        knob is purely a speed choice (see :func:`_should_vectorize`).
     """
     n = graph.n_nodes
     if n == 0:
@@ -270,6 +458,7 @@ def louvain_labels(
             resolution=resolution,
             min_gain=min_gain,
             max_sweeps=max_sweeps,
+            vectorize=vectorize,
         )
         if not improved:
             break
@@ -298,12 +487,15 @@ def modularity_from_labels(
         return 0.0
     n_comms = int(labels.max()) + 1 if labels.size else 0
     internal = np.zeros(n_comms, dtype=np.float64)
-    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
-    for i in range(graph.n_nodes):
-        ci = int(labels[i])
-        for e in range(indptr[i], indptr[i + 1]):
-            if int(labels[int(indices[e])]) == ci:
-                internal[ci] += weights[e]
+    # Batched internal-weight accumulation; ``ufunc.at`` adds in entry
+    # order (CSR traversal order), reproducing the historical per-entry
+    # loop's floats bit for bit.
+    rows = np.repeat(
+        np.arange(graph.n_nodes, dtype=np.int64), np.diff(graph.indptr)
+    )
+    row_labels = labels[rows]
+    intra = row_labels == labels[graph.indices]
+    np.add.at(internal, row_labels[intra], graph.weights[intra])
     comm_tot = np.zeros(n_comms, dtype=np.float64)
     np.add.at(comm_tot, labels, graph.strengths())
     return float(

@@ -73,14 +73,46 @@ class Corpus:
         A cached index is patched in place
         (:meth:`~repro.corpus.index.CorpusIndex.add_documents`) rather
         than discarded, so adding a document costs O(its tokens), not a
-        full index rebuild.
+        full index rebuild.  A read-only cached index (an adopted
+        mmap-backed one — see :meth:`adopt_index`) is dropped instead,
+        to be rebuilt lazily on the next :meth:`index` call.
         """
         if document.doc_id in self._by_id:
             raise CorpusError(f"duplicate document id {document.doc_id!r}")
         self._documents.append(document)
         self._by_id[document.doc_id] = document
         if self._index is not None:
-            self._index.add_documents([document])
+            try:
+                self._index.add_documents([document])
+            except CorpusError:
+                # Read-only (mmap-backed) indexes cannot be patched;
+                # correctness over reuse: forget it and rebuild lazily.
+                self._index = None
+
+    def adopt_index(
+        self, index: "CorpusIndex | ShardedCorpusIndex"
+    ) -> None:
+        """Cache a pre-built ``index`` (e.g. an
+        :class:`~repro.corpus.index_store.MmapCorpusIndex` reopened
+        from an :class:`~repro.corpus.index_store.IndexStore`) as this
+        corpus's index.
+
+        The index must describe exactly these documents: the document
+        count and ids are checked (cheap), mismatches raise
+        :class:`~repro.errors.CorpusError`.
+        """
+        if index.n_documents() != len(self._documents):
+            raise CorpusError(
+                f"adopted index covers {index.n_documents()} documents, "
+                f"corpus has {len(self._documents)}"
+            )
+        lengths = index.doc_lengths()
+        for doc in self._documents:
+            if doc.doc_id not in lengths:
+                raise CorpusError(
+                    f"adopted index is missing document {doc.doc_id!r}"
+                )
+        self._index = index
 
     def __len__(self) -> int:
         return len(self._documents)

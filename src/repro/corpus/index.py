@@ -42,6 +42,7 @@ pool.
 from __future__ import annotations
 
 import hashlib
+import os
 import threading
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
@@ -61,8 +62,35 @@ EMPTY_FINGERPRINT = hashlib.sha1().hexdigest()
 #: Below this, thread-pool dispatch costs more than the pure-Python
 #: per-shard traversal it parallelises (measured ~2x slower on ~30k
 #: tokens, ~2x faster at ~200k); explicit ``map_shards(n_workers=...)``
-#: overrides the gate either way.
+#: overrides the gate either way.  Deployments whose break-even differs
+#: override per index (``ShardedCorpusIndex(parallel_query_min_tokens=)``)
+#: or per process (env ``REPRO_PARALLEL_QUERY_MIN_TOKENS``).
 PARALLEL_QUERY_MIN_TOKENS = 100_000
+
+
+def _resolve_parallel_query_min_tokens(explicit: int | None) -> int:
+    """The fan-out gate: explicit kwarg > environment > module default."""
+    if explicit is not None:
+        if explicit < 0:
+            raise CorpusError(
+                f"parallel_query_min_tokens must be >= 0, got {explicit}"
+            )
+        return explicit
+    raw = os.environ.get("REPRO_PARALLEL_QUERY_MIN_TOKENS")
+    if raw is None:
+        return PARALLEL_QUERY_MIN_TOKENS
+    try:
+        value = int(raw)
+    except ValueError:
+        raise CorpusError(
+            "REPRO_PARALLEL_QUERY_MIN_TOKENS must be an integer, "
+            f"got {raw!r}"
+        ) from None
+    if value < 0:
+        raise CorpusError(
+            f"REPRO_PARALLEL_QUERY_MIN_TOKENS must be >= 0, got {value}"
+        )
+    return value
 
 
 def _as_needle(term: str | Sequence[str]) -> tuple[str, ...]:
@@ -119,6 +147,7 @@ class CorpusIndex:
         self._ordinals: dict[str, int] = {}
         self._n_tokens = 0
         self._fingerprint = EMPTY_FINGERPRINT
+        self._doc_lengths: dict[str, int] | None = None
         self.add_documents(documents)
 
     # -- incremental growth --------------------------------------------------
@@ -159,6 +188,9 @@ class CorpusIndex:
             self._fingerprint = _extend_fingerprint(
                 self._fingerprint, doc.doc_id, tokens
             )
+        if documents:
+            # Lazily rebuilt on the next doc_lengths() call.
+            self._doc_lengths = None
 
     # -- corpus-level statistics --------------------------------------------
 
@@ -205,11 +237,20 @@ class CorpusIndex:
         return len(self._postings)
 
     def doc_lengths(self) -> dict[str, int]:
-        """``doc_id → token count`` over all indexed documents."""
-        return {
-            doc_id: len(tokens)
-            for doc_id, tokens in zip(self._doc_ids, self._doc_tokens)
-        }
+        """``doc_id → token count`` over all indexed documents.
+
+        The mapping is computed once and cached (invalidated by
+        :meth:`add_documents`), so repeat consumers — every extraction
+        build reads it — are allocation-free.  As with
+        :meth:`token_documents`, the returned dict is the index's own
+        storage: treat it as read-only.
+        """
+        if self._doc_lengths is None:
+            self._doc_lengths = {
+                doc_id: len(tokens)
+                for doc_id, tokens in zip(self._doc_ids, self._doc_tokens)
+            }
+        return self._doc_lengths
 
     def token_documents(self) -> list[list[str]]:
         """The cached flat token list of every document, in corpus order.
@@ -412,6 +453,11 @@ class ShardedCorpusIndex:
     n_workers:
         Threads for the shard builds *and* the per-shard query fan-out
         (1 = sequential; answers are identical either way).
+    parallel_query_min_tokens:
+        Minimum indexed tokens before bulk queries fan out over the
+        pool by default; ``None`` (default) reads the
+        ``REPRO_PARALLEL_QUERY_MIN_TOKENS`` environment variable and
+        falls back to :data:`PARALLEL_QUERY_MIN_TOKENS`.
 
     Example
     -------
@@ -428,6 +474,7 @@ class ShardedCorpusIndex:
         *,
         n_shards: int = 2,
         n_workers: int = 1,
+        parallel_query_min_tokens: int | None = None,
     ) -> None:
         if n_shards < 1:
             raise CorpusError(f"n_shards must be >= 1, got {n_shards}")
@@ -450,8 +497,47 @@ class ShardedCorpusIndex:
         for shard in self._shards:
             self._fingerprint = shard.extend_fingerprint(self._fingerprint)
         self._n_workers = n_workers
+        self._parallel_min_tokens = _resolve_parallel_query_min_tokens(
+            parallel_query_min_tokens
+        )
+        self._doc_lengths: dict[str, int] | None = None
         self._pool: ThreadPoolExecutor | None = None
         self._pool_guard = threading.Lock()
+
+    @classmethod
+    def from_shards(
+        cls,
+        shards: "Sequence[CorpusIndex]",
+        *,
+        fingerprint: str,
+        n_workers: int = 1,
+        parallel_query_min_tokens: int | None = None,
+    ) -> "ShardedCorpusIndex":
+        """Wrap prebuilt single-shard indexes without re-indexing.
+
+        The store's reopen path (:mod:`repro.corpus.index_store`)
+        composes mmap-backed shards this way: the shards already exist,
+        and ``fingerprint`` — the whole-corpus chain a monolithic build
+        would compute — is recorded in the store manifest, so nothing
+        is re-hashed here.  Shards must cover contiguous global
+        document ranges in the given order, exactly as a fresh build
+        partitions them.
+        """
+        if not shards:
+            raise CorpusError("from_shards requires at least one shard")
+        if n_workers < 1:
+            raise CorpusError(f"n_workers must be >= 1, got {n_workers}")
+        index = cls.__new__(cls)
+        index._shards = list(shards)
+        index._fingerprint = fingerprint
+        index._n_workers = n_workers
+        index._parallel_min_tokens = _resolve_parallel_query_min_tokens(
+            parallel_query_min_tokens
+        )
+        index._doc_lengths = None
+        index._pool = None
+        index._pool_guard = threading.Lock()
+        return index
 
     # -- pickling (process workers ship the index; pools don't pickle) -----
 
@@ -459,6 +545,8 @@ class ShardedCorpusIndex:
         state = self.__dict__.copy()
         state["_pool"] = None
         state["_pool_guard"] = None
+        # Derived cache; dropping it keeps process-pool pickles small.
+        state["_doc_lengths"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -511,7 +599,7 @@ class ShardedCorpusIndex:
     def _default_query_workers(self) -> int:
         if self._n_workers <= 1:
             return 1
-        if self.n_tokens() < PARALLEL_QUERY_MIN_TOKENS:
+        if self.n_tokens() < self._parallel_min_tokens:
             return 1
         return self._n_workers
 
@@ -543,6 +631,8 @@ class ShardedCorpusIndex:
         target = self._shards[-1]
         before = target.n_documents()
         target.add_documents(documents)
+        if documents:
+            self._doc_lengths = None
         for doc_id, tokens in zip(
             target._doc_ids[before:], target._doc_tokens[before:]
         ):
@@ -572,11 +662,19 @@ class ShardedCorpusIndex:
         return len(vocabulary)
 
     def doc_lengths(self) -> dict[str, int]:
-        """``doc_id → token count`` over all indexed documents."""
-        lengths: dict[str, int] = {}
-        for shard_lengths in self.map_shards(CorpusIndex.doc_lengths):
-            lengths.update(shard_lengths)
-        return lengths
+        """``doc_id → token count`` over all indexed documents.
+
+        Merged once and cached (invalidated by :meth:`add_documents`);
+        treat the returned dict as read-only shared storage.
+        """
+        if self._doc_lengths is None:
+            lengths: dict[str, int] = {}
+            for shard_lengths in self.map_shards(
+                lambda shard: shard.doc_lengths()
+            ):
+                lengths.update(shard_lengths)
+            self._doc_lengths = lengths
+        return self._doc_lengths
 
     def token_documents(self) -> list[list[str]]:
         """The cached flat token list of every document, in corpus order.

@@ -46,6 +46,7 @@ _LOCKED_CONFIG_FIELDS = frozenset(
         "feature_cache",
         "worker_backend",
         "n_workers",
+        "index_dir",
     }
 )
 
@@ -100,6 +101,13 @@ class JobManager:
     job_workers:
         Concurrent enrichment jobs (default 1: jobs queue behind each
         other, matching the store's single-writer discipline).
+    index_dir:
+        Optional :class:`~repro.corpus.index_store.IndexStore` root:
+        registered corpora's indexes persist there, so the first job
+        against a corpus builds (and saves) its index and every later
+        job — and every restart of the service — mmap-reopens it in
+        O(1).  Like the cache wiring, the field is service-owned and
+        cannot be overridden per job.
     max_finished_jobs:
         Finished/failed job documents retained for polling; submitting
         past the cap drops the oldest finished ones (queued and running
@@ -113,6 +121,7 @@ class JobManager:
         store: DiskCacheStore | None = None,
         job_workers: int = 1,
         max_finished_jobs: int = DEFAULT_MAX_FINISHED_JOBS,
+        index_dir: str | Path | None = None,
     ) -> None:
         if job_workers < 1:
             raise ValidationError(
@@ -128,6 +137,7 @@ class JobManager:
             for name, (ontology, corpus) in (corpora or {}).items()
         }
         self._store = store
+        self._index_dir = Path(index_dir) if index_dir is not None else None
         self._lock = threading.Lock()
         self._jobs: dict[str, Job] = {}
         self._loaded: dict[str, tuple[Ontology, Corpus]] = {}
@@ -230,6 +240,8 @@ class JobManager:
         if self._store is not None:
             forced["cache_dir"] = str(self._store.cache_dir)
             forced["cache_max_bytes"] = self._store.max_bytes
+        if self._index_dir is not None:
+            forced["index_dir"] = str(self._index_dir)
         return EnrichmentConfig(**{**overrides, **forced})
 
     def _run(self, job: Job) -> None:

@@ -71,10 +71,12 @@ class CacheService:
         *,
         corpora: dict[str, tuple[str | Path, str | Path]] | None = None,
         job_workers: int = 1,
+        index_dir: str | Path | None = None,
     ) -> None:
         self.store = store
         self.jobs = JobManager(
-            corpora, store=store, job_workers=job_workers
+            corpora, store=store, job_workers=job_workers,
+            index_dir=index_dir,
         )
         self._lock = threading.Lock()
         self._requests = 0
@@ -392,6 +394,10 @@ class CacheServiceServer:
         the enrichment-job endpoints.
     job_workers:
         Concurrent server-side enrichment jobs.
+    index_dir:
+        Optional on-disk corpus index store shared by the job runner
+        (see :class:`~repro.corpus.index_store.IndexStore`): corpus
+        indexes persist across jobs and service restarts.
 
     Example
     -------
@@ -412,9 +418,11 @@ class CacheServiceServer:
         port: int = 0,
         corpora: dict[str, tuple[str | Path, str | Path]] | None = None,
         job_workers: int = 1,
+        index_dir: str | Path | None = None,
     ) -> None:
         self.service = CacheService(
-            store, corpora=corpora, job_workers=job_workers
+            store, corpora=corpora, job_workers=job_workers,
+            index_dir=index_dir,
         )
         self._httpd = _ServiceHTTPServer((host, port), self.service)
         self._thread: threading.Thread | None = None
@@ -475,6 +483,7 @@ def serve(
     cache_max_bytes: int | None = None,
     corpora: dict[str, tuple[str | Path, str | Path]] | None = None,
     job_workers: int = 1,
+    index_dir: str | Path | None = None,
     ready: "threading.Event | None" = None,
 ) -> int:
     """Blocking entry point of ``repro serve``.
@@ -491,6 +500,7 @@ def serve(
         port=port,
         corpora=corpora,
         job_workers=job_workers,
+        index_dir=index_dir,
     )
 
     def _interrupt(signum, frame):  # pragma: no cover - signal plumbing

@@ -61,6 +61,17 @@ class EnrichmentConfig:
         builds a :class:`~repro.corpus.index.ShardedCorpusIndex` whose
         shard builds fan out over ``n_workers`` threads.  Query results
         are byte-identical across shard counts.
+    index_dir:
+        Optional directory backing the corpus index with a persistent
+        :class:`~repro.corpus.index_store.IndexStore`: the corpus is
+        fingerprinted, a stored generation is reopened via ``mmap`` in
+        O(1), and a miss (or any corruption) degrades to a clean build
+        that is then persisted for the next run.  Process-pool workers
+        receive the mmap handle's directory path instead of a pickled
+        index, so worker startup no longer scales with corpus size.
+        With ``index_shards > 1`` and ``worker_backend="process"``,
+        rebuild shard construction fans out over a process pool.
+        Query results are byte-identical with and without the store.
     feature_cache:
         Memoise per-term feature vectors across training runs and
         repeated ``enrich`` calls (keyed by corpus fingerprint, term,
@@ -110,6 +121,7 @@ class EnrichmentConfig:
     worker_backend: str = "thread"
     community_backend: str = "louvain"
     index_shards: int = 1
+    index_dir: str | None = None
     feature_cache: bool = True
     cache_dir: str | None = None
     cache_max_bytes: int | None = None
@@ -146,6 +158,8 @@ class EnrichmentConfig:
             raise ValidationError(
                 f"index_shards must be >= 1, got {self.index_shards}"
             )
+        if self.index_dir is not None and not self.index_dir:
+            raise ValidationError("index_dir must be a non-empty path")
         if self.cache_dir is not None and not self.feature_cache:
             raise ValidationError(
                 "cache_dir requires feature_cache=True"

@@ -692,6 +692,13 @@ class OntologyEnricher:
         so repeated calls skip Step II featurisation for unchanged
         corpora; with ``cache_dir`` set it persists on disk, so even a
         fresh enricher in a fresh process starts warm.
+
+        With ``EnrichmentConfig(index_dir=...)`` the corpus index
+        itself persists in an
+        :class:`~repro.corpus.index_store.IndexStore`: the first run
+        builds and saves it, every later run (even in a fresh process)
+        mmap-reopens it in O(1), and ``worker_backend="process"``
+        workers receive a path handle instead of a pickled index.
         """
         timings: dict[str, float] = {}
         cache_before = (
@@ -702,10 +709,26 @@ class OntologyEnricher:
         started = time.perf_counter()
         if index is None:
             cfg = self.config
-            index = corpus.index(
-                n_shards=cfg.index_shards if cfg.index_shards > 1 else None,
-                n_workers=cfg.n_workers,
-            )
+            if cfg.index_dir is not None:
+                from repro.corpus.index_store import IndexStore
+
+                index = IndexStore(cfg.index_dir).load_or_build(
+                    corpus,
+                    n_shards=cfg.index_shards,
+                    n_workers=cfg.n_workers,
+                    build_backend=cfg.worker_backend,
+                )
+                # Cache the mmap handle on the corpus so repeated
+                # enrich calls (and anything else asking the corpus for
+                # its index) reuse the store generation.
+                corpus.adopt_index(index)
+            else:
+                index = corpus.index(
+                    n_shards=(
+                        cfg.index_shards if cfg.index_shards > 1 else None
+                    ),
+                    n_workers=cfg.n_workers,
+                )
         timings["index"] = time.perf_counter() - started
 
         # Step II needs a trained classifier; label source is the ontology.

@@ -14,7 +14,7 @@ import pytest
 
 from repro.corpus.corpus import Corpus, TermContext
 from repro.corpus.document import Document
-from repro.corpus.index import CorpusIndex
+from repro.corpus.index import CorpusIndex, ShardedCorpusIndex
 from repro.errors import CorpusError
 
 
@@ -307,3 +307,40 @@ class TestCorpusIndexCache:
         assert corpus.document("d2").doc_id == "d2"
         with pytest.raises(CorpusError, match="unknown document id"):
             corpus.document("d3")
+
+
+class TestDocLengthsCache:
+    """`doc_lengths()` returns one cached dict, invalidated on growth."""
+
+    def test_repeat_calls_share_one_dict(self):
+        index = CorpusIndex(
+            [Document("d1", [["a", "b"]]), Document("d2", [["c"]])]
+        )
+        first = index.doc_lengths()
+        assert first == {"d1": 2, "d2": 1}
+        assert index.doc_lengths() is first  # allocation-free repeat
+
+    def test_add_documents_invalidates(self):
+        index = CorpusIndex([Document("d1", [["a", "b"]])])
+        before = index.doc_lengths()
+        index.add_documents([Document("d2", [["c", "d", "e"]])])
+        after = index.doc_lengths()
+        assert after is not before
+        assert after == {"d1": 2, "d2": 3}
+        assert index.doc_lengths() is after
+
+    def test_empty_add_keeps_cache(self):
+        index = CorpusIndex([Document("d1", [["a"]])])
+        cached = index.doc_lengths()
+        index.add_documents([])
+        assert index.doc_lengths() is cached
+
+    def test_sharded_merge_is_cached_and_invalidated(self):
+        docs = [Document(f"d{i}", [["t"] * (i + 1)]) for i in range(5)]
+        sharded = ShardedCorpusIndex(docs, n_shards=2)
+        first = sharded.doc_lengths()
+        assert first == {f"d{i}": i + 1 for i in range(5)}
+        assert sharded.doc_lengths() is first
+        sharded.add_documents([Document("d5", [["t"] * 9])])
+        assert sharded.doc_lengths()["d5"] == 9
+        assert sharded.doc_lengths() is sharded.doc_lengths()

@@ -25,6 +25,7 @@ def examples_on_path(monkeypatch):
             "streaming_enrichment",
             "persistent_cache",
             "cache_service",
+            "large_corpus",
         }:
             del sys.modules[name]
 
@@ -87,6 +88,13 @@ class TestExamples:
                           docs_per_concept=4)
         assert "identical reports: True" in out
         assert "vectors served from disk" in out
+
+    def test_large_corpus(self, capsys):
+        out = run_example("large_corpus", capsys, n_concepts=15,
+                          docs_per_concept=4)
+        assert "mmap reopen" in out
+        assert "worker payload" in out
+        assert "identical reports: True" in out
 
     def test_cache_service(self, capsys):
         out = run_example("cache_service", capsys, n_concepts=15,

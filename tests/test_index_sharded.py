@@ -310,3 +310,52 @@ class TestCorpusShardingKnob:
         corpus = Corpus([Document("d", [["a"]])])
         with pytest.raises(CorpusError, match="n_shards"):
             corpus.index(n_shards=0)
+
+
+class TestParallelQueryGate:
+    """The fan-out gate is overridable: kwarg > env var > module default."""
+
+    def test_default_gate_blocks_small_corpora(self):
+        docs = random_documents(random.Random(0))
+        sharded = ShardedCorpusIndex(docs, n_shards=2, n_workers=4)
+        # Tiny corpus: bulk queries stay sequential despite n_workers.
+        assert sharded._default_query_workers() == 1
+
+    def test_kwarg_opens_the_gate(self):
+        docs = random_documents(random.Random(0))
+        sharded = ShardedCorpusIndex(
+            docs, n_shards=2, n_workers=4, parallel_query_min_tokens=0
+        )
+        assert sharded._default_query_workers() == 4
+        # And the fanned-out answers are still byte-identical.
+        assert_full_parity(
+            sharded, CorpusIndex(docs), random_terms(random.Random(0))
+        )
+
+    def test_env_var_opens_the_gate(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_QUERY_MIN_TOKENS", "0")
+        docs = random_documents(random.Random(1))
+        sharded = ShardedCorpusIndex(docs, n_shards=2, n_workers=3)
+        assert sharded._default_query_workers() == 3
+
+    def test_kwarg_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_QUERY_MIN_TOKENS", "0")
+        docs = random_documents(random.Random(1))
+        sharded = ShardedCorpusIndex(
+            docs, n_shards=2, n_workers=3,
+            parallel_query_min_tokens=10**9,
+        )
+        assert sharded._default_query_workers() == 1
+
+    def test_invalid_values_rejected(self, monkeypatch):
+        docs = random_documents(random.Random(2))
+        with pytest.raises(CorpusError, match="parallel_query_min_tokens"):
+            ShardedCorpusIndex(
+                docs, n_shards=2, parallel_query_min_tokens=-1
+            )
+        monkeypatch.setenv("REPRO_PARALLEL_QUERY_MIN_TOKENS", "not-a-number")
+        with pytest.raises(CorpusError, match="REPRO_PARALLEL_QUERY_MIN_TOKENS"):
+            ShardedCorpusIndex(docs, n_shards=2)
+        monkeypatch.setenv("REPRO_PARALLEL_QUERY_MIN_TOKENS", "-5")
+        with pytest.raises(CorpusError, match="REPRO_PARALLEL_QUERY_MIN_TOKENS"):
+            ShardedCorpusIndex(docs, n_shards=2)

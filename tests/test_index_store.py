@@ -1,0 +1,317 @@
+"""On-disk corpus index store: mmap parity, corruption, pickling.
+
+The tentpole contract of :mod:`repro.corpus.index_store`:
+
+* an :class:`MmapCorpusIndex` reopened from a persisted generation is
+  byte-identical to the in-memory :class:`CorpusIndex` it came from —
+  every query method AND the content fingerprint chain;
+* process-pool workers receive a picklable *path handle* (a few hundred
+  bytes) instead of the postings themselves;
+* any corruption — truncation, flipped bytes, a torn manifest, version
+  skew, a missing file — makes :meth:`IndexStore.open` raise and
+  :meth:`IndexStore.load_or_build` degrade to a clean rebuild: never a
+  wrong answer.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.corpus.corpus import Corpus
+from repro.corpus.document import Document
+from repro.corpus.index import CorpusIndex, ShardedCorpusIndex
+from repro.corpus.index_store import (
+    IndexStore,
+    IndexStoreError,
+    MmapCorpusIndex,
+    build_sharded_index,
+)
+from repro.errors import CorpusError
+from test_index_sharded import (
+    assert_full_parity,
+    random_documents,
+    random_terms,
+)
+
+
+def build_store(tmp_path, docs):
+    store = IndexStore(tmp_path / "store")
+    index = CorpusIndex(docs)
+    store.save(index)
+    return store, index
+
+
+class TestMmapParity:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_single_generation_full_parity(self, tmp_path, seed):
+        rng = random.Random(seed)
+        docs = random_documents(rng, n_docs=11)
+        store, reference = build_store(tmp_path, docs)
+        opened = store.open(reference.fingerprint())
+        assert isinstance(opened, MmapCorpusIndex)
+        assert_full_parity(opened, reference, random_terms(rng))
+
+    @pytest.mark.parametrize("n_shards", [2, 3, 5])
+    def test_sharded_generation_full_parity(self, tmp_path, n_shards):
+        rng = random.Random(n_shards)
+        docs = random_documents(rng, n_docs=10)
+        reference = CorpusIndex(docs)
+        store = IndexStore(tmp_path / "store")
+        store.save(ShardedCorpusIndex(docs, n_shards=n_shards))
+        opened = store.open(reference.fingerprint())
+        assert isinstance(opened, ShardedCorpusIndex)
+        assert all(
+            isinstance(shard, MmapCorpusIndex) for shard in opened.shards()
+        )
+        assert_full_parity(opened, reference, random_terms(rng))
+
+    def test_process_pool_shard_build_parity(self, tmp_path):
+        rng = random.Random(7)
+        docs = random_documents(rng, n_docs=12)
+        reference = CorpusIndex(docs)
+        built = build_sharded_index(
+            docs,
+            tmp_path / "gen",
+            n_shards=3,
+            n_workers=2,
+            build_backend="process",
+        )
+        assert_full_parity(built, reference, random_terms(rng))
+
+    def test_empty_corpus_round_trips(self, tmp_path):
+        store, reference = build_store(tmp_path, [])
+        opened = store.open(reference.fingerprint())
+        assert opened.n_documents() == 0
+        assert opened.fingerprint() == reference.fingerprint()
+        assert opened.term_frequency("a") == 0
+
+    def test_extend_fingerprint_matches(self, tmp_path):
+        docs = random_documents(random.Random(3))
+        store, reference = build_store(tmp_path, docs)
+        opened = store.open(reference.fingerprint())
+        # Continuing the hash chain through the mmap view must produce
+        # the same value as through the in-memory postings.
+        assert opened.extend_fingerprint("0" * 40) == \
+            reference.extend_fingerprint("0" * 40)
+        assert opened.extend_fingerprint(reference.fingerprint()) == \
+            reference.extend_fingerprint(reference.fingerprint())
+
+    def test_mmap_handle_is_read_only(self, tmp_path):
+        docs = random_documents(random.Random(0))
+        store, reference = build_store(tmp_path, docs)
+        opened = store.open(reference.fingerprint())
+        opened.add_documents([])  # no-op is allowed
+        with pytest.raises(CorpusError, match="read-only"):
+            opened.add_documents([Document("x", [["a"]])])
+        with pytest.raises(CorpusError, match="mmap"):
+            store.save(opened)
+
+
+class TestPickling:
+    def test_pickle_is_a_path_handle(self, tmp_path):
+        rng = random.Random(5)
+        docs = random_documents(rng, n_docs=14)
+        store, reference = build_store(tmp_path, docs)
+        opened = store.open(reference.fingerprint())
+        payload = pickle.dumps(opened)
+        assert len(payload) < 4 * len(pickle.dumps(reference))
+        assert len(payload) < 1024
+        clone = pickle.loads(payload)
+        assert_full_parity(clone, reference, random_terms(rng))
+
+    def test_sharded_mmap_pickles(self, tmp_path):
+        rng = random.Random(6)
+        docs = random_documents(rng, n_docs=9)
+        reference = CorpusIndex(docs)
+        store = IndexStore(tmp_path / "store")
+        store.save(ShardedCorpusIndex(docs, n_shards=3))
+        opened = store.open(reference.fingerprint(), n_workers=2)
+        clone = pickle.loads(pickle.dumps(opened))
+        assert_full_parity(clone, reference, random_terms(rng))
+
+
+def _one_array_file(generation):
+    """Some persisted payload file of a generation (not the manifest)."""
+    candidates = sorted(
+        p for p in generation.rglob("*")
+        if p.is_file() and p.name != "manifest.json" and p.stat().st_size > 0
+    )
+    assert candidates
+    return candidates[0]
+
+
+class TestCorruption:
+    @pytest.fixture()
+    def stored(self, tmp_path):
+        docs = random_documents(random.Random(1), n_docs=8)
+        store, reference = build_store(tmp_path, docs)
+        return store, reference, docs
+
+    def test_truncated_file_fails_verification(self, stored):
+        store, reference, _ = stored
+        target = _one_array_file(store.path_for(reference.fingerprint()))
+        with open(target, "r+b") as fh:
+            fh.truncate(max(0, target.stat().st_size - 7))
+        with pytest.raises(IndexStoreError):
+            store.open(reference.fingerprint())
+
+    def test_flipped_byte_fails_crc(self, stored):
+        store, reference, _ = stored
+        target = _one_array_file(store.path_for(reference.fingerprint()))
+        blob = bytearray(target.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        target.write_bytes(bytes(blob))
+        with pytest.raises(IndexStoreError):
+            store.open(reference.fingerprint())
+
+    def test_missing_manifest_is_corrupt(self, stored):
+        store, reference, _ = stored
+        (store.path_for(reference.fingerprint()) / "manifest.json").unlink()
+        with pytest.raises(IndexStoreError):
+            store.open(reference.fingerprint())
+
+    def test_torn_manifest_is_corrupt(self, stored):
+        store, reference, _ = stored
+        manifest = store.path_for(reference.fingerprint()) / "manifest.json"
+        manifest.write_text(manifest.read_text()[: manifest.stat().st_size // 2])
+        with pytest.raises(IndexStoreError):
+            store.open(reference.fingerprint())
+
+    def test_version_skew_is_corrupt(self, stored):
+        store, reference, _ = stored
+        manifest = store.path_for(reference.fingerprint()) / "manifest.json"
+        manifest.write_text(
+            manifest.read_text().replace('"version": 1', '"version": 999')
+        )
+        with pytest.raises(IndexStoreError):
+            store.open(reference.fingerprint())
+
+    def test_missing_file_is_corrupt(self, stored):
+        store, reference, _ = stored
+        _one_array_file(store.path_for(reference.fingerprint())).unlink()
+        with pytest.raises(IndexStoreError):
+            store.open(reference.fingerprint())
+
+    def test_unknown_fingerprint_misses(self, stored):
+        store, _, _ = stored
+        with pytest.raises(IndexStoreError, match="no stored index"):
+            store.open("0" * 40)
+
+    def test_load_or_build_rebuilds_after_corruption(self, stored):
+        store, reference, docs = stored
+        rng = random.Random(2)
+        target = _one_array_file(store.path_for(reference.fingerprint()))
+        blob = bytearray(target.read_bytes())
+        blob[0] ^= 0xFF
+        target.write_bytes(bytes(blob))
+        rebuilt = store.load_or_build(docs)
+        assert isinstance(rebuilt, MmapCorpusIndex)
+        assert_full_parity(rebuilt, reference, random_terms(rng))
+        # The replaced generation is clean again.
+        assert_full_parity(
+            store.open(reference.fingerprint()), reference, random_terms(rng)
+        )
+
+    def test_load_or_build_rebuilds_sharded_after_corruption(self, tmp_path):
+        rng = random.Random(9)
+        docs = random_documents(rng, n_docs=10)
+        reference = CorpusIndex(docs)
+        store = IndexStore(tmp_path / "store")
+        store.save(ShardedCorpusIndex(docs, n_shards=3))
+        target = _one_array_file(store.path_for(reference.fingerprint()))
+        with open(target, "r+b") as fh:
+            fh.truncate(1)
+        rebuilt = store.load_or_build(docs, n_shards=3, n_workers=2)
+        assert isinstance(rebuilt, ShardedCorpusIndex)
+        assert_full_parity(rebuilt, reference, random_terms(rng))
+
+    def test_unwritable_store_degrades_to_in_memory(
+        self, tmp_path, monkeypatch
+    ):
+        docs = random_documents(random.Random(4))
+        reference = CorpusIndex(docs)
+        store = IndexStore(tmp_path / "store")
+
+        def refuse(index):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(store, "save", refuse)
+        index = store.load_or_build(docs)
+        # No generation could be written, but the answer is served.
+        assert not isinstance(index, MmapCorpusIndex)
+        assert_full_parity(index, reference, random_terms(random.Random(4)))
+        assert store.fingerprints() == []
+
+
+class TestLoadOrBuild:
+    def test_miss_builds_and_persists(self, tmp_path):
+        docs = random_documents(random.Random(8))
+        store = IndexStore(tmp_path / "store")
+        assert store.fingerprints() == []
+        index = store.load_or_build(docs)
+        assert isinstance(index, MmapCorpusIndex)
+        assert store.fingerprints() == [index.fingerprint()]
+
+    def test_hit_reopens_same_generation(self, tmp_path):
+        docs = random_documents(random.Random(8))
+        store = IndexStore(tmp_path / "store")
+        first = store.load_or_build(docs)
+        marker = store.path_for(first.fingerprint()) / "manifest.json"
+        mtime = marker.stat().st_mtime_ns
+        second = store.load_or_build(docs)
+        assert isinstance(second, MmapCorpusIndex)
+        assert marker.stat().st_mtime_ns == mtime  # untouched, not rebuilt
+        assert second.fingerprint() == first.fingerprint()
+
+    def test_corpus_object_is_accepted(self, tmp_path):
+        docs = random_documents(random.Random(8))
+        corpus = Corpus(docs)
+        store = IndexStore(tmp_path / "store")
+        index = store.load_or_build(corpus)
+        assert index.fingerprint() == CorpusIndex(docs).fingerprint()
+
+    def test_describe_reports_generations(self, tmp_path):
+        docs = random_documents(random.Random(8))
+        store = IndexStore(tmp_path / "store")
+        built = store.load_or_build(docs)
+        info = store.describe()
+        assert info["n_generations"] == 1
+        (generation,) = info["generations"]
+        assert generation["fingerprint"] == built.fingerprint()
+        assert generation["kind"] == "single"
+        assert generation["n_documents"] == len(docs)
+        assert generation["bytes"] > 0
+        # A corrupt generation is reported, not hidden.
+        manifest = store.path_for(built.fingerprint()) / "manifest.json"
+        manifest.write_text("{not json")
+        info = store.describe()
+        assert info["generations"][0]["kind"] == "corrupt"
+
+
+class TestCorpusAdoption:
+    def test_adopt_index_caches_the_handle(self, tmp_path):
+        docs = random_documents(random.Random(12))
+        corpus = Corpus(docs)
+        store = IndexStore(tmp_path / "store")
+        opened = store.load_or_build(corpus)
+        corpus.adopt_index(opened)
+        assert corpus.index() is opened
+
+    def test_adopt_rejects_mismatched_index(self, tmp_path):
+        docs = random_documents(random.Random(12))
+        store = IndexStore(tmp_path / "store")
+        opened = store.load_or_build(docs)
+        with pytest.raises(CorpusError, match="documents"):
+            Corpus(docs[:-1]).adopt_index(opened)
+
+    def test_add_after_adoption_drops_read_only_index(self, tmp_path):
+        docs = random_documents(random.Random(12))
+        corpus = Corpus(docs)
+        store = IndexStore(tmp_path / "store")
+        corpus.adopt_index(store.load_or_build(corpus))
+        corpus.add(Document("late", [["new", "tokens"]]))
+        fresh = corpus.index()
+        assert not isinstance(fresh, MmapCorpusIndex)
+        assert fresh.n_documents() == len(docs) + 1
+        assert fresh.fingerprint() == CorpusIndex(list(corpus)).fingerprint()
