@@ -1,0 +1,161 @@
+"""Serving-layer benchmark: batch protocol round trips + sustained load.
+
+Two claims of the production serving layer land in
+``BENCH_service_load.json``:
+
+* **Round-trip economics** — a warm enrichment run pointed at
+  ``--cache-url`` must issue at least **10x fewer** HTTP round trips
+  with the batched ``/vectors/batch`` protocol than with the per-vector
+  protocol (``cache_batch_size=1``, the only protocol the PR 5 server
+  spoke), while producing the identical report.  Round trips are
+  counted *server-side* as the ``/stats`` ``requests`` delta — valid
+  because ``/stats`` polls themselves are deliberately uncounted
+  (monitoring must not perturb the measurement).
+* **Sustained throughput** — :func:`repro.service.loadgen.run_load`
+  drives the same server with a concurrent mixed GET/PUT/batch/stats
+  workload and records req/s plus p50/p99 latency, with zero failed
+  requests.
+"""
+
+import tempfile
+
+from benchmarks.conftest import emit_bench_json, print_paper_vs_measured, run_once
+from repro.polysemy.cache_store import DiskCacheStore
+from repro.scenarios import make_enrichment_scenario
+from repro.service.client import ServiceClient
+from repro.service.loadgen import run_load
+from repro.service.server import CacheServiceServer
+from repro.workflow.config import EnrichmentConfig
+from repro.workflow.pipeline import OntologyEnricher
+
+
+def outcome(report):
+    return [
+        (
+            t.term, t.polysemic, t.n_senses, t.skipped_reason,
+            [(p.rank, p.term, p.cosine) for p in t.propositions],
+        )
+        for t in report.terms
+    ]
+
+
+def run_measurements(n_concepts: int, docs_per_concept: int, seed: int,
+                     n_candidates: int, clients: int, ops_per_client: int):
+    scenario = make_enrichment_scenario(
+        seed=seed,
+        n_concepts=n_concepts,
+        docs_per_concept=docs_per_concept,
+    )
+    server = CacheServiceServer(
+        DiskCacheStore(tempfile.mkdtemp(prefix="bench-service-load-")),
+        host="127.0.0.1",
+        port=0,
+    )
+    server.start()
+
+    def enrich_once(batch_size: int):
+        # A brand-new enricher per run: nothing warm survives
+        # in-process, only what the service holds behind cache_url.
+        config = EnrichmentConfig(
+            n_candidates=n_candidates,
+            cache_url=server.url,
+            cache_batch_size=batch_size,
+            seed=0,
+        )
+        enricher = OntologyEnricher(
+            scenario.ontology, config=config,
+            pos_lexicon=scenario.pos_lexicon,
+        )
+        return enricher.enrich(scenario.corpus)
+
+    client = ServiceClient(server.url)
+    try:
+        # Populate the served store once; protocol choice is irrelevant
+        # here (both warm runs below read the same vectors back).
+        cold_report = enrich_once(batch_size=256)
+
+        def counted_requests() -> int:
+            # /stats polls are uncounted server-side, so this delta
+            # measurement does not perturb itself.
+            return client.stats()["requests"]
+
+        before = counted_requests()
+        warm_single = enrich_once(batch_size=1)
+        per_vector_requests = counted_requests() - before
+
+        before = counted_requests()
+        warm_batched = enrich_once(batch_size=256)
+        batched_requests = counted_requests() - before
+
+        load = run_load(
+            server.url,
+            clients=clients,
+            ops_per_client=ops_per_client,
+            batch_size=32,
+            seed=7,
+        )
+    finally:
+        client.close()
+        server.stop()
+
+    assert outcome(cold_report) == outcome(warm_single), \
+        "per-vector protocol changed the enrichment output"
+    assert outcome(cold_report) == outcome(warm_batched), \
+        "batch protocol changed the enrichment output"
+    assert warm_single.cache["misses"] == 0
+    assert warm_batched.cache["misses"] == 0
+    assert warm_batched.cache["remote_hits"] > 0
+    assert load.failed_requests == 0, \
+        f"load run saw {load.failed_requests} failed requests"
+
+    return {
+        "n_documents": scenario.corpus.n_documents(),
+        "n_tokens": scenario.corpus.n_tokens(),
+        "n_candidates": n_candidates,
+        "per_vector_requests": per_vector_requests,
+        "batched_requests": batched_requests,
+        "warm_remote_hits": warm_batched.cache["remote_hits"],
+        "load": load.to_dict(),
+    }
+
+
+def test_batch_round_trips_and_sustained_load(benchmark, scale):
+    paper_sized = scale == "paper"
+    result = run_once(
+        benchmark,
+        run_measurements,
+        n_concepts=60 if paper_sized else 30,
+        docs_per_concept=6,
+        seed=5,
+        n_candidates=24 if paper_sized else 16,
+        clients=12 if paper_sized else 6,
+        ops_per_client=60 if paper_sized else 30,
+    )
+    ratio = result["per_vector_requests"] / max(result["batched_requests"], 1)
+    load = result["load"]
+    print_paper_vs_measured(
+        "Service under load: batch protocol + mixed traffic "
+        f"({result['n_documents']} docs, {result['n_tokens']:,} tokens)",
+        [
+            ("warm round trips, per-vector", "-",
+             result["per_vector_requests"]),
+            ("warm round trips, batched", "-", result["batched_requests"]),
+            ("round-trip reduction", ">=10x", f"{ratio:.1f}x"),
+            ("load clients", "-", load["clients"]),
+            ("load ops", "-", load["requests"]),
+            ("sustained req/s", "-", f"{load['requests_per_second']:.1f}"),
+            ("p50 latency (s)", "-", f"{load['p50_seconds']:.5f}"),
+            ("p99 latency (s)", "-", f"{load['p99_seconds']:.5f}"),
+            ("failed requests", "0", load["failed_requests"]),
+        ],
+    )
+    emit_bench_json(
+        "service_load", {**result, "round_trip_reduction": ratio}
+    )
+
+    # The acceptance bar: batching must cut warm-run HTTP round trips by
+    # at least an order of magnitude without changing the report.
+    assert ratio >= 10.0, (
+        f"batch protocol only cut round trips by {ratio:.1f}x "
+        f"({result['per_vector_requests']} -> {result['batched_requests']})"
+    )

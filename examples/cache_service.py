@@ -7,10 +7,15 @@ jobs, then
 
 1. runs a **cold** pipeline against ``cache_url`` (every Step II vector
    is computed and pushed to the service),
-2. runs a **warm** pipeline from a brand-new enricher — every vector
-   arrives over HTTP (``remote_hits``), no featurisation happens,
-3. submits the same enrichment as a **server-side job** and polls it,
-4. stops the server and runs once more: every lookup degrades to a
+2. runs a **warm** pipeline twice from brand-new enrichers — once over
+   the per-vector protocol (``cache_batch_size=1``) and once over the
+   batched ``/vectors/batch`` protocol — counting the HTTP round trips
+   each one costs server-side (the ``/stats`` ``requests`` delta;
+   ``/stats`` polls themselves are uncounted),
+3. submits the same enrichment as a **server-side job** twice with one
+   ``Idempotency-Key`` (the second submit replays the first job),
+4. scrapes ``GET /metrics`` and shows the traffic it recorded,
+5. stops the server and runs once more: every lookup degrades to a
    clean miss (``remote_errors``), the report is unchanged.
 
 Run: ``PYTHONPATH=src python examples/cache_service.py``
@@ -37,9 +42,10 @@ from repro.workflow.config import EnrichmentConfig
 from repro.workflow.pipeline import OntologyEnricher
 
 
-def enrich_with_fresh_enricher(scenario, cache_url: str):
+def enrich_with_fresh_enricher(scenario, cache_url: str, batch_size: int = 256):
     config = EnrichmentConfig(
-        n_candidates=8, cache_url=cache_url, cache_timeout=0.5, seed=0
+        n_candidates=8, cache_url=cache_url, cache_timeout=0.5,
+        cache_batch_size=batch_size, seed=0
     )
     enricher = OntologyEnricher(
         scenario.ontology, config=config, pos_lexicon=scenario.pos_lexicon
@@ -68,35 +74,73 @@ def main(n_concepts: int = 30, docs_per_concept: int = 5) -> None:
     server.start()
     print(f"cache service listening on {server.url}")
 
+    client = ServiceClient(server.url)
+    round_trips = lambda: client.stats()["requests"]  # noqa: E731
+
     cold, cold_seconds = enrich_with_fresh_enricher(scenario, server.url)
     print(
         f"cold run : {cold_seconds:.2f}s — "
         f"{cold.cache['misses']} misses pushed to the service"
     )
+
+    # Warm twice: the per-vector protocol pays one HTTP round trip per
+    # vector, the batch protocol coalesces them into whole-batch frames.
+    before = round_trips()
+    single, _ = enrich_with_fresh_enricher(
+        scenario, server.url, batch_size=1
+    )
+    single_requests = round_trips() - before
+    before = round_trips()
     warm, warm_seconds = enrich_with_fresh_enricher(scenario, server.url)
+    warm_requests = round_trips() - before
     print(
         f"warm run : {warm_seconds:.2f}s — "
         f"{warm.cache['remote_hits']} vectors served over HTTP, "
         f"{warm.cache['misses']} misses "
         f"({cold_seconds / max(warm_seconds, 1e-9):.1f}x faster)"
     )
+    print(
+        f"round trips: {single_requests} per-vector vs "
+        f"{warm_requests} batched "
+        f"({single_requests / max(warm_requests, 1):.0f}x fewer)"
+    )
     assert warm.cache["remote_hits"] > 0 and warm.cache["misses"] == 0
+    assert warm_requests < single_requests
 
-    # The service also *runs* enrichment: submit, poll, fetch.
-    client = ServiceClient(server.url)
-    job_id = client.submit_job("demo", config={"n_candidates": 8})
+    # The service also *runs* enrichment: submit, poll, fetch — and a
+    # resubmission carrying the same Idempotency-Key replays the first
+    # job instead of burning a duplicate run.
+    job_id, replayed = client.submit_job_detailed(
+        "demo", config={"n_candidates": 8}, idempotency_key="example-demo"
+    )
     document = client.wait_for_job(job_id, timeout=300)
     print(
         f"job {job_id}: {document['status']}, "
         f"{document['report']['n_candidates']} candidates, "
         f"cache {document['report']['cache']['hits']} hits"
     )
+    again, replayed = client.submit_job_detailed(
+        "demo", config={"n_candidates": 8}, idempotency_key="example-demo"
+    )
+    assert again == job_id and replayed
+    print(f"resubmit with same Idempotency-Key: replayed job {again}")
+
+    # /metrics exposes all of the above in Prometheus text format.
+    exposition = client.metrics()
+    interesting = [
+        line for line in exposition.splitlines()
+        if line.startswith(("repro_http_requests_total", "repro_jobs_total"))
+        and not line.startswith("#")
+    ]
+    print("metrics scrape (excerpt):")
+    for line in interesting[:6]:
+        print(f"  {line}")
 
     # Identical output with and without the service, warm or cold.
     rows = lambda report: json.dumps(  # noqa: E731
         [t.to_dict() for t in report.terms], sort_keys=True
     )
-    assert rows(cold) == rows(warm)
+    assert rows(cold) == rows(warm) == rows(single)
 
     server.stop()
     dead, dead_seconds = enrich_with_fresh_enricher(scenario, server.url)

@@ -71,6 +71,7 @@ def _cmd_enrich(args: argparse.Namespace) -> int:
         cache_max_bytes=args.cache_max_bytes,
         cache_url=args.cache_url,
         cache_timeout=args.cache_timeout,
+        cache_batch_size=args.cache_batch_size,
     )
     enricher = OntologyEnricher(ontology, config=config)
     report = enricher.enrich(corpus)
@@ -255,7 +256,68 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         corpora=_parse_scenario_specs(args.scenario),
         job_workers=args.job_workers,
         index_dir=args.index_dir,
+        access_log=args.access_log,
     )
+
+
+def _cmd_loadbench(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.errors import ValidationError
+    from repro.service.loadgen import run_load
+
+    try:
+        report = run_load(
+            args.url,
+            clients=args.clients,
+            ops_per_client=args.ops,
+            batch_size=args.batch_size,
+            job_corpus=args.job_corpus,
+            seed=args.seed,
+        )
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    document = report.to_dict()
+    rows = [
+        ["clients", document["clients"]],
+        ["requests", document["requests"]],
+        ["failed requests", document["failed_requests"]],
+        ["duration (s)", f"{document['duration_seconds']:.3f}"],
+        ["req/s", f"{document['requests_per_second']:.1f}"],
+        ["p50 (ms)", f"{document['p50_seconds'] * 1e3:.2f}"],
+        ["p99 (ms)", f"{document['p99_seconds'] * 1e3:.2f}"],
+    ]
+    print(format_table(["measure", "value"], rows, title="Service load"))
+    print()
+    print(
+        format_table(
+            ["op", "count", "p50 (ms)", "p99 (ms)"],
+            [
+                [
+                    op,
+                    stats["count"],
+                    f"{stats['p50_seconds'] * 1e3:.2f}",
+                    f"{stats['p99_seconds'] * 1e3:.2f}",
+                ]
+                for op, stats in document["per_op"].items()
+            ],
+            title="Per-operation latency",
+        )
+    )
+    if args.json is not None:
+        Path(args.json).write_text(
+            _json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.json}")
+    if report.failed_requests:
+        print(
+            f"error: {report.failed_requests} failed requests",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _cmd_cache_info(args: argparse.Namespace) -> int:
@@ -406,6 +468,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request network timeout (seconds) for --cache-url",
     )
     enrich.add_argument(
+        "--cache-batch-size", type=int, default=256,
+        help="vectors per /vectors/batch round trip against --cache-url "
+        "(1 = the per-vector protocol)",
+    )
+    enrich.add_argument(
         "--timings", action="store_true",
         help="print per-stage wall times after the report",
     )
@@ -493,7 +560,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist registered corpora's indexes in this index store "
         "(first job builds, later jobs and restarts mmap-reopen)",
     )
+    serve.add_argument(
+        "--access-log", default=None, metavar="PATH",
+        help="write one JSON line per request to PATH ('-' = stderr)",
+    )
     serve.set_defaults(fn=_cmd_serve)
+
+    loadbench = sub.add_parser(
+        "loadbench",
+        help="drive a running service with concurrent mixed traffic",
+    )
+    loadbench.add_argument(
+        "--url", required=True,
+        help="base URL of the `repro serve` service under test",
+    )
+    loadbench.add_argument(
+        "--clients", type=int, default=8,
+        help="concurrent client threads (each owns its own connections)",
+    )
+    loadbench.add_argument(
+        "--ops", type=int, default=50,
+        help="operations issued per client",
+    )
+    loadbench.add_argument(
+        "--batch-size", type=int, default=32,
+        help="vectors per batch_get/batch_put operation",
+    )
+    loadbench.add_argument(
+        "--job-corpus", default=None,
+        help="registered corpus name to add idempotent job submissions "
+        "to the mix",
+    )
+    loadbench.add_argument("--seed", type=int, default=0)
+    loadbench.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the report as JSON to PATH",
+    )
+    loadbench.set_defaults(fn=_cmd_loadbench)
 
     info = sub.add_parser(
         "cache-info",

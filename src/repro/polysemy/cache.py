@@ -108,6 +108,39 @@ class FeatureCache:
                     self._hits += 1
             return vector
 
+    def lookup_many(
+        self, keys: list[CacheKey], *, record: bool = True
+    ) -> dict[CacheKey, np.ndarray]:
+        """Found vectors for ``keys`` (absent keys simply missing).
+
+        The batched counterpart of :meth:`lookup`: a backend with a
+        native bulk path (``get_many`` — the served
+        :class:`~repro.service.client.RemoteCacheStore` coalesces it
+        into O(batches) HTTP round trips instead of O(keys)) is called
+        once; any other backend is probed per key under the one lock.
+        Counting matches ``len(keys)`` sequential lookups exactly: one
+        hit or miss per *requested occurrence* (duplicates included),
+        and ``record=False`` defers counting just like :meth:`lookup`.
+        """
+        with self._lock:
+            bulk = getattr(self._store, "get_many", None)
+            if bulk is not None:
+                found = dict(bulk(list(dict.fromkeys(keys))))
+            else:
+                found = {}
+                for key in keys:
+                    if key not in found:
+                        vector = self._store.get(key)
+                        if vector is not None:
+                            found[key] = vector
+            if record:
+                for key in keys:
+                    if key in found:
+                        self._hits += 1
+                    else:
+                        self._misses += 1
+            return found
+
     def record_lookup(self, found: bool) -> None:
         """Count one deferred lookup (see ``lookup(record=False)``)."""
         with self._lock:
@@ -146,6 +179,25 @@ class FeatureCache:
         """Memoise ``vector`` under ``key`` (overwrites silently)."""
         with self._lock:
             self._store.put(key, vector)
+
+    def store_many(
+        self, entries: list[tuple[CacheKey, np.ndarray]]
+    ) -> None:
+        """Memoise every ``(key, vector)`` (batched :meth:`store`).
+
+        Like :meth:`lookup_many`, a backend exposing ``put_many`` gets
+        the whole list in one call (batched uploads on the served
+        backend); otherwise entries are stored one by one in order, so
+        duplicate keys resolve exactly as sequential stores would
+        (last one wins).
+        """
+        with self._lock:
+            bulk = getattr(self._store, "put_many", None)
+            if bulk is not None:
+                bulk(list(entries))
+            else:
+                for key, vector in entries:
+                    self._store.put(key, vector)
 
     def __len__(self) -> int:
         return len(self._store)

@@ -151,14 +151,29 @@ def build_polysemy_dataset(
         else ""
     )
     corpus_fp = index.fingerprint() if cache is not None else ""
-    for term in ontology.terms():
+    # Two passes so a remote-backed cache answers every eligible term's
+    # lookup in one batched call (O(batches) HTTP round trips), not one
+    # request per term.  Counting is identical to per-term lookups:
+    # lookup_many records one hit/miss per eligible term.
+    eligible = [
+        term
+        for term in ontology.terms()
+        if len(records.get(term, [])) >= min_contexts
+    ]
+    cached: dict[str, np.ndarray] = {}
+    if cache is not None:
+        found = cache.lookup_many(
+            [FeatureCache.key(corpus_fp, term, config_fp) for term in eligible]
+        )
+        cached = {
+            term: found[FeatureCache.key(corpus_fp, term, config_fp)]
+            for term in eligible
+            if FeatureCache.key(corpus_fp, term, config_fp) in found
+        }
+    computed: list[tuple[tuple[str, str, str], np.ndarray]] = []
+    for term in eligible:
         occurrences = records.get(term, [])
-        if len(occurrences) < min_contexts:
-            continue
-        vector = None
-        if cache is not None:
-            cache_key = FeatureCache.key(corpus_fp, term, config_fp)
-            vector = cache.lookup(cache_key)
+        vector = cached.get(term)
         if vector is None:
             doc_frequency = len({doc_id for doc_id, __ in occurrences})
             if len(occurrences) > max_contexts:
@@ -172,11 +187,15 @@ def build_polysemy_dataset(
                 term, contexts, doc_frequency=doc_frequency
             )
             if cache is not None:
-                cache.store(cache_key, vector)
+                computed.append(
+                    (FeatureCache.key(corpus_fp, term, config_fp), vector)
+                )
         if ontology.is_polysemic(term):
             polysemic_rows.append((term, vector))
         else:
             monosemous_rows.append((term, vector))
+    if cache is not None and computed:
+        cache.store_many(computed)
 
     if not polysemic_rows or not monosemous_rows:
         raise CorpusError(

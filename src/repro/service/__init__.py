@@ -10,12 +10,19 @@ of pipeline runs on any machine share its warm Step II vectors through
 Public surface:
 
 * :class:`RemoteCacheStore` — the ``CacheStore`` protocol over HTTP
-  (every network failure degrades to a clean cache miss);
+  (every network failure degrades to a clean cache miss), with
+  batched ``get_many``/``put_many`` over ``/vectors/batch``;
 * :class:`ServiceClient` — strict JSON client (stats, cache layout,
-  job lifecycle);
+  job lifecycle, conditional stats, ``/metrics`` scrape);
 * :class:`CacheServiceServer` / :func:`serve` — the server;
-* :class:`JobManager` — server-side enrichment job execution;
-* the wire-format helpers of :mod:`repro.service.wire`.
+* :class:`JobManager` — server-side enrichment job execution
+  (idempotent submission via ``Idempotency-Key``);
+* :class:`ServiceMetrics` / :class:`MetricsRegistry` — the zero-dep
+  Prometheus-style instruments behind ``GET /metrics``;
+* :func:`run_load` / :class:`LoadReport` — the many-client load
+  generator (``repro loadbench``);
+* the wire-format helpers of :mod:`repro.service.wire`, including the
+  ``RBK1``/``RBV1`` batch frame codec.
 
 Exports resolve lazily (PEP 562): the *client* side imports no
 workflow code, so ``repro.workflow.pipeline`` can depend on
@@ -35,10 +42,22 @@ _EXPORTS = {
     "serve": "repro.service.server",
     "Job": "repro.service.jobs",
     "JobManager": "repro.service.jobs",
+    "IdempotencyConflictError": "repro.service.jobs",
+    "Counter": "repro.service.metrics",
+    "Gauge": "repro.service.metrics",
+    "Histogram": "repro.service.metrics",
+    "MetricsRegistry": "repro.service.metrics",
+    "ServiceMetrics": "repro.service.metrics",
+    "LoadReport": "repro.service.loadgen",
+    "run_load": "repro.service.loadgen",
     "encode_vector": "repro.service.wire",
     "decode_vector": "repro.service.wire",
     "encode_key": "repro.service.wire",
     "decode_key": "repro.service.wire",
+    "encode_key_batch": "repro.service.wire",
+    "decode_key_batch": "repro.service.wire",
+    "encode_vector_batch": "repro.service.wire",
+    "decode_vector_batch": "repro.service.wire",
 }
 
 __all__ = sorted(_EXPORTS)

@@ -19,6 +19,14 @@ Design constraints (they shape everything below):
   per store (guarded by a lock), re-established transparently when the
   server closes it; a stale keep-alive connection gets one silent
   retry on a fresh connection before the operation counts as failed.
+* **Batched round trips.**  :meth:`RemoteCacheStore.get_many` /
+  :meth:`~RemoteCacheStore.put_many` coalesce N keys into
+  ``ceil(N / batch_size)`` framed ``/vectors/batch`` requests (see the
+  batch codec in :mod:`repro.service.wire`), so a warm pipeline run
+  costs O(batches) round trips instead of O(terms).  A server without
+  the batch routes (a PR 5 deployment) is detected on the first
+  unmarked 404 and the store silently falls back to per-key requests —
+  callers never need to know which protocol is in use.
 * **Process-pool friendly.**  The store pickles to its URL + timeout
   (like :class:`DiskCacheStore` pickles to its directory), so
   ``worker_backend="process"`` workers reopen their own connection and
@@ -47,13 +55,22 @@ from repro.service.wire import (
     HEADER_DTYPE,
     HEADER_MISS,
     HEADER_SHAPE,
+    MAX_BATCH_ITEMS,
     decode_vector,
+    decode_vector_batch,
     encode_key,
+    encode_key_batch,
     encode_vector,
+    encode_vector_batch,
 )
 
 #: Default per-request network timeout (seconds).
 DEFAULT_TIMEOUT = 5.0
+
+#: Default keys per batched round trip.  Large enough that a warm
+#: pipeline run is a handful of requests, small enough that one frame
+#: stays well under the server's body cap even for wide vectors.
+DEFAULT_BATCH_SIZE = 256
 
 #: Exceptions that mean "the network/service failed", never the caller.
 _NETWORK_ERRORS = (OSError, http.client.HTTPException)
@@ -181,6 +198,12 @@ class RemoteCacheStore:
         Per-request network timeout in seconds.  Keep it small: the
         worst case is paid per candidate on an unresponsive server,
         and a timeout is just a miss.
+    batch_size:
+        Keys per batched ``/vectors/batch`` round trip (see
+        :meth:`get_many` / :meth:`put_many`).  ``1`` disables batching
+        entirely — every lookup is a single-vector request, byte for
+        byte the PR 5 protocol (kept as an explicit compatibility and
+        benchmarking mode).
 
     Example
     -------
@@ -196,9 +219,22 @@ class RemoteCacheStore:
     WORKER_HIT_KEY = "remote_hits"
 
     def __init__(
-        self, base_url: str, *, timeout: float = DEFAULT_TIMEOUT
+        self,
+        base_url: str,
+        *,
+        timeout: float = DEFAULT_TIMEOUT,
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ) -> None:
+        if not 1 <= batch_size <= MAX_BATCH_ITEMS:
+            raise ValidationError(
+                f"batch_size must be in [1, {MAX_BATCH_ITEMS}], "
+                f"got {batch_size}"
+            )
         self._channel = _HttpChannel(base_url, timeout)
+        self._batch_size = batch_size
+        # None = untested; False = server answered an unmarked 404 on
+        # the batch route (a pre-batch deployment) → per-key fallback.
+        self._batch_supported: bool | None = None if batch_size > 1 else False
         self._counter_lock = threading.Lock()
         self._remote_hits = 0
         self._remote_errors = 0
@@ -209,10 +245,15 @@ class RemoteCacheStore:
         return {
             "base_url": self._channel.base_url,
             "timeout": self._channel.timeout,
+            "batch_size": self._batch_size,
         }
 
     def __setstate__(self, state: dict) -> None:
-        self.__init__(state["base_url"], timeout=state["timeout"])
+        self.__init__(
+            state["base_url"],
+            timeout=state["timeout"],
+            batch_size=state.get("batch_size", DEFAULT_BATCH_SIZE),
+        )
 
     @property
     def base_url(self) -> str:
@@ -223,6 +264,11 @@ class RemoteCacheStore:
     def timeout(self) -> float:
         """The per-request network timeout (seconds)."""
         return self._channel.timeout
+
+    @property
+    def batch_size(self) -> int:
+        """Keys coalesced per batched round trip (1 = per-key mode)."""
+        return self._batch_size
 
     def close(self) -> None:
         """Drop the persistent connection (reopened on next use)."""
@@ -283,6 +329,108 @@ class RemoteCacheStore:
         )
         if result is None or result[0] not in (200, 204):
             self._error()
+
+    # -- batched round trips ----------------------------------------------
+
+    def _batch_unsupported(self, result) -> bool:
+        """True when the response says "no such route" (old server).
+
+        An *unmarked* 404 from the batch route means the server predates
+        the batch protocol (the modern server marks its real responses);
+        remember that and fall back to per-key requests transparently —
+        unlike the single-vector route, where an unmarked 404 is a
+        misrouted URL, here it is an expected deployment state.
+        """
+        if result is None or result[0] != 404:
+            return False
+        _, headers, _ = result
+        return headers.get(HEADER_MISS.lower()) != "1"
+
+    def get_many(
+        self, keys: list[CacheKey]
+    ) -> dict[CacheKey, np.ndarray]:
+        """Fetch many keys in O(batches) round trips; absent keys omitted.
+
+        Every batch that fails — network fault, malformed frame, an
+        unexpected status — counts **one** failure and degrades all of
+        its keys to clean misses; a server without the batch route
+        flips the store into per-key mode for its lifetime.
+        """
+        found: dict[CacheKey, np.ndarray] = {}
+        batch_hits = 0
+        pending = list(keys)
+        if self._batch_supported is not False:
+            remaining: list[CacheKey] = []
+            for start in range(0, len(pending), self._batch_size):
+                chunk = pending[start : start + self._batch_size]
+                result = self._channel.request(
+                    "POST",
+                    "/vectors/batch",
+                    body=encode_key_batch(chunk),
+                    headers={"Content-Type": "application/octet-stream"},
+                )
+                if self._batch_unsupported(result):
+                    self._batch_supported = False
+                    remaining.extend(pending[start:])
+                    break
+                if result is None or result[0] != 200:
+                    self._error()
+                    continue
+                entries = decode_vector_batch(result[2])
+                if entries is None:
+                    self._error()
+                    continue
+                self._batch_supported = True
+                for key, vector in entries:
+                    if vector is not None:
+                        found[key] = vector
+                        batch_hits += 1
+            else:
+                remaining = []
+            pending = remaining
+        if batch_hits:
+            with self._counter_lock:
+                self._remote_hits += batch_hits
+        for key in pending:  # per-key fallback (old server / batch_size=1)
+            vector = self.get(key)  # counts its own hits/errors
+            if vector is not None:
+                found[key] = vector
+        return found
+
+    def put_many(
+        self, entries: list[tuple[CacheKey, np.ndarray]]
+    ) -> None:
+        """Store many vectors in O(batches) round trips.
+
+        Failure semantics mirror :meth:`put`: a failed batch drops its
+        writes silently and counts one failure.
+        """
+        pending = list(entries)
+        if self._batch_supported is not False:
+            remaining: list[tuple[CacheKey, np.ndarray]] = []
+            for start in range(0, len(pending), self._batch_size):
+                chunk = pending[start : start + self._batch_size]
+                result = self._channel.request(
+                    "PUT",
+                    "/vectors/batch",
+                    body=encode_vector_batch(
+                        [(key, np.asarray(vec)) for key, vec in chunk]
+                    ),
+                    headers={"Content-Type": "application/octet-stream"},
+                )
+                if self._batch_unsupported(result):
+                    self._batch_supported = False
+                    remaining.extend(pending[start:])
+                    break
+                if result is None or result[0] not in (200, 204):
+                    self._error()
+                    continue
+                self._batch_supported = True
+            else:
+                remaining = []
+            pending = remaining
+        for key, vector in pending:  # per-key fallback
+            self.put(key, vector)
 
     def __len__(self) -> int:
         stats = self._fetch_json("/stats")
@@ -366,9 +514,10 @@ class ServiceClient:
         *,
         payload: dict | None = None,
         expect: tuple[int, ...] = (200,),
+        headers: dict[str, str] | None = None,
     ) -> dict:
         body = None
-        headers = {}
+        headers = dict(headers or {})
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -404,6 +553,47 @@ class ServiceClient:
         """Server-side cache counters (entries, store_bytes, ...)."""
         return self._json("GET", "/stats")
 
+    def stats_conditional(
+        self, etag: str | None = None
+    ) -> tuple[dict | None, str | None]:
+        """Conditional stats poll: ``(document, etag)``.
+
+        Pass the etag of the previous poll; an unchanged document
+        answers ``304 Not Modified`` with an empty body and this
+        returns ``(None, etag)`` — the poller keeps its cached copy
+        without the server re-serialising (or the client re-parsing)
+        anything.
+        """
+        headers = {"If-None-Match": etag} if etag else {}
+        result = self._channel.request("GET", "/stats", headers=headers)
+        if result is None:
+            raise ServiceError(
+                f"cache service unreachable at {self.base_url}"
+            )
+        status, response_headers, body = result
+        new_etag = response_headers.get("etag")
+        if status == 304:
+            return None, new_etag or etag
+        if status != 200:
+            raise ServiceError(f"GET /stats failed with HTTP {status}")
+        try:
+            document = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ServiceError(f"GET /stats returned non-JSON: {exc}")
+        return document, new_etag
+
+    def metrics(self) -> str:
+        """The raw Prometheus text exposition of ``GET /metrics``."""
+        result = self._channel.request("GET", "/metrics")
+        if result is None:
+            raise ServiceError(
+                f"cache service unreachable at {self.base_url}"
+            )
+        status, _, body = result
+        if status != 200:
+            raise ServiceError(f"GET /metrics failed with HTTP {status}")
+        return body.decode("utf-8", errors="replace")
+
     def cache_info(self) -> dict:
         """The store's generation/shard layout (``repro cache-info``)."""
         return self._json("GET", "/cache/info")
@@ -413,16 +603,45 @@ class ServiceClient:
         return list(self._json("GET", "/corpora").get("corpora", []))
 
     def submit_job(
-        self, corpus: str, *, config: dict | None = None
+        self,
+        corpus: str,
+        *,
+        config: dict | None = None,
+        idempotency_key: str | None = None,
     ) -> str:
-        """Submit an enrichment job; returns its job id."""
+        """Submit an enrichment job; returns its job id.
+
+        With ``idempotency_key`` set, resubmitting the same key (after
+        a timeout, a crashed client, a retrying queue) returns the
+        *original* job's id instead of enqueueing a duplicate run; the
+        same key with a different corpus/config is a conflict and
+        raises.  See :meth:`submit_job_detailed` to observe whether the
+        submission was replayed.
+        """
+        job_id, _ = self.submit_job_detailed(
+            corpus, config=config, idempotency_key=idempotency_key
+        )
+        return job_id
+
+    def submit_job_detailed(
+        self,
+        corpus: str,
+        *,
+        config: dict | None = None,
+        idempotency_key: str | None = None,
+    ) -> tuple[str, bool]:
+        """``(job_id, replayed)`` of one (possibly deduplicated) submit."""
+        headers = {}
+        if idempotency_key is not None:
+            headers["Idempotency-Key"] = idempotency_key
         response = self._json(
             "POST",
             "/jobs",
             payload={"corpus": corpus, "config": config or {}},
-            expect=(202,),
+            expect=(200, 202),  # 202 = accepted, 200 = idempotent replay
+            headers=headers,
         )
-        return str(response["job"])
+        return str(response["job"]), bool(response.get("replayed"))
 
     def job(self, job_id: str) -> dict:
         """The current status document of one job."""

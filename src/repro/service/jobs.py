@@ -19,6 +19,7 @@ feature cache.
 from __future__ import annotations
 
 import itertools
+import json
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -31,6 +32,7 @@ from repro.errors import ValidationError
 from repro.ontology.io import read_ontology_json
 from repro.ontology.model import Ontology
 from repro.polysemy.cache_store import DiskCacheStore
+from repro.service.metrics import ServiceMetrics
 from repro.workflow.config import EnrichmentConfig
 from repro.workflow.pipeline import OntologyEnricher
 
@@ -54,6 +56,19 @@ _LOCKED_CONFIG_FIELDS = frozenset(
 #: (the server is long-lived; unbounded retention would leak reports).
 DEFAULT_MAX_FINISHED_JOBS = 256
 
+#: Longest accepted ``Idempotency-Key`` (these are client-chosen opaque
+#: tokens, typically UUIDs; anything longer is a confused client).
+MAX_IDEMPOTENCY_KEY_LENGTH = 200
+
+
+class IdempotencyConflictError(ValidationError):
+    """The same ``Idempotency-Key`` arrived with a *different* payload.
+
+    Replaying a submission is safe only when it is byte-for-byte the
+    same request; a reused key on different work is a client bug the
+    server must surface (HTTP 409), never silently resolve either way.
+    """
+
 
 @dataclass
 class Job:
@@ -68,6 +83,7 @@ class Job:
     submitted_at: float = field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
+    idempotency_key: str | None = None
 
     def to_dict(self) -> dict:
         """JSON document served by ``GET /jobs/<id>``."""
@@ -84,6 +100,8 @@ class Job:
             document["error"] = self.error
         if self.report is not None:
             document["report"] = self.report
+        if self.idempotency_key is not None:
+            document["idempotency_key"] = self.idempotency_key
         return document
 
 
@@ -112,6 +130,10 @@ class JobManager:
         Finished/failed job documents retained for polling; submitting
         past the cap drops the oldest finished ones (queued and running
         jobs are never dropped).
+    metrics:
+        Optional :class:`~repro.service.metrics.ServiceMetrics`; when
+        given, submissions and completions land in the job counters and
+        the job-latency histogram served by ``/metrics``.
     """
 
     def __init__(
@@ -122,6 +144,7 @@ class JobManager:
         job_workers: int = 1,
         max_finished_jobs: int = DEFAULT_MAX_FINISHED_JOBS,
         index_dir: str | Path | None = None,
+        metrics: ServiceMetrics | None = None,
     ) -> None:
         if job_workers < 1:
             raise ValidationError(
@@ -138,8 +161,13 @@ class JobManager:
         }
         self._store = store
         self._index_dir = Path(index_dir) if index_dir is not None else None
+        self._metrics = metrics
         self._lock = threading.Lock()
         self._jobs: dict[str, Job] = {}
+        #: ``Idempotency-Key -> (job_id, payload fingerprint)``.  The
+        #: fingerprint detects key reuse across *different* payloads;
+        #: mappings live exactly as long as their job record does.
+        self._idempotency: dict[str, tuple[str, str]] = {}
         self._loaded: dict[str, tuple[Ontology, Corpus]] = {}
         self._ids = itertools.count(1)
         self._pool = ThreadPoolExecutor(
@@ -168,12 +196,38 @@ class JobManager:
             job = self._jobs.get(job_id)
             return job.to_dict() if job is not None else None
 
-    def submit(self, corpus: str, overrides: dict | None = None) -> str:
-        """Queue one enrichment run; returns the new job id.
+    def submit(
+        self,
+        corpus: str,
+        overrides: dict | None = None,
+        *,
+        idempotency_key: str | None = None,
+    ) -> str:
+        """Queue one enrichment run; returns the (new or replayed) job id.
 
         Raises :class:`~repro.errors.ValidationError` for an unknown
         corpus or a rejected override (unknown field, or one of the
         cache/worker fields the service owns).
+        """
+        job_id, _ = self.submit_detailed(
+            corpus, overrides, idempotency_key=idempotency_key
+        )
+        return job_id
+
+    def submit_detailed(
+        self,
+        corpus: str,
+        overrides: dict | None = None,
+        *,
+        idempotency_key: str | None = None,
+    ) -> tuple[str, bool]:
+        """:meth:`submit` returning ``(job_id, replayed)``.
+
+        ``replayed`` is True when ``idempotency_key`` matched an earlier
+        submission with the identical payload: no new job is queued and
+        the original id is returned.  The same key on a *different*
+        payload raises :class:`IdempotencyConflictError` (HTTP 409 at
+        the route).
         """
         overrides = dict(overrides or {})
         if corpus not in self._corpora:
@@ -188,16 +242,47 @@ class JobManager:
                 )
             if name not in allowed:
                 raise ValidationError(f"unknown config field {name!r}")
+        if idempotency_key is not None:
+            if not idempotency_key:
+                raise ValidationError("Idempotency-Key must be non-empty")
+            if len(idempotency_key) > MAX_IDEMPOTENCY_KEY_LENGTH:
+                raise ValidationError(
+                    "Idempotency-Key exceeds "
+                    f"{MAX_IDEMPOTENCY_KEY_LENGTH} characters"
+                )
+        fingerprint = json.dumps(
+            {"corpus": corpus, "overrides": overrides}, sort_keys=True
+        )
         with self._lock:
+            if idempotency_key is not None:
+                known = self._idempotency.get(idempotency_key)
+                if known is not None:
+                    known_id, known_fingerprint = known
+                    if known_fingerprint != fingerprint:
+                        raise IdempotencyConflictError(
+                            f"Idempotency-Key {idempotency_key!r} was "
+                            "already used for a different submission"
+                        )
+                    if self._metrics is not None:
+                        self._metrics.job_submitted(corpus, replayed=True)
+                    return known_id, True
             job = Job(
                 job_id=f"job-{next(self._ids):06d}",
                 corpus=corpus,
                 overrides=overrides,
+                idempotency_key=idempotency_key,
             )
             self._jobs[job.job_id] = job
+            if idempotency_key is not None:
+                self._idempotency[idempotency_key] = (
+                    job.job_id,
+                    fingerprint,
+                )
             self._prune_finished_locked()
+        if self._metrics is not None:
+            self._metrics.job_submitted(corpus, replayed=False)
         self._pool.submit(self._run, job)
-        return job.job_id
+        return job.job_id, False
 
     def _prune_finished_locked(self) -> None:
         """Drop the oldest finished jobs beyond the retention cap."""
@@ -212,6 +297,10 @@ class JobManager:
         finished.sort(key=lambda job: (job.submitted_at, job.job_id))
         for job in finished[:excess]:
             del self._jobs[job.job_id]
+            if job.idempotency_key is not None:
+                # The mapping's job is gone; a replay of that key would
+                # point at a 404, so retire the key with the record.
+                self._idempotency.pop(job.idempotency_key, None)
 
     def shutdown(self, *, wait: bool = False) -> None:
         """Stop accepting work and (optionally) wait for running jobs."""
@@ -263,3 +352,9 @@ class JobManager:
                 job.error = f"{type(exc).__name__}: {exc}"
                 job.status = "failed"
                 job.finished_at = time.time()
+        if self._metrics is not None:
+            self._metrics.job_finished(
+                job.corpus,
+                status=job.status,
+                seconds=(job.finished_at or 0.0) - (job.started_at or 0.0),
+            )

@@ -13,57 +13,116 @@ Routes
 ------
 ===========================  ==========================================
 ``GET  /healthz``            liveness document
-``GET  /stats``              store counters (entries, store_bytes, ...)
+``GET  /stats``              store counters (``ETag``/304 aware)
+``GET  /metrics``            Prometheus text exposition
 ``GET  /cache/info``         generation/shard layout (``repro cache-info``)
 ``GET  /cache/vector?...``   one vector, binary (404 = miss)
 ``PUT  /cache/vector?...``   store one vector, binary body
+``POST /vectors/batch``      batched lookup (key frame in, vector frame out)
+``PUT  /vectors/batch``      batched store (vector frame in)
 ``POST /cache/clear``        drop every entry
 ``GET  /corpora``            corpus names registered for jobs
-``POST /jobs``               submit an enrichment job (202 + job id)
+``POST /jobs``               submit a job (202 + id; ``Idempotency-Key``
+                             replays return 200 + the original id)
 ``GET  /jobs``               every job's status document
 ``GET  /jobs/<id>``          one job's status/result document
 ===========================  ==========================================
 
 Vector payloads use the raw-binary wire format of
-:mod:`repro.service.wire`; everything else is JSON.  Concurrency: the
-threading server handles each connection on its own thread, and
-:class:`DiskCacheStore` serialises writers internally (thread lock +
-cross-process flock), so N concurrent clients behave exactly like N
-concurrent pipeline processes on one cache directory — a layout the
-store's concurrency suite already hammers.
+:mod:`repro.service.wire` (batch routes carry its ``RBK1``/``RBV1``
+frames); everything else is JSON.  Concurrency: the threading server
+handles each connection on its own thread, and :class:`DiskCacheStore`
+serialises writers internally (thread lock + cross-process flock), so N
+concurrent clients behave exactly like N concurrent pipeline processes
+on one cache directory — a layout the store's concurrency suite already
+hammers.
+
+Observability: every request lands in the
+:class:`~repro.service.metrics.ServiceMetrics` instruments behind
+``GET /metrics`` (latency histograms per route, cache op counters, an
+in-flight gauge) and, when configured, one structured JSON line per
+request in the access log.  ``/stats`` and ``/metrics`` polls do *not*
+bump the traffic counters — monitoring must not perturb the document it
+monitors (it is also what lets ``/stats`` serve a stable ``ETag``).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import signal
 import socket
 import sys
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
+from time import perf_counter
 from urllib.parse import urlsplit
 
 from repro.errors import ValidationError
 from repro.polysemy.cache_store import DiskCacheStore
-from repro.service.jobs import JobManager
+from repro.service.jobs import (
+    IdempotencyConflictError,
+    JobManager,
+)
+from repro.service.metrics import (
+    CONTENT_TYPE as METRICS_CONTENT_TYPE,
+    ServiceMetrics,
+)
 from repro.service.wire import (
     HEADER_CRC,
     HEADER_DTYPE,
     HEADER_MISS,
     HEADER_SHAPE,
     decode_key,
+    decode_key_batch,
     decode_vector,
+    decode_vector_batch,
     encode_vector,
+    encode_vector_batch,
 )
 
 #: Largest accepted PUT body (a feature vector is ~a few hundred bytes;
-#: this bound just keeps a confused client from streaming gigabytes).
+#: this bound just keeps a confused client from streaming gigabytes —
+#: even a full 4096-entry batch frame stays far below it).
 MAX_VECTOR_BYTES = 64 << 20
+
+#: Routes worth an individual metrics label; anything else aggregates
+#: under ``other`` so hostile/typo'd paths cannot mint unbounded label
+#: sets, and job polls share one ``/jobs/{id}`` series.
+_METRIC_ROUTES = frozenset(
+    {
+        "/healthz",
+        "/stats",
+        "/metrics",
+        "/cache/info",
+        "/cache/vector",
+        "/cache/clear",
+        "/vectors/batch",
+        "/corpora",
+        "/jobs",
+    }
+)
+
+
+def _metric_route(route: str) -> str:
+    if route in _METRIC_ROUTES:
+        return route
+    if route.startswith("/jobs/"):
+        return "/jobs/{id}"
+    return "other"
 
 
 class CacheService:
-    """The served state: one store, one job manager, request counters."""
+    """The served state: one store, one job manager, request counters.
+
+    ``metrics`` (a :class:`ServiceMetrics`, created when not given) is
+    shared with the job manager so job submissions/durations land next
+    to the HTTP instruments.  ``access_log`` is an optional callable
+    receiving one dict per finished request (the structured JSON access
+    log; :func:`serve` wires it to a file or stderr).
+    """
 
     def __init__(
         self,
@@ -72,25 +131,41 @@ class CacheService:
         corpora: dict[str, tuple[str | Path, str | Path]] | None = None,
         job_workers: int = 1,
         index_dir: str | Path | None = None,
+        metrics: ServiceMetrics | None = None,
+        access_log=None,
     ) -> None:
         self.store = store
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._access_log = access_log
         self.jobs = JobManager(
             corpora, store=store, job_workers=job_workers,
-            index_dir=index_dir,
+            index_dir=index_dir, metrics=self.metrics,
         )
         self._lock = threading.Lock()
         self._requests = 0
         self._vector_gets = 0
         self._vector_puts = 0
         self._vector_hits = 0
+        #: Bumped by every counted request; keys the serialized-/stats-
+        #: body cache below, so an unchanged document is served (and
+        #: 304'd) without re-walking the store or re-serializing.
+        self._stats_version = 0
+        self._stats_cache: tuple[int, bytes, str] | None = None
 
-    def count_request(self, *, get=False, put=False, hit=False) -> None:
-        """Bump the service-level traffic counters."""
+    def count_request(self, *, get=0, put=0, hit=0) -> None:
+        """Bump the traffic counters: one request, N vector ops.
+
+        The single-vector routes pass booleans (one op per request);
+        the batch routes pass per-key totals — ``requests`` then counts
+        *round trips*, which is exactly what the batching bench
+        measures server-side.
+        """
         with self._lock:
             self._requests += 1
             self._vector_gets += int(get)
             self._vector_puts += int(put)
             self._vector_hits += int(hit)
+            self._stats_version += 1
 
     def stats(self) -> dict:
         """The ``GET /stats`` document: store + traffic counters."""
@@ -106,6 +181,33 @@ class CacheService:
             **self.store.stats(),
             **traffic,
         }
+
+    def stats_payload(self) -> tuple[bytes, str]:
+        """``(serialized /stats body, ETag)``, cached per version.
+
+        Stats polls themselves are uncounted, so back-to-back polls see
+        the same version and are served from the cache — the ETag holds
+        still and a conditional GET gets its 304.  (Store mutations all
+        arrive through counted requests — vector traffic directly, job
+        side effects via their counted submit/poll cycle — so a stale
+        window closes at the next counted request.)
+        """
+        with self._lock:
+            version = self._stats_version
+            cached = self._stats_cache
+        if cached is not None and cached[0] == version:
+            return cached[1], cached[2]
+        body = json.dumps(self.stats(), sort_keys=True).encode("utf-8")
+        etag = '"' + hashlib.sha1(body).hexdigest() + '"'
+        with self._lock:
+            if self._stats_version == version:
+                self._stats_cache = (version, body, etag)
+        return body, etag
+
+    def log_access(self, record: dict) -> None:
+        """Hand one finished request's record to the access log."""
+        if self._access_log is not None:
+            self._access_log(record)
 
     def shutdown(self) -> None:
         """Stop the job pool (running jobs are abandoned)."""
@@ -190,6 +292,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     def _send(
         self, status: int, body: bytes, *, headers: dict[str, str]
     ) -> None:
+        self._sent_status = status
         self.send_response(status)
         for name, value in headers.items():
             self.send_header(name, value)
@@ -234,7 +337,54 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     # -- routing ------------------------------------------------------------
 
+    def _instrumented(self, method: str, handler) -> None:
+        """Run one route handler inside the observability envelope.
+
+        Whatever the handler does (including raising — the client may
+        have vanished mid-response), the request lands in the latency
+        histogram, the per-route/status counter, the in-flight gauge,
+        and the access log.
+        """
+        metrics = self.service.metrics
+        self._sent_status = 0
+        metrics.inflight.inc()
+        started = perf_counter()
+        try:
+            handler()
+        finally:
+            seconds = perf_counter() - started
+            metrics.inflight.dec()
+            route = _metric_route(
+                urlsplit(self.path).path.rstrip("/") or "/"
+            )
+            # A handler that died before responding wrote no status
+            # line; record it as the 500 the client effectively saw.
+            status = self._sent_status or 500
+            metrics.observe_request(
+                method=method, route=route, status=status, seconds=seconds
+            )
+            self.service.log_access(
+                {
+                    "ts": round(time.time(), 6),
+                    "client": self.client_address[0],
+                    "method": method,
+                    "path": self.path,
+                    "route": route,
+                    "status": status,
+                    "duration_seconds": round(seconds, 6),
+                }
+            )
+
     def do_GET(self) -> None:  # noqa: N802 - stdlib dispatch name
+        self._instrumented("GET", self._route_get)
+
+    def do_PUT(self) -> None:  # noqa: N802 - stdlib dispatch name
+        self._instrumented("PUT", self._route_put)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib dispatch name
+        self._instrumented("POST", self._route_post)
+
+    def _route_get(self) -> None:
         parsed = urlsplit(self.path)
         route = parsed.path.rstrip("/") or "/"
         if route == "/healthz":
@@ -243,8 +393,15 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 200, {"status": "ok", "service": self.server_version}
             )
         elif route == "/stats":
-            self.service.count_request()
-            self._send_json(200, self.service.stats())
+            # Deliberately uncounted (see stats_payload): polling stats
+            # must not change the stats.
+            self._get_stats()
+        elif route == "/metrics":
+            self._send(
+                200,
+                self.service.metrics.render().encode("utf-8"),
+                headers={"Content-Type": METRICS_CONTENT_TYPE},
+            )
         elif route == "/cache/info":
             self.service.count_request()
             self._send_json(200, self.service.store.describe())
@@ -266,26 +423,47 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         else:
             self._send_error_json(404, f"unknown route {route!r}")
 
-    def do_PUT(self) -> None:  # noqa: N802 - stdlib dispatch name
+    def _route_put(self) -> None:
         parsed = urlsplit(self.path)
-        if parsed.path.rstrip("/") != "/cache/vector":
+        route = parsed.path.rstrip("/")
+        if route == "/cache/vector":
+            self._put_vector(parsed.query)
+        elif route == "/vectors/batch":
+            self._put_vector_batch()
+        else:
             self._drain_body()
             self._send_error_json(404, f"unknown route {parsed.path!r}")
-            return
-        self._put_vector(parsed.query)
 
-    def do_POST(self) -> None:  # noqa: N802 - stdlib dispatch name
+    def _route_post(self) -> None:
         route = urlsplit(self.path).path.rstrip("/")
         if route == "/cache/clear":
             self._drain_body()
             self.service.count_request()
             self.service.store.clear()
             self._send(204, b"", headers={})
+        elif route == "/vectors/batch":
+            self._get_vector_batch()
         elif route == "/jobs":
             self._submit_job()
         else:
             self._drain_body()
             self._send_error_json(404, f"unknown route {route!r}")
+
+    # -- stats endpoint -------------------------------------------------------
+
+    def _get_stats(self) -> None:
+        body, etag = self.service.stats_payload()
+        if_none_match = self.headers.get("If-None-Match")
+        if if_none_match is not None and etag in (
+            tag.strip() for tag in if_none_match.split(",")
+        ):
+            self._send(304, b"", headers={"ETag": etag})
+            return
+        self._send(
+            200,
+            body,
+            headers={"Content-Type": "application/json", "ETag": etag},
+        )
 
     # -- vector endpoints -----------------------------------------------------
 
@@ -293,12 +471,16 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         key = decode_key(query)
         if key is None:
             self.service.count_request(get=True)
+            self.service.metrics.count_cache_op("get", "error")
             self._send_error_json(
                 400, "corpus, term, and config query params required"
             )
             return
         vector = self.service.store.get(key)
         self.service.count_request(get=True, hit=vector is not None)
+        self.service.metrics.count_cache_op(
+            "get", "hit" if vector is not None else "miss"
+        )
         if vector is None:
             # The miss marker distinguishes "this service, entry absent"
             # from any other 404 (misrouted URL), which clients count as
@@ -338,12 +520,88 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             body,
         )
         if vector is None:
+            self.service.metrics.count_cache_op("put", "error")
             self._send_error_json(
                 400, "malformed vector payload (dtype/shape/crc headers)"
             )
             return
         self.service.store.put(key, vector)
+        self.service.metrics.count_cache_op("put", "stored")
         self._send(204, b"", headers={})
+
+    # -- batch endpoints ------------------------------------------------------
+
+    def _get_vector_batch(self) -> None:
+        """``POST /vectors/batch``: key frame in, vector frame out.
+
+        Every requested key gets exactly one response entry, in request
+        order; a miss travels in-band as a present-flag-0 entry (the
+        batch counterpart of the single route's marked 404).  Duplicate
+        keys in one frame are answered from a per-request memo, so the
+        store is probed once per distinct key.
+        """
+        metrics = self.service.metrics
+        body = self._read_body()
+        if body is None:
+            self.service.count_request()
+            self._send_error_json(400, "bad Content-Length")
+            return
+        keys = decode_key_batch(body)
+        if keys is None:
+            self.service.count_request()
+            metrics.count_cache_op("batch_get", "error")
+            self._send_error_json(400, "malformed key batch frame")
+            return
+        memo: dict = {}
+        entries = []
+        hits = 0
+        for key in keys:
+            if key not in memo:
+                memo[key] = self.service.store.get(key)
+            vector = memo[key]
+            hits += int(vector is not None)
+            entries.append((key, vector))
+        self.service.count_request(get=len(keys), hit=hits)
+        metrics.count_cache_op("batch_get", "hit", hits)
+        metrics.count_cache_op("batch_get", "miss", len(keys) - hits)
+        metrics.batch_vectors.inc(len(keys), op="get")
+        self._send(
+            200,
+            encode_vector_batch(entries),
+            headers={"Content-Type": "application/octet-stream"},
+        )
+
+    def _put_vector_batch(self) -> None:
+        """``PUT /vectors/batch``: vector frame in, ``{"stored": n}`` out.
+
+        Present entries are stored in frame order (duplicates: last one
+        wins, matching N sequential single-vector PUTs); miss-flagged
+        entries are skipped.  A malformed frame stores *nothing* — the
+        decoder is all-or-nothing, so a torn upload can never
+        half-apply.
+        """
+        metrics = self.service.metrics
+        body = self._read_body()
+        if body is None:
+            self.service.count_request()
+            self._send_error_json(400, "bad Content-Length")
+            return
+        entries = decode_vector_batch(body)
+        if entries is None:
+            self.service.count_request()
+            metrics.count_cache_op("batch_put", "error")
+            self._send_error_json(400, "malformed vector batch frame")
+            return
+        stored = 0
+        for key, vector in entries:
+            if vector is None:
+                continue
+            self.service.store.put(key, vector)
+            stored += 1
+        self.service.count_request(put=stored)
+        metrics.count_cache_op("batch_put", "stored", stored)
+        metrics.batch_vectors.inc(stored, op="put")
+        self._send_json(200, {"stored": stored})
 
     # -- job endpoints --------------------------------------------------------
 
@@ -368,13 +626,23 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self._send_error_json(400, '"config" must be an object')
             return
         try:
-            job_id = self.service.jobs.submit(
-                str(payload["corpus"]), overrides
+            job_id, replayed = self.service.jobs.submit_detailed(
+                str(payload["corpus"]),
+                overrides,
+                idempotency_key=self.headers.get("Idempotency-Key"),
             )
+        except IdempotencyConflictError as exc:
+            self._send_error_json(409, str(exc))
+            return
         except ValidationError as exc:
             self._send_error_json(400, str(exc))
             return
-        self._send_json(202, {"job": job_id})
+        if replayed:
+            # 200, not 202: nothing new was accepted — the client is
+            # being handed the job its earlier submit already created.
+            self._send_json(200, {"job": job_id, "replayed": True})
+        else:
+            self._send_json(202, {"job": job_id, "replayed": False})
 
 
 class CacheServiceServer:
@@ -419,10 +687,12 @@ class CacheServiceServer:
         corpora: dict[str, tuple[str | Path, str | Path]] | None = None,
         job_workers: int = 1,
         index_dir: str | Path | None = None,
+        metrics: ServiceMetrics | None = None,
+        access_log=None,
     ) -> None:
         self.service = CacheService(
             store, corpora=corpora, job_workers=job_workers,
-            index_dir=index_dir,
+            index_dir=index_dir, metrics=metrics, access_log=access_log,
         )
         self._httpd = _ServiceHTTPServer((host, port), self.service)
         self._thread: threading.Thread | None = None
@@ -475,6 +745,32 @@ class CacheServiceServer:
             self._thread = None
 
 
+def _open_access_log(target: str | Path):
+    """``(writer, closer)`` for an access-log target (``-`` = stderr).
+
+    The writer serialises one record per line (JSON Lines) under a
+    lock, so concurrent handler threads never interleave partial
+    lines.
+    """
+    if str(target) == "-":
+        stream, closer = sys.stderr, (lambda: None)
+    else:
+        stream = open(target, "a", encoding="utf-8")
+        closer = stream.close
+    lock = threading.Lock()
+
+    def writer(record: dict) -> None:
+        line = json.dumps(record, sort_keys=True)
+        with lock:
+            try:
+                stream.write(line + "\n")
+                stream.flush()
+            except ValueError:  # pragma: no cover - stream closed late
+                pass
+
+    return writer, closer
+
+
 def serve(
     *,
     cache_dir: str | Path,
@@ -484,6 +780,7 @@ def serve(
     corpora: dict[str, tuple[str | Path, str | Path]] | None = None,
     job_workers: int = 1,
     index_dir: str | Path | None = None,
+    access_log: str | Path | None = None,
     ready: "threading.Event | None" = None,
 ) -> int:
     """Blocking entry point of ``repro serve``.
@@ -492,8 +789,13 @@ def serve(
     accepting connections, close the listening socket, stop the job
     pool) and serves until one arrives.  ``ready`` (when given) is set
     once the socket is bound — tests use it to avoid sleeping.
+    ``access_log`` turns on the structured JSON access log (a file
+    path, or ``-`` for stderr).
     """
     store = DiskCacheStore(cache_dir, max_bytes=cache_max_bytes)
+    log_writer, log_closer = (None, lambda: None)
+    if access_log is not None:
+        log_writer, log_closer = _open_access_log(access_log)
     server = CacheServiceServer(
         store,
         host=host,
@@ -501,6 +803,7 @@ def serve(
         corpora=corpora,
         job_workers=job_workers,
         index_dir=index_dir,
+        access_log=log_writer,
     )
 
     def _interrupt(signum, frame):  # pragma: no cover - signal plumbing
@@ -522,6 +825,7 @@ def serve(
         pass
     finally:
         server.stop()
+        log_closer()
         for signum, handler in previous.items():  # pragma: no cover
             signal.signal(signum, handler)
     print("repro service stopped", flush=True)

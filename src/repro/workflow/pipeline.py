@@ -454,14 +454,19 @@ class DetectStage:
         prefilled: set[int] = set()
         if cache is not None:
             for item in ctx.work:
-                key = FeatureCache.key(
+                keys[id(item)] = FeatureCache.key(
                     corpus_fp, item.candidate.term, config_fp
                 )
-                keys[id(item)] = key
-                # Peek without counting — whether this probe was a real
-                # hit or miss is only known after materialisation
-                # (skipped candidates are never featurised).
-                item.features = cache.lookup(key, record=False)
+            # Peek without counting — whether a probe was a real hit or
+            # miss is only known after materialisation (skipped
+            # candidates are never featurised).  One lookup_many, so a
+            # remote store answers the whole prefill in O(batches) HTTP
+            # round trips rather than one per candidate.
+            found = cache.lookup_many(
+                [keys[id(item)] for item in ctx.work], record=False
+            )
+            for item in ctx.work:
+                item.features = found.get(keys[id(item)])
                 if item.features is not None:
                     prefilled.add(id(item))
         worker_errors = _for_each_candidate(
@@ -475,6 +480,7 @@ class DetectStage:
             if worker_errors:
                 cache.absorb_worker_errors(worker_errors)
             worker_hits = 0
+            to_store: list = []
             for item in ctx.work:
                 if item.contexts is None:
                     continue  # skipped before featurisation: no lookup
@@ -485,7 +491,10 @@ class DetectStage:
                 elif not hit and item.features is not None:
                     # Single-writer merge: only the parent persists the
                     # vectors workers computed.
-                    cache.store(keys[id(item)], item.features)
+                    to_store.append((keys[id(item)], item.features))
+            if to_store:
+                # One store_many → batched uploads on a remote store.
+                cache.store_many(to_store)
             if worker_hits:
                 # Workers read the store through their own handles, so
                 # their disk-hit counts must be merged back here (the
@@ -615,7 +624,9 @@ class OntologyEnricher:
         if cfg.feature_cache:
             if cfg.cache_url is not None:
                 store = RemoteCacheStore(
-                    cfg.cache_url, timeout=cfg.cache_timeout
+                    cfg.cache_url,
+                    timeout=cfg.cache_timeout,
+                    batch_size=cfg.cache_batch_size,
                 )
             elif cfg.cache_dir is not None:
                 store = DiskCacheStore(

@@ -9,6 +9,7 @@ listening sockets speaking just enough HTTP to misbehave on purpose.
 """
 
 import socket
+import struct
 import threading
 
 import numpy as np
@@ -16,7 +17,13 @@ import pytest
 
 from repro.polysemy.cache import FeatureCache
 from repro.service.client import RemoteCacheStore
-from repro.service.wire import encode_vector
+from repro.service.wire import (
+    KEY_BATCH_MAGIC,
+    MAX_BATCH_ITEMS,
+    VECTOR_BATCH_MAGIC,
+    encode_vector,
+    encode_vector_batch,
+)
 
 
 def key(term="heart attack"):
@@ -32,9 +39,11 @@ def free_port() -> int:
 class FaultyServer:
     """A one-connection-at-a-time server with a scripted response.
 
-    ``respond(connection)`` decides the fault; the server accepts
-    connections until closed, so clients that retry on a fresh
-    connection still hit the same behaviour.
+    ``respond(connection, request_head)`` decides the fault (the head
+    lets path-sensitive scripts answer the batch route and its per-key
+    fallback differently); the server accepts connections until closed,
+    so clients that retry on a fresh connection still hit the same
+    behaviour.
     """
 
     def __init__(self, respond) -> None:
@@ -66,7 +75,7 @@ class FaultyServer:
                     if not chunk:
                         break
                     data += chunk
-                self._respond(connection)
+                self._respond(connection, data)
             except OSError:
                 pass
             finally:
@@ -120,7 +129,7 @@ class TestMidResponseDisconnect:
     def test_truncated_body_is_a_miss(self):
         headers, body = encode_vector(np.arange(32.0))
 
-        def respond(connection):
+        def respond(connection, request_head):
             head = (
                 "HTTP/1.1 200 OK\r\n"
                 f"X-Repro-Dtype: {headers['X-Repro-Dtype']}\r\n"
@@ -139,7 +148,7 @@ class TestMidResponseDisconnect:
             server.close()
 
     def test_disconnect_before_any_response(self):
-        def respond(connection):
+        def respond(connection, request_head):
             pass  # close immediately after reading the request
 
         server = FaultyServer(respond)
@@ -153,7 +162,7 @@ class TestMidResponseDisconnect:
 class TestMalformedPayload:
     @staticmethod
     def _serve_response(raw: bytes):
-        def respond(connection):
+        def respond(connection, request_head):
             connection.sendall(raw)
 
         return FaultyServer(respond)
@@ -197,7 +206,7 @@ class TestTimeout:
     def test_stalled_server_is_a_miss_within_the_timeout(self):
         stall = threading.Event()
 
-        def respond(connection):
+        def respond(connection, request_head):
             stall.wait(5.0)  # hold the response hostage past the timeout
 
         server = FaultyServer(respond)
@@ -207,6 +216,220 @@ class TestTimeout:
             assert store.stats()["remote_errors"] == 1
         finally:
             stall.set()
+            server.close()
+
+
+def batch_keys(n=6):
+    return [key(f"term-{i}") for i in range(n)]
+
+
+def assert_batch_clean_miss(store, *, keys_requested=6, errors_at_least=1):
+    """get_many misses every key, put_many swallows, errors counted."""
+    assert store.get_many(batch_keys(keys_requested)) == {}
+    store.put_many(
+        [(k, np.arange(4.0)) for k in batch_keys(keys_requested)]
+    )  # must not raise either
+    stats = store.stats()
+    assert stats["remote_hits"] == 0
+    assert stats["remote_errors"] >= errors_at_least
+    return stats
+
+
+class TestBatchRouteFaults:
+    """The batch protocol under fire: every fault degrades to per-key
+    clean misses and bumps ``remote_errors`` — one count per failed
+    round trip, never a crash or a half-applied batch."""
+
+    def test_mid_batch_disconnect_is_clean_misses(self):
+        frame = encode_vector_batch(
+            [(k, np.arange(8.0)) for k in batch_keys()]
+        )
+
+        def respond(connection, request_head):
+            head = (
+                "HTTP/1.1 200 OK\r\n"
+                "Content-Type: application/octet-stream\r\n"
+                f"Content-Length: {len(frame)}\r\n\r\n"
+            )
+            # Promise a full vector frame, deliver a third, vanish.
+            connection.sendall(head.encode() + frame[: len(frame) // 3])
+
+        server = FaultyServer(respond)
+        try:
+            store = RemoteCacheStore(server.url, timeout=1.0, batch_size=4)
+            # 6 keys in chunks of 4: one failed round trip per chunk.
+            stats = assert_batch_clean_miss(store, errors_at_least=2)
+            assert stats["remote_errors"] == 4  # 2 get chunks + 2 put
+        finally:
+            server.close()
+
+    def test_truncated_frame_inside_a_complete_body_is_clean_misses(self):
+        # The HTTP body arrives whole, but the frame inside lies about
+        # its lengths — the all-or-nothing decoder must reject it.
+        frame = encode_vector_batch(
+            [(k, np.arange(8.0)) for k in batch_keys()]
+        )
+        torn = frame[: len(frame) - 7]
+
+        def respond(connection, request_head):
+            head = (
+                "HTTP/1.1 200 OK\r\n"
+                f"Content-Length: {len(torn)}\r\n\r\n"
+            )
+            connection.sendall(head.encode() + torn)
+
+        server = FaultyServer(respond)
+        try:
+            store = RemoteCacheStore(server.url, timeout=1.0, batch_size=8)
+            assert_batch_clean_miss(store)
+        finally:
+            server.close()
+
+    def test_oversized_frame_from_server_is_clean_misses(self):
+        # A frame declaring more entries than MAX_BATCH_ITEMS must be
+        # rejected before any allocation is sized from it.
+        bogus = VECTOR_BATCH_MAGIC + struct.pack(
+            "<I", MAX_BATCH_ITEMS + 1
+        )
+
+        def respond(connection, request_head):
+            head = (
+                "HTTP/1.1 200 OK\r\n"
+                f"Content-Length: {len(bogus)}\r\n\r\n"
+            )
+            connection.sendall(head.encode() + bogus)
+
+        server = FaultyServer(respond)
+        try:
+            store = RemoteCacheStore(server.url, timeout=1.0, batch_size=4)
+            assert_batch_clean_miss(store)
+        finally:
+            server.close()
+
+    def test_server_rejects_oversized_frames_with_400(self, tmp_path):
+        from repro.polysemy.cache_store import DiskCacheStore
+        from repro.service.server import CacheServiceServer
+
+        server = CacheServiceServer(DiskCacheStore(tmp_path), port=0)
+        server.start()
+        try:
+            import http.client
+
+            connection = http.client.HTTPConnection(
+                server.host, server.port, timeout=5.0
+            )
+            for method, magic in (
+                ("POST", KEY_BATCH_MAGIC),
+                ("PUT", VECTOR_BATCH_MAGIC),
+            ):
+                bogus = magic + struct.pack("<I", MAX_BATCH_ITEMS + 1)
+                connection.request(
+                    method, "/vectors/batch", body=bogus,
+                    headers={"Content-Type": "application/octet-stream"},
+                )
+                response = connection.getresponse()
+                body = response.read()
+                assert response.status == 400
+                assert b"malformed" in body
+            # The rejection stored nothing.
+            assert len(server.service.store) == 0
+            connection.close()
+        finally:
+            server.stop()
+
+    def test_duplicate_keys_in_one_batch(self, tmp_path):
+        """Duplicates are legal: the response answers every occurrence,
+        duplicate PUTs resolve last-wins, and nothing double-counts
+        into an error."""
+        from repro.polysemy.cache_store import DiskCacheStore
+        from repro.service.server import CacheServiceServer
+
+        server = CacheServiceServer(DiskCacheStore(tmp_path), port=0)
+        server.start()
+        try:
+            store = RemoteCacheStore(server.url, timeout=5.0, batch_size=8)
+            duplicated = key("dup")
+            store.put_many(
+                [
+                    (duplicated, np.zeros(3)),
+                    (key("other"), np.full(3, 7.0)),
+                    (duplicated, np.ones(3)),  # last wins
+                ]
+            )
+            found = store.get_many([duplicated, key("other"), duplicated])
+            np.testing.assert_array_equal(found[duplicated], np.ones(3))
+            np.testing.assert_array_equal(
+                found[key("other")], np.full(3, 7.0)
+            )
+            assert store.stats()["remote_errors"] == 0
+        finally:
+            server.stop()
+
+    def test_duplicate_keys_in_a_scripted_response_frame(self):
+        # A confused server answering the same key twice must not
+        # crash the client; the later entry wins, no error counted.
+        frame = encode_vector_batch(
+            [(key("dup"), np.zeros(2)), (key("dup"), np.ones(2))]
+        )
+
+        def respond(connection, request_head):
+            head = (
+                "HTTP/1.1 200 OK\r\n"
+                f"Content-Length: {len(frame)}\r\n\r\n"
+            )
+            connection.sendall(head.encode() + frame)
+
+        server = FaultyServer(respond)
+        try:
+            store = RemoteCacheStore(server.url, timeout=1.0, batch_size=8)
+            found = store.get_many([key("dup")])
+            np.testing.assert_array_equal(found[key("dup")], np.ones(2))
+            assert store.stats()["remote_errors"] == 0
+        finally:
+            server.close()
+
+    def test_pre_batch_server_flips_to_per_key_fallback(self):
+        """An unmarked 404 on the batch route means an old deployment:
+        the store falls back to per-key requests — transparently, and
+        without counting the probe as a failure."""
+        batch_probes = []
+
+        def respond(connection, request_head):
+            request_line = request_head.split(b"\r\n", 1)[0]
+            if b"/vectors/batch" in request_line:
+                batch_probes.append(request_line)
+                payload = b'{"error": "not found"}'
+                head = (
+                    "HTTP/1.1 404 Not Found\r\n"  # no X-Repro-Miss
+                    "Content-Type: application/json\r\n"
+                    f"Content-Length: {len(payload)}\r\n\r\n"
+                )
+                connection.sendall(head.encode() + payload)
+            elif b"PUT /cache/vector" in request_line:
+                connection.sendall(
+                    b"HTTP/1.1 204 No Content\r\nContent-Length: 0\r\n\r\n"
+                )
+            else:  # per-key GET: an honest marked miss
+                payload = b'{"error": "miss"}'
+                head = (
+                    "HTTP/1.1 404 Not Found\r\n"
+                    "X-Repro-Miss: 1\r\n"
+                    f"Content-Length: {len(payload)}\r\n\r\n"
+                )
+                connection.sendall(head.encode() + payload)
+
+        server = FaultyServer(respond)
+        try:
+            store = RemoteCacheStore(server.url, timeout=1.0, batch_size=4)
+            assert store.get_many(batch_keys(3)) == {}
+            store.put_many([(k, np.arange(2.0)) for k in batch_keys(3)])
+            # Old-server probes are a deployment state, not a failure.
+            assert store.stats()["remote_errors"] == 0
+            # The flip is remembered: later bulk calls go straight to
+            # per-key requests without re-probing the batch route.
+            assert store.get_many(batch_keys(2)) == {}
+            assert len(batch_probes) == 1
+        finally:
             server.close()
 
 
