@@ -1,0 +1,79 @@
+"""RL003 — encode/decode codec pairing on the wire.
+
+The wire layer lives and dies by symmetry: every ``encode_*`` has a
+``decode_*`` that can read what it wrote, and a codec nobody tests is
+a codec whose symmetry is one refactor away from silently breaking
+(the decoder keeps accepting the *old* layout, every payload degrades
+to a miss, and no test notices).
+
+For every module-level ``encode_X``/``decode_X`` function in ``src/``:
+
+* the **counterpart** must exist in the *same* module (pairing across
+  modules is drift waiting to happen);
+* both names must appear in at least one test module, so the pair is
+  exercised together.
+
+Names like ``encode`` alone (no suffix) are ignored — the rule targets
+the paired-codec naming convention, not every serialiser.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, ModuleSource, Project, Rule
+
+_CODEC_RE = re.compile(r"^(encode|decode)_(\w+)$")
+
+
+def _codec_functions(module: ModuleSource) -> dict[str, int]:
+    """``name -> def line`` of module-level codec functions."""
+    found: dict[str, int] = {}
+    for node in module.tree.body:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if _CODEC_RE.match(node.name):
+            found[node.name] = node.lineno
+    return found
+
+
+class CodecPairingRule(Rule):
+    rule_id = "RL003"
+    title = "codec pairing"
+    hint = (
+        "add the missing counterpart in the same module, and exercise "
+        "both directions from a test module"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        test_text = "\n".join(
+            module.text for module in project.test_modules
+        )
+        for module in project.modules:
+            functions = _codec_functions(module)
+            if not functions:
+                continue
+            for name, line in sorted(functions.items()):
+                kind, _, suffix = name.partition("_")
+                other_kind = "decode" if kind == "encode" else "encode"
+                counterpart = f"{other_kind}_{suffix}"
+                if counterpart not in functions:
+                    yield self.finding(
+                        module,
+                        line,
+                        f"{name} has no {counterpart} counterpart in "
+                        "this module",
+                    )
+                if not re.search(rf"\b{re.escape(name)}\b", test_text):
+                    yield self.finding(
+                        module,
+                        line,
+                        f"codec function {name} is not exercised by any "
+                        "test module",
+                        hint=(
+                            "reference it from a test (round-trip it "
+                            "with its counterpart)"
+                        ),
+                    )

@@ -1,0 +1,185 @@
+"""RL004 — config drift between ``EnrichmentConfig``, the CLI, README.
+
+Every :class:`~repro.workflow.config.EnrichmentConfig` field is a user
+promise three times over: as a dataclass field, as a CLI flag, and as
+documentation.  The three surfaces drift independently — a field added
+without a flag is unreachable from the command line, a flag without a
+field crashes at dispatch, and an undocumented knob may as well not
+exist.  This rule pins them together:
+
+* every config field must be settable from the ``enrich`` subparser
+  (a flag of the same name, modulo the aliases below);
+* every ``enrich`` flag (minus the I/O flags that are not config:
+  ``--ontology``, ``--corpus``, ``--timings``) must map to a field;
+* every field name must be mentioned in the README.
+
+Flag → field matching: ``--foo-bar`` ↔ ``foo_bar``; ``--no-X`` ↔ ``X``
+(boolean inverts); plus the project's historical aliases
+(``--candidates`` ↔ ``n_candidates``, ``--workers`` ↔ ``n_workers``,
+``--top-k`` ↔ ``top_k_positions``, ``--max-contexts`` ↔
+``max_contexts_per_term``) — renaming those flags would break every
+deployed script, so the linter knows them instead.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, ModuleSource, Project, Rule
+
+#: Historical flag names that predate their config field's spelling.
+FLAG_ALIASES: dict[str, str] = {
+    "candidates": "n_candidates",
+    "top_k": "top_k_positions",
+    "max_contexts": "max_contexts_per_term",
+    "workers": "n_workers",
+}
+
+#: ``enrich`` flags that are I/O plumbing, not configuration.
+NON_CONFIG_FLAGS = frozenset({"ontology", "corpus", "timings"})
+
+#: The dataclass and subparser this rule pins together.
+CONFIG_CLASS = "EnrichmentConfig"
+SUBPARSER = "enrich"
+
+
+def _config_fields(
+    project: Project,
+) -> tuple[ModuleSource, dict[str, int]] | None:
+    """``(module, field -> line)`` of the config dataclass."""
+    for module in project.modules:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.ClassDef)
+                and node.name == CONFIG_CLASS
+            ):
+                fields = {
+                    stmt.target.id: stmt.lineno
+                    for stmt in node.body
+                    if isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                    and not stmt.target.id.startswith("_")
+                }
+                return module, fields
+    return None
+
+
+def _enrich_flags(
+    module: ModuleSource,
+) -> dict[str, int]:
+    """``normalised flag -> line`` of the enrich subparser's arguments.
+
+    The subparser is recognised structurally: any variable assigned
+    from ``<x>.add_parser("enrich", ...)`` collects the
+    ``add_argument`` calls made on it.
+    """
+    parser_vars: set[str] = set()
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "add_parser"
+            and value.args
+            and isinstance(value.args[0], ast.Constant)
+            and value.args[0].value == SUBPARSER
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    parser_vars.add(target.id)
+    flags: dict[str, int] = {}
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "add_argument"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in parser_vars
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+            and node.args[0].value.startswith("--")
+        ):
+            flag = node.args[0].value.lstrip("-").replace("-", "_")
+            flags[flag] = node.lineno
+    return flags
+
+
+def _flag_to_field(flag: str, fields: dict[str, int]) -> str | None:
+    """The config field ``flag`` reaches, or None."""
+    if flag in FLAG_ALIASES:
+        return FLAG_ALIASES[flag]
+    if flag in fields:
+        return flag
+    if flag.startswith("no_") and flag[3:] in fields:
+        return flag[3:]  # --no-X inverts boolean field X
+    return None
+
+
+class ConfigDriftRule(Rule):
+    rule_id = "RL004"
+    title = "config drift"
+    hint = (
+        "keep EnrichmentConfig fields, the enrich subparser, and the "
+        "README in lockstep: add the missing flag/field/mention (see "
+        "FLAG_ALIASES in rules_config.py for historical spellings)"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        located = _config_fields(project)
+        if located is None:
+            return  # no config class in this project: nothing to pin
+        config_module, fields = located
+        cli_module = None
+        for module in project.modules:
+            if module.relpath.endswith("cli.py"):
+                cli_module = module
+                break
+        if cli_module is None:
+            yield self.finding(
+                config_module,
+                1,
+                f"{CONFIG_CLASS} exists but no cli.py module does; "
+                "fields are unreachable from any command line",
+            )
+            return
+        flags = _enrich_flags(cli_module)
+        reachable_fields = {
+            _flag_to_field(flag, fields) for flag in flags
+        }
+
+        for name, line in sorted(fields.items()):
+            if name not in reachable_fields:
+                yield self.finding(
+                    config_module,
+                    line,
+                    f"{CONFIG_CLASS}.{name} has no corresponding "
+                    f"'{SUBPARSER}' CLI flag (field is unreachable "
+                    "from the command line)",
+                )
+            readme = project.readme_text
+            if readme is None or not re.search(
+                rf"\b{re.escape(name)}\b", readme
+            ):
+                yield self.finding(
+                    config_module,
+                    line,
+                    f"{CONFIG_CLASS}.{name} is not mentioned in "
+                    "README.md",
+                    hint="document the field (the README config table)",
+                )
+
+        for flag, line in sorted(flags.items()):
+            if flag in NON_CONFIG_FLAGS:
+                continue
+            if _flag_to_field(flag, fields) is None:
+                yield self.finding(
+                    cli_module,
+                    line,
+                    f"'{SUBPARSER}' flag --{flag.replace('_', '-')} "
+                    f"maps to no {CONFIG_CLASS} field",
+                )

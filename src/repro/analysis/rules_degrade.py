@@ -1,0 +1,187 @@
+"""RL002 — degrade-to-miss error accounting at the network boundary.
+
+The served cache's core contract is that a network failure degrades to
+a clean cache miss **and is counted** (``remote_errors``), never
+silently swallowed: an uncounted swallow is invisible in the report,
+in ``/stats``, and in every test that only checks results — exactly
+the failure :class:`~repro.service.client.RemoteCacheStore` must never
+have.
+
+Scope: modules that talk to the network directly (they import
+``socket`` or ``http.client``).  In those modules, every ``except``
+handler that can catch a network/OS error — ``OSError`` and its
+connection subclasses, ``TimeoutError``, ``socket.*``,
+``http.client.HTTPException``, a tuple named like ``_NETWORK_ERRORS``,
+or a blanket ``Exception`` — must do at least one of:
+
+* **escalate**: ``raise`` (bare or new) somewhere in the handler;
+* **account**: call something whose name mentions ``error``/``fail``
+  (``self._error()``, ``record_failure()``) or assign/augment an
+  attribute or variable whose name does (``self.failures += 1``,
+  ``job.error = ...``).
+
+One structural exemption: a ``try`` block that only closes things
+(every statement is a ``.close()``/``.shutdown()``/``.unlink()``
+call) cannot *degrade* anything — teardown best-effort swallows are
+fine.  Anything else needs the counter, the raise, or a pragma with a
+written justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, ModuleSource, Project, Rule
+
+#: Exception names that mean "the network or the OS failed".
+_NETWORK_EXCEPTION_NAMES = frozenset(
+    {
+        "Exception",
+        "BaseException",
+        "OSError",
+        "IOError",
+        "ConnectionError",
+        "ConnectionResetError",
+        "ConnectionRefusedError",
+        "ConnectionAbortedError",
+        "BrokenPipeError",
+        "TimeoutError",
+        "HTTPException",
+        "timeout",
+        "gaierror",
+        "herror",
+    }
+)
+
+_NETWORK_TUPLE_RE = re.compile(r"NETWORK", re.IGNORECASE)
+_ACCOUNTING_NAME_RE = re.compile(r"error|fail", re.IGNORECASE)
+
+#: Teardown calls whose failures cannot lose data or hide degradation.
+_TEARDOWN_CALLS = frozenset({"close", "shutdown", "unlink", "terminate"})
+
+
+def _imports_network(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in ("socket", "http.client"):
+                    return True
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "http.client" or node.module == "socket":
+                return True
+            if node.module == "http" and any(
+                alias.name == "client" for alias in node.names
+            ):
+                return True
+    return False
+
+
+def _exception_names(node: ast.expr | None) -> Iterator[str]:
+    """Flat names of a handler's exception expression."""
+    if node is None:
+        yield "Exception"  # a bare except catches everything
+        return
+    if isinstance(node, ast.Tuple):
+        for element in node.elts:
+            yield from _exception_names(element)
+        return
+    if isinstance(node, ast.Name):
+        yield node.id
+    elif isinstance(node, ast.Attribute):
+        yield node.attr
+
+
+def _catches_network_error(handler: ast.ExceptHandler) -> bool:
+    for name in _exception_names(handler.type):
+        if name in _NETWORK_EXCEPTION_NAMES:
+            return True
+        if _NETWORK_TUPLE_RE.search(name):
+            return True
+    return False
+
+
+def _accounts_or_escalates(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else ""
+            )
+            if _ACCOUNTING_NAME_RE.search(name):
+                return True
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                name = (
+                    target.attr
+                    if isinstance(target, ast.Attribute)
+                    else target.id if isinstance(target, ast.Name) else ""
+                )
+                if _ACCOUNTING_NAME_RE.search(name):
+                    return True
+    return False
+
+
+def _teardown_only(try_node: ast.Try) -> bool:
+    """True when the try body only closes/releases resources."""
+    for stmt in try_node.body:
+        if not isinstance(stmt, ast.Expr):
+            return False
+        call = stmt.value
+        if not isinstance(call, ast.Call):
+            return False
+        func = call.func
+        name = (
+            func.attr
+            if isinstance(func, ast.Attribute)
+            else func.id if isinstance(func, ast.Name) else ""
+        )
+        if name not in _TEARDOWN_CALLS:
+            return False
+    return True
+
+
+class DegradeToMissRule(Rule):
+    rule_id = "RL002"
+    title = "degrade-to-miss accounting"
+    hint = (
+        "bump an error counter (e.g. self._error()) or re-raise inside "
+        "the handler; if the swallow is genuinely safe, pragma the "
+        "'except' line with a justification"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            if not _imports_network(module.tree):
+                continue
+            yield from self._check_module(module)
+
+    def _check_module(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            if _teardown_only(node):
+                continue
+            for handler in node.handlers:
+                if not _catches_network_error(handler):
+                    continue
+                if _accounts_or_escalates(handler):
+                    continue
+                caught = ", ".join(_exception_names(handler.type))
+                yield self.finding(
+                    module,
+                    handler.lineno,
+                    f"except handler for ({caught}) swallows a network/"
+                    "OS failure without recording it: no error counter "
+                    "is bumped and nothing is re-raised",
+                )

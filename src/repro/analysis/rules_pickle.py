@@ -1,0 +1,212 @@
+"""RL005 — pickle contracts for process-pool work.
+
+``worker_backend="process"`` ships objects across a pipe: everything
+handed to a ``ProcessPoolExecutor`` — the callable, its arguments, the
+initializer's ``initargs`` — must pickle.  Thread locks, pools,
+sockets, and live connections do not; a class that grows one of those
+attributes keeps working under the thread backend and every unit test,
+then dies (or worse, silently re-initialises) the first time a
+process worker unpickles it.  The picklable classes in this repo all
+declare their contract explicitly: ``__getstate__`` (pickle to a
+path/URL handle) or ``__reduce__``.
+
+The rule flags classes that hold **unpicklable state** (an attribute
+assigned from ``Lock``/``RLock``/``Condition``/``Event``/
+``Semaphore``/``ThreadPoolExecutor``/``ProcessPoolExecutor``/
+``socket``/``HTTPConnection``/``threading.local``) without defining
+``__getstate__``/``__reduce__``/``__reduce_ex__``, when the class is
+**process-shipped**:
+
+* it is defined in a module that instantiates a
+  ``ProcessPoolExecutor`` (the conservative net: everything in such a
+  module is one refactor away from crossing the pipe), or
+* an instance of it is resolvable at a dispatch site — an argument of
+  ``pool.submit(...)``/``pool.map(...)`` on a pool created from
+  ``ProcessPoolExecutor(...)`` in the same function, or an element of
+  that executor's ``initargs=(...)`` tuple, resolved through direct
+  ``ClassName(...)`` calls and local ``x = ClassName(...)``
+  assignments.
+
+Resolution is intentionally shallow (no interprocedural dataflow): a
+class that reaches a pool through a parameter is not seen — the
+defined-in-module net exists to cover exactly that case for the
+modules where it matters.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, ModuleSource, Project, Rule
+
+#: Callables whose result never survives a pickle round trip.
+_UNPICKLABLE_FACTORIES = frozenset(
+    {
+        "Lock",
+        "RLock",
+        "Condition",
+        "Event",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Barrier",
+        "local",
+        "ThreadPoolExecutor",
+        "ProcessPoolExecutor",
+        "socket",
+        "HTTPConnection",
+        "HTTPSConnection",
+    }
+)
+
+_PICKLE_HOOKS = frozenset({"__getstate__", "__reduce__", "__reduce_ex__"})
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _holds_unpicklable(node: ast.ClassDef) -> list[tuple[str, int]]:
+    """``(attr, line)`` of self-attributes assigned unpicklable values."""
+    held: list[tuple[str, int]] = []
+    for method in node.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for stmt in ast.walk(method):
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            if not any(
+                isinstance(child, ast.Call)
+                and _call_name(child) in _UNPICKLABLE_FACTORIES
+                for child in ast.walk(value)
+            ):
+                continue
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    held.append((target.attr, stmt.lineno))
+    return held
+
+
+def _defines_pickle_hook(node: ast.ClassDef) -> bool:
+    return any(
+        isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and stmt.name in _PICKLE_HOOKS
+        for stmt in node.body
+    )
+
+
+def _uses_process_pool(tree: ast.Module) -> bool:
+    return any(
+        isinstance(node, ast.Call)
+        and _call_name(node) == "ProcessPoolExecutor"
+        for node in ast.walk(tree)
+    )
+
+
+def _dispatched_class_names(module: ModuleSource) -> set[str]:
+    """Class names resolvable at process-pool dispatch sites."""
+    dispatched: set[str] = set()
+    for scope in ast.walk(module.tree):
+        if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        pool_vars: set[str] = set()
+        local_classes: dict[str, str] = {}  # var -> ClassName
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Call
+            ):
+                name = _call_name(node.value)
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        if name == "ProcessPoolExecutor":
+                            pool_vars.add(target.id)
+                        elif name and name[0].isupper():
+                            local_classes[target.id] = name
+            elif isinstance(node, ast.With):
+                for item in node.items:
+                    if (
+                        isinstance(item.context_expr, ast.Call)
+                        and _call_name(item.context_expr)
+                        == "ProcessPoolExecutor"
+                        and isinstance(item.optional_vars, ast.Name)
+                    ):
+                        pool_vars.add(item.optional_vars.id)
+
+        def _resolve(expr: ast.expr) -> None:
+            if isinstance(expr, ast.Call):
+                name = _call_name(expr)
+                if name and name[0].isupper():
+                    dispatched.add(name)
+            elif isinstance(expr, ast.Name) and expr.id in local_classes:
+                dispatched.add(local_classes[expr.id])
+            elif isinstance(expr, (ast.Tuple, ast.List)):
+                for element in expr.elts:
+                    _resolve(element)
+
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name in ("submit", "map") and (
+                isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in pool_vars
+            ):
+                for arg in node.args:
+                    _resolve(arg)
+            elif name == "ProcessPoolExecutor":
+                for keyword in node.keywords:
+                    if keyword.arg == "initargs":
+                        _resolve(keyword.value)
+    return dispatched
+
+
+class PickleContractRule(Rule):
+    rule_id = "RL005"
+    title = "pickle contract"
+    hint = (
+        "define __getstate__/__setstate__ (pickle to a reopenable "
+        "handle: a path, a URL) or __reduce__, or keep the class out "
+        "of process-pool dispatch"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        # Every class shipped by name anywhere in the project...
+        dispatched: set[str] = set()
+        for module in project.modules:
+            dispatched.update(_dispatched_class_names(module))
+        for module in project.modules:
+            in_process_module = _uses_process_pool(module.tree)
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                if not in_process_module and node.name not in dispatched:
+                    continue
+                if _defines_pickle_hook(node):
+                    continue
+                held = _holds_unpicklable(node)
+                if not held:
+                    continue
+                attrs = ", ".join(
+                    sorted({f"self.{attr}" for attr, _ in held})
+                )
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"{node.name} is reachable by process-pool dispatch "
+                    f"but holds unpicklable state ({attrs}) and defines "
+                    "no __getstate__/__reduce__",
+                )

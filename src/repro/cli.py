@@ -11,7 +11,9 @@ Seven subcommands mirror how a downstream user drives the library:
 * ``serve`` — run the HTTP enrichment & shared-cache service
   (see :mod:`repro.service`);
 * ``cache-info`` — inspect a feature-cache store's layout, on disk
-  (``--cache-dir``) or through a live service (``--cache-url``).
+  (``--cache-dir``) or through a live service (``--cache-url``);
+* ``lint`` — run the project-invariant static analysis
+  (see :mod:`repro.analysis`; nonzero exit on new findings).
 
 Run ``python -m repro.cli <command> --help`` for options.
 """
@@ -25,6 +27,8 @@ from pathlib import Path
 
 from repro.clustering.community import COMMUNITY_BACKEND_NAMES
 from repro.corpus.io import read_corpus_jsonl, write_corpus_jsonl
+from repro.extraction.measures import MEASURE_NAMES
+from repro.text.stopwords import SUPPORTED_LANGUAGES
 from repro.linkage.evaluation import evaluate_linkage, gold_positions
 from repro.linkage.linker import SemanticLinker
 from repro.ontology.io import read_ontology_json, write_ontology_json
@@ -57,9 +61,21 @@ def _cmd_enrich(args: argparse.Namespace) -> int:
     ontology = read_ontology_json(args.ontology)
     corpus = read_corpus_jsonl(args.corpus)
     config = EnrichmentConfig(
+        language=args.language,
+        extraction_measure=args.extraction_measure,
         n_candidates=args.candidates,
+        min_term_length=args.min_term_length,
+        min_contexts=args.min_contexts,
+        polysemy_classifier=args.polysemy_classifier,
+        sense_algorithm=args.sense_algorithm,
+        sense_index=args.sense_index,
+        sense_representation=args.sense_representation,
+        context_window=args.context_window,
         top_k_positions=args.top_k,
+        expand_hierarchy=not args.no_expand_hierarchy,
         seed=args.seed,
+        skip_known_terms=not args.no_skip_known_terms,
+        batch_size=args.batch_size,
         max_contexts_per_term=args.max_contexts,
         n_workers=args.workers,
         worker_backend=args.worker_backend,
@@ -395,6 +411,41 @@ def _cmd_cache_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        lint_project,
+        load_baseline,
+        render_json,
+        render_text,
+        save_baseline,
+    )
+    from repro.errors import ValidationError
+
+    root = Path(args.root)
+    try:
+        baseline = (
+            load_baseline(args.baseline)
+            if args.baseline is not None
+            else None
+        )
+        result = lint_project(root, baseline=baseline)
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline is not None:
+        save_baseline(result.findings, args.write_baseline)
+        print(
+            f"wrote {len(result.findings)} finding(s) to "
+            f"{args.write_baseline}"
+        )
+        return 0
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return 0 if result.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -413,9 +464,59 @@ def build_parser() -> argparse.ArgumentParser:
     enrich = sub.add_parser("enrich", help="run the four-step workflow")
     enrich.add_argument("--ontology", required=True, help="ontology JSON path")
     enrich.add_argument("--corpus", required=True, help="corpus JSONL path")
+    enrich.add_argument(
+        "--language", choices=SUPPORTED_LANGUAGES, default="en",
+        help="corpus/ontology language",
+    )
+    enrich.add_argument(
+        "--extraction-measure", choices=MEASURE_NAMES,
+        default="lidf_value",
+        help="Step I candidate ranking measure",
+    )
     enrich.add_argument("--candidates", type=int, default=10)
+    enrich.add_argument(
+        "--min-term-length", type=int, default=2,
+        help="minimum candidate length in tokens (2 = multi-word only)",
+    )
+    enrich.add_argument(
+        "--min-contexts", type=int, default=4,
+        help="candidates with fewer corpus contexts are skipped",
+    )
+    enrich.add_argument(
+        "--polysemy-classifier", default="forest",
+        help="Step II classifier registry name",
+    )
+    enrich.add_argument(
+        "--sense-algorithm", default="rb",
+        help="Step III clustering algorithm",
+    )
+    enrich.add_argument(
+        "--sense-index", default="fk",
+        help="Step III internal clustering index",
+    )
+    enrich.add_argument(
+        "--sense-representation", default="bow",
+        help="Step III context representation",
+    )
+    enrich.add_argument(
+        "--context-window", type=int, default=10,
+        help="tokens kept each side of a term occurrence",
+    )
     enrich.add_argument("--top-k", type=int, default=10)
+    enrich.add_argument(
+        "--no-expand-hierarchy", action="store_true",
+        help="disable Step IV.2 father/son neighbourhood expansion",
+    )
     enrich.add_argument("--seed", type=int, default=0)
+    enrich.add_argument(
+        "--no-skip-known-terms", action="store_true",
+        help="also push terms the ontology already knows through "
+        "Steps II-IV",
+    )
+    enrich.add_argument(
+        "--batch-size", type=int, default=8,
+        help="candidates handed to a worker per task in Steps II-III",
+    )
     enrich.add_argument(
         "--max-contexts", type=int, default=80,
         help="context cap per candidate (stride-subsampled above this)",
@@ -611,6 +712,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="inspect the store behind a live `repro serve` service",
     )
     info.set_defaults(fn=_cmd_cache_info)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the project-invariant static analysis over src/",
+    )
+    lint.add_argument(
+        "--root", default=".",
+        help="project root (must contain src/; default: cwd)",
+    )
+    lint.add_argument(
+        "--baseline", default=None,
+        help="baseline JSON of grandfathered findings to ignore",
+    )
+    lint.add_argument(
+        "--write-baseline", default=None, metavar="PATH",
+        help="write current findings as a baseline and exit 0",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    lint.set_defaults(fn=_cmd_lint)
     return parser
 
 

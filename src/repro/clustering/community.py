@@ -98,7 +98,7 @@ class LouvainBackend:
         csr = CSRGraph.from_networkx(graph, weight=weight)
         labels = self.labels_from_csr(csr, seed=seed)
         groups: dict[int, set] = {}
-        for node, label in zip(nodes, labels):
+        for node, label in zip(nodes, labels, strict=True):
             groups.setdefault(int(label), set()).add(node)
         return _sorted_communities(graph, list(groups.values()))
 

@@ -57,7 +57,7 @@ def criterion_value(matrix, labels: np.ndarray, criterion: str = "i2") -> float:
     total = composite_vector(matrix, np.arange(matrix.shape[0]))
     total_norm = float(np.linalg.norm(total))
     e1_terms = []
-    for size, d, norm in zip(sizes, composites, norms):
+    for size, d, norm in zip(sizes, composites, norms, strict=True):
         if size == 0 or norm == 0.0 or total_norm == 0.0:
             e1_terms.append(0.0)
         else:

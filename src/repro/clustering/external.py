@@ -37,7 +37,7 @@ def contingency_table(labels_pred, labels_true) -> np.ndarray:
     pred_ids = {label: i for i, label in enumerate(np.unique(pred).tolist())}
     true_ids = {label: j for j, label in enumerate(np.unique(true).tolist())}
     table = np.zeros((len(pred_ids), len(true_ids)), dtype=np.int64)
-    for p, t in zip(pred, true):
+    for p, t in zip(pred, true, strict=True):
         table[pred_ids[p], true_ids[t]] += 1
     return table
 

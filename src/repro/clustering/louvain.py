@@ -319,10 +319,11 @@ def _local_moves_arrays(
             wsum = np.bincount(comm, weights=wts, minlength=n)
             occ = np.bincount(comm, minlength=n)
             gains = np.where(occ > 0, wsum - scale * comm_tot, -np.inf)
-            if occ[current]:
-                best_gain = float(gains[current])
-            else:
-                best_gain = 0.0 - scale * float(comm_tot[current])
+            best_gain = (
+                float(gains[current])
+                if occ[current]
+                else 0.0 - scale * float(comm_tot[current])
+            )
             best_comm = current
             gains[current] = -np.inf
             g_max = float(np.max(gains))
@@ -339,7 +340,7 @@ def _local_moves_arrays(
                 else:
                     acc: dict[int, float] = {}
                     get_acc = acc.get
-                    for c, w in zip(comm.tolist(), wts.tolist()):
+                    for c, w in zip(comm.tolist(), wts.tolist(), strict=True):
                         acc[c] = get_acc(c, 0.0) + w
                     for c, w in acc.items():
                         if c == current:

@@ -40,10 +40,8 @@ def normalize_rows(matrix):
 def cosine_similarity_matrix(matrix) -> np.ndarray:
     """Dense n×n cosine similarity of the rows of ``matrix``."""
     unit = normalize_rows(matrix)
-    if sp.issparse(unit):
-        sims = (unit @ unit.T).toarray()
-    else:
-        sims = unit @ unit.T
+    product = unit @ unit.T
+    sims = product.toarray() if sp.issparse(product) else product
     return np.clip(sims, -1.0, 1.0)
 
 

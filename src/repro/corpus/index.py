@@ -215,7 +215,7 @@ class CorpusIndex:
         corpus) fingerprint by threading one chain through its shards in
         order.
         """
-        for doc_id, tokens in zip(self._doc_ids, self._doc_tokens):
+        for doc_id, tokens in zip(self._doc_ids, self._doc_tokens, strict=True):
             fingerprint = _extend_fingerprint(fingerprint, doc_id, tokens)
         return fingerprint
 
@@ -248,7 +248,7 @@ class CorpusIndex:
         if self._doc_lengths is None:
             self._doc_lengths = {
                 doc_id: len(tokens)
-                for doc_id, tokens in zip(self._doc_ids, self._doc_tokens)
+                for doc_id, tokens in zip(self._doc_ids, self._doc_tokens, strict=True)
             }
         return self._doc_lengths
 
@@ -631,14 +631,17 @@ class ShardedCorpusIndex:
         target = self._shards[-1]
         before = target.n_documents()
         target.add_documents(documents)
-        if documents:
-            self._doc_lengths = None
-        for doc_id, tokens in zip(
-            target._doc_ids[before:], target._doc_tokens[before:]
-        ):
-            self._fingerprint = _extend_fingerprint(
-                self._fingerprint, doc_id, tokens
-            )
+        with self._pool_guard:
+            if documents:
+                self._doc_lengths = None
+            for doc_id, tokens in zip(
+                target._doc_ids[before:],
+                target._doc_tokens[before:],
+                strict=True,
+            ):
+                self._fingerprint = _extend_fingerprint(
+                    self._fingerprint, doc_id, tokens
+                )
 
     # -- corpus-level statistics --------------------------------------------
 
@@ -668,12 +671,15 @@ class ShardedCorpusIndex:
         treat the returned dict as read-only shared storage.
         """
         if self._doc_lengths is None:
+            # Merge outside the guard: map_shards may take _pool_guard
+            # itself to lazily build the executor.
             lengths: dict[str, int] = {}
             for shard_lengths in self.map_shards(
                 lambda shard: shard.doc_lengths()
             ):
                 lengths.update(shard_lengths)
-            self._doc_lengths = lengths
+            with self._pool_guard:
+                self._doc_lengths = lengths
         return self._doc_lengths
 
     def token_documents(self) -> list[list[str]]:
@@ -708,7 +714,7 @@ class ShardedCorpusIndex:
             raise CorpusError("term must contain at least one token")
         out: list[tuple[int, int]] = []
         per_shard = self.map_shards(lambda shard: shard._occurrences(needle))
-        for offset, occurrences in zip(self.shard_offsets(), per_shard):
+        for offset, occurrences in zip(self.shard_offsets(), per_shard, strict=True):
             out.extend(
                 (offset + ordinal, position)
                 for ordinal, position in occurrences

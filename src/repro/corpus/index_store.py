@@ -47,6 +47,7 @@ never a wrong answer.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import shutil
@@ -258,6 +259,7 @@ class _MmapPostings:
             zip(
                 self._owner._postings_docs[start:end].tolist(),
                 self._owner._postings_positions[start:end].tolist(),
+                strict=True,
             )
         )
 
@@ -502,7 +504,7 @@ class MmapCorpusIndex(CorpusIndex):
     def doc_lengths(self) -> dict[str, int]:
         if self._doc_lengths is None:
             lengths = np.diff(self._doc_token_offsets).tolist()
-            self._doc_lengths = dict(zip(iter(self._doc_ids), lengths))
+            self._doc_lengths = dict(zip(iter(self._doc_ids), lengths, strict=True))
         return self._doc_lengths
 
     def token_documents(self) -> list[list[str]]:
@@ -820,10 +822,8 @@ class IndexStore:
         """
         documents = list(documents)
         fingerprint = _fingerprint_documents(documents)
-        try:
+        with contextlib.suppress(IndexStoreError):
             return self.open(fingerprint, n_workers=n_workers)
-        except IndexStoreError:
-            pass
         if n_shards > 1:
             # Shard builds persist straight from the workers; the
             # returned index already maps the written arrays.

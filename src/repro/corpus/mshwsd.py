@@ -168,7 +168,7 @@ class MshWsdSimulator:
         lexicon = BioLexicon(seed=rng)
         background = BackgroundVocabulary(lexicon, seed=rng)
         entities: list[MshWsdEntity] = []
-        for entity_idx, k in enumerate(self._sample_ks()):
+        for k in self._sample_ks():
             term = " ".join(lexicon.new_term())
             signatures = self._sense_signatures(lexicon, k)
             topics = [

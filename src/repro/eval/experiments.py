@@ -125,7 +125,7 @@ def run_sense_number_experiment(
     }
     rng = ensure_rng(seed)
     entity_rngs = spawn_rng(rng, len(entities))
-    for entity, entity_rng in zip(entities, entity_rngs):
+    for entity, entity_rng in zip(entities, entity_rngs, strict=True):
         for representation in representations:
             matrix = represent_contexts(entity.contexts, representation)
             feasible = [k for k in k_range if k <= matrix.shape[0]]
@@ -142,10 +142,11 @@ def run_sense_number_experiment(
                 for index in indexes:
                     direction = INDEX_DIRECTIONS[index]
                     curve = values[index]
-                    if direction == "max":
-                        predicted = max(sorted(curve), key=lambda k: (curve[k], -k))
-                    else:
-                        predicted = min(sorted(curve), key=lambda k: (curve[k], k))
+                    predicted = (
+                        max(sorted(curve), key=lambda k: (curve[k], -k))
+                        if direction == "max"
+                        else min(sorted(curve), key=lambda k: (curve[k], k))
+                    )
                     if predicted == entity.true_k:
                         hits[(algorithm, representation, index)] += 1
 

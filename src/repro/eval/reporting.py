@@ -81,7 +81,7 @@ def render_table3(result: Table3Result) -> str:
     """Table 3 measured rows with correctness flags."""
     rows = [
         [p.rank, p.term, f"{p.cosine:.4f}", "*" if ok else ""]
-        for p, ok in zip(result.propositions, result.correct_flags())
+        for p, ok in zip(result.propositions, result.correct_flags(), strict=True)
     ]
     lines = [
         format_table(

@@ -34,13 +34,14 @@ def accuracy_score(y_true, y_pred) -> float:
 def confusion_matrix(y_true, y_pred, *, labels=None) -> np.ndarray:
     """Counts ``C[i, j]`` = samples of true class i predicted as class j."""
     y_true, y_pred = _check_pair(y_true, y_pred)
-    if labels is None:
-        labels = np.unique(np.concatenate([y_true, y_pred]))
-    else:
-        labels = np.asarray(labels)
+    labels = (
+        np.unique(np.concatenate([y_true, y_pred]))
+        if labels is None
+        else np.asarray(labels)
+    )
     index = {label: i for i, label in enumerate(labels.tolist())}
     matrix = np.zeros((len(labels), len(labels)), dtype=np.int64)
-    for t, p in zip(y_true, y_pred):
+    for t, p in zip(y_true, y_pred, strict=True):
         matrix[index[t], index[p]] += 1
     return matrix
 

@@ -153,7 +153,9 @@ class SyntheticMetathesaurus:
         """Build one ontology per profile, keyed by (source, language)."""
         out: dict[tuple[str, str], Ontology] = {}
         children = spawn_rng(self._rng, n=len(self.profiles))
-        for child, (key, profile) in zip(children, sorted(self.profiles.items())):
+        for child, (key, profile) in zip(
+            children, sorted(self.profiles.items()), strict=True
+        ):
             out[key] = self._generate_one(profile, child)
         return out
 

@@ -61,7 +61,7 @@ import os
 import shutil
 import threading
 import zlib
-from contextlib import contextmanager
+from contextlib import contextmanager, suppress
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Protocol, runtime_checkable
@@ -375,13 +375,11 @@ class DiskCacheStore:
             # parse).
             index_size = 0
             torn_tail = False
-            try:
-                with open(generation.index_path, "rb") as fh:
-                    fh.seek(-1, os.SEEK_END)
-                    torn_tail = fh.read(1) != b"\n"
-                    index_size = fh.tell()
-            except OSError:
-                pass  # missing or empty index: nothing to repair
+            # Missing or empty index: nothing to repair.
+            with suppress(OSError), open(generation.index_path, "rb") as fh:
+                fh.seek(-1, os.SEEK_END)
+                torn_tail = fh.read(1) != b"\n"
+                index_size = fh.tell()
             if torn_tail:
                 payload = b"\n" + payload
             with open(generation.index_path, "ab") as fh:
@@ -730,10 +728,8 @@ class DiskCacheStore:
                     active.memo.pop(term, None)
                 self._evictions += len(dropped)
                 shard_file = active.shard_path(shard_no)
-                try:
+                with suppress(OSError):
                     total -= shard_file.stat().st_size
-                except OSError:
-                    pass
                 shard_file.unlink(missing_ok=True)
                 try:
                     old_index_bytes = active.index_path.stat().st_size

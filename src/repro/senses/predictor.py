@@ -101,7 +101,7 @@ class SenseCountPredictor:
         child_rngs = spawn_rng(rng, len(feasible))
         values: dict[int, float] = {}
         labels: dict[int, np.ndarray] = {}
-        for child, k in zip(child_rngs, feasible):
+        for child, k in zip(child_rngs, feasible, strict=True):
             solution = cluster(matrix, k, method=self.algorithm, seed=child)
             values[k] = compute_index(
                 self.index, matrix, solution.labels, stats=solution.stats

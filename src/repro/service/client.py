@@ -39,6 +39,7 @@ submit/poll/fetch lifecycle of server-side enrichment jobs.
 
 from __future__ import annotations
 
+import contextlib
 import http.client
 import json
 import socket
@@ -138,10 +139,11 @@ class _HttpChannel:
 
     def _close_locked(self) -> None:
         if self._conn is not None:
-            try:
+            # Narrow on purpose: close() can only fail with a
+            # socket-layer OSError (already-reset peer, EBADF); anything
+            # else would be a programming error worth surfacing.
+            with contextlib.suppress(OSError):
                 self._conn.close()
-            except Exception:  # pragma: no cover - close never matters
-                pass
             self._conn = None
 
     def request(
@@ -179,7 +181,10 @@ class _HttpChannel:
                         {k.lower(): v for k, v in response.getheaders()},
                         payload,
                     )
-                except _NETWORK_ERRORS:
+                # Justification: the channel returns None and every caller
+                # (RemoteCacheStore) counts that None as one remote_errors
+                # increment; counting here too would double-count.
+                except _NETWORK_ERRORS:  # repro-lint: disable=RL002
                     self._close_locked()
                     if fresh or attempt:
                         return None
@@ -370,7 +375,8 @@ class RemoteCacheStore:
                     headers={"Content-Type": "application/octet-stream"},
                 )
                 if self._batch_unsupported(result):
-                    self._batch_supported = False
+                    with self._counter_lock:
+                        self._batch_supported = False
                     remaining.extend(pending[start:])
                     break
                 if result is None or result[0] != 200:
@@ -380,7 +386,8 @@ class RemoteCacheStore:
                 if entries is None:
                     self._error()
                     continue
-                self._batch_supported = True
+                with self._counter_lock:
+                    self._batch_supported = True
                 for key, vector in entries:
                     if vector is not None:
                         found[key] = vector
@@ -419,13 +426,15 @@ class RemoteCacheStore:
                     headers={"Content-Type": "application/octet-stream"},
                 )
                 if self._batch_unsupported(result):
-                    self._batch_supported = False
+                    with self._counter_lock:
+                        self._batch_supported = False
                     remaining.extend(pending[start:])
                     break
                 if result is None or result[0] not in (200, 204):
                     self._error()
                     continue
-                self._batch_supported = True
+                with self._counter_lock:
+                    self._batch_supported = True
             else:
                 remaining = []
             pending = remaining
@@ -579,7 +588,7 @@ class ServiceClient:
         try:
             document = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, ValueError) as exc:
-            raise ServiceError(f"GET /stats returned non-JSON: {exc}")
+            raise ServiceError(f"GET /stats returned non-JSON: {exc}") from exc
         return document, new_etag
 
     def metrics(self) -> str:

@@ -347,7 +347,13 @@ class JobManager:
                 job.status = "done"
                 job.finished_at = time.time()
         except Exception as exc:  # noqa: BLE001 - job isolation boundary:
-            # a failed job must answer its poll, not kill the service.
+            # Deliberately broad: this is the service's last line of
+            # defence around arbitrary workflow code.  A failed job must
+            # answer its poll with status="failed" and the error string,
+            # not kill the worker thread — narrowing here would turn an
+            # unanticipated exception type into a silently-hung job.
+            # The failure *is* accounted: job.error carries it to the
+            # poller and job_finished() counts it in /metrics.
             with self._lock:
                 job.error = f"{type(exc).__name__}: {exc}"
                 job.status = "failed"

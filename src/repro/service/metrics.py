@@ -33,7 +33,10 @@ from __future__ import annotations
 import itertools
 import threading
 from bisect import bisect_left
+from collections.abc import Iterable
 from time import perf_counter
+from types import TracebackType
+from typing import Any, Generic, TypeVar
 
 __all__ = [
     "Counter",
@@ -68,7 +71,7 @@ _shard_rr = itertools.count()
 
 
 def _my_shard() -> int:
-    shard = getattr(_thread_shard, "index", None)
+    shard: int | None = getattr(_thread_shard, "index", None)
     if shard is None:
         shard = next(_shard_rr) % N_SHARDS
         _thread_shard.index = shard
@@ -95,7 +98,7 @@ def _labels_text(names: tuple[str, ...], values: tuple[str, ...]) -> str:
         return ""
     pairs = ",".join(
         f'{name}="{_escape_label_value(value)}"'
-        for name, value in zip(names, values)
+        for name, value in zip(names, values, strict=True)
     )
     return "{" + pairs + "}"
 
@@ -129,7 +132,11 @@ class _ShardedCount:
         return total
 
 
-class _Metric:
+#: The per-label-set child type of a concrete instrument.
+C = TypeVar("C")
+
+
+class _Metric(Generic[C]):
     """Shared labelled-children plumbing of every instrument kind."""
 
     kind = "untyped"
@@ -140,10 +147,10 @@ class _Metric:
         self.name = name
         self.help_text = help_text
         self.label_names = tuple(label_names)
-        self._children: dict[tuple[str, ...], object] = {}
+        self._children: dict[tuple[str, ...], C] = {}
         self._children_lock = threading.Lock()
 
-    def _child(self, labels: dict[str, str]):
+    def _child(self, labels: dict[str, str]) -> C:
         if set(labels) != set(self.label_names):
             raise ValueError(
                 f"{self.name} expects labels {self.label_names}, "
@@ -156,16 +163,19 @@ class _Metric:
                 child = self._children.setdefault(key, self._new_child())
         return child
 
-    def _new_child(self):  # pragma: no cover - overridden
+    def _new_child(self) -> C:  # pragma: no cover - overridden
         raise NotImplementedError
 
-    def children(self) -> list[tuple[tuple[str, ...], object]]:
+    def samples(self) -> list[str]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def children(self) -> list[tuple[tuple[str, ...], C]]:
         """Stable (sorted) snapshot of the label-set → child mapping."""
         with self._children_lock:
             return sorted(self._children.items())
 
 
-class Counter(_Metric):
+class Counter(_Metric[_ShardedCount]):
     """A monotonically increasing, lock-sharded counter.
 
     >>> c = Counter("repro_demo_total", "demo", ("kind",))
@@ -215,7 +225,7 @@ class _GaugeChild:
             return self._value
 
 
-class Gauge(_Metric):
+class Gauge(_Metric[_GaugeChild]):
     """A current-value instrument (e.g. in-flight requests)."""
 
     kind = "gauge"
@@ -282,7 +292,7 @@ class _HistogramChild:
         return cumulative, total_sum, total_count
 
 
-class Histogram(_Metric):
+class Histogram(_Metric[_HistogramChild]):
     """Fixed-boundary histogram in the Prometheus cumulative model.
 
     >>> h = Histogram("repro_demo_seconds", "demo", buckets=(0.1, 1.0))
@@ -323,7 +333,9 @@ class Histogram(_Metric):
         lines: list[str] = []
         for key, child in self.children():
             cumulative, total_sum, total_count = child.snapshot()
-            for boundary, running in zip(self.buckets, cumulative):
+            # cumulative carries one extra entry (the +Inf overflow),
+            # emitted separately below: truncation is the point.
+            for boundary, running in zip(self.buckets, cumulative, strict=False):
                 labels = _labels_text(
                     self.label_names + ("le",),
                     key + (_format_value(boundary),),
@@ -339,28 +351,36 @@ class Histogram(_Metric):
         return lines
 
 
+#: Bound for :meth:`MetricsRegistry.register`'s pass-through typing.
+M = TypeVar("M", bound=_Metric[Any])
+
+
 class MetricsRegistry:
     """Named instruments + the text-format exposition of all of them."""
 
     def __init__(self) -> None:
-        self._metrics: dict[str, _Metric] = {}
+        self._metrics: dict[str, _Metric[Any]] = {}
         self._lock = threading.Lock()
 
-    def register(self, metric: _Metric) -> _Metric:
+    def register(self, metric: M) -> M:
         with self._lock:
             if metric.name in self._metrics:
                 raise ValueError(f"metric {metric.name!r} already registered")
             self._metrics[metric.name] = metric
         return metric
 
-    def counter(self, name: str, help_text: str, labels=()) -> Counter:
+    def counter(
+        self, name: str, help_text: str, labels: Iterable[str] = ()
+    ) -> Counter:
         return self.register(Counter(name, help_text, tuple(labels)))
 
-    def gauge(self, name: str, help_text: str, labels=()) -> Gauge:
+    def gauge(
+        self, name: str, help_text: str, labels: Iterable[str] = ()
+    ) -> Gauge:
         return self.register(Gauge(name, help_text, tuple(labels)))
 
     def histogram(
-        self, name: str, help_text: str, labels=(), *,
+        self, name: str, help_text: str, labels: Iterable[str] = (), *,
         buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
     ) -> Histogram:
         return self.register(
@@ -465,10 +485,18 @@ class request_timer:
 
     __slots__ = ("started", "seconds")
 
+    started: float
+    seconds: float
+
     def __enter__(self) -> "request_timer":
         self.started = perf_counter()
         self.seconds = 0.0
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self.seconds = perf_counter() - self.started

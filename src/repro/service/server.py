@@ -48,6 +48,7 @@ monitors (it is also what lets ``/stats`` serve a stable ``ETag``).
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import signal
@@ -251,14 +252,10 @@ class _ServiceHTTPServer(ThreadingHTTPServer):
             connections = list(self._open_connections)
             self._open_connections.clear()
         for connection in connections:
-            try:
-                connection.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass  # already closing on its own
-            try:
+            with contextlib.suppress(OSError):
+                connection.shutdown(socket.SHUT_RDWR)  # may close on its own
+            with contextlib.suppress(OSError):
                 connection.close()
-            except OSError:  # pragma: no cover - double close
-                pass
 
 
 class _ServiceHandler(BaseHTTPRequestHandler):
@@ -761,12 +758,10 @@ def _open_access_log(target: str | Path):
 
     def writer(record: dict) -> None:
         line = json.dumps(record, sort_keys=True)
-        with lock:
-            try:
-                stream.write(line + "\n")
-                stream.flush()
-            except ValueError:  # pragma: no cover - stream closed late
-                pass
+        with lock, contextlib.suppress(ValueError):
+            # ValueError: the stream was closed late in shutdown.
+            stream.write(line + "\n")
+            stream.flush()
 
     return writer, closer
 
@@ -811,10 +806,8 @@ def serve(
 
     previous = {}
     for signum in (signal.SIGINT, signal.SIGTERM):
-        try:
+        with contextlib.suppress(ValueError):  # non-main thread
             previous[signum] = signal.signal(signum, _interrupt)
-        except ValueError:  # pragma: no cover - non-main thread
-            pass
     print(f"repro service listening on {server.url} "
           f"(cache_dir={store.cache_dir})", flush=True)
     if ready is not None:

@@ -234,9 +234,9 @@ def _for_each_candidate(
         ) as pool:
             done = list(pool.map(_run_worker_batch, batches))
         worker_errors = 0
-        for batch, (done_batch, batch_errors) in zip(batches, done):
+        for batch, (done_batch, batch_errors) in zip(batches, done, strict=True):
             worker_errors += batch_errors
-            for item, result in zip(batch, done_batch):
+            for item, result in zip(batch, done_batch, strict=True):
                 _merge_work(item, result)
         return worker_errors
 

@@ -1,0 +1,40 @@
+"""RL001 fixture: one unguarded write, several clean patterns."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+        self._note = ""
+
+    def bump(self):
+        self._count += 1  # BAD: public write without the lock
+
+    def bump_safely(self):
+        with self._lock:
+            self._count += 1  # fine: lexically inside the lock
+
+    def annotate(self):
+        with self._lock:
+            self._apply_locked("x")
+
+    def _apply_locked(self, note):
+        self._note = note  # fine: _locked suffix = caller holds it
+
+    def indirect(self):
+        self._helper()
+
+    def _helper(self):
+        self._note = "y"  # BAD: reachable unlocked via indirect()
+
+
+class Plain:
+    """No lock attribute: RL001 never applies."""
+
+    def __init__(self):
+        self.value = 0
+
+    def set(self, value):
+        self.value = value

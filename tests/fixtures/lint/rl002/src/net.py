@@ -1,0 +1,44 @@
+"""RL002 fixture: swallowed vs accounted network failures."""
+
+import socket
+
+
+class Channel:
+    def __init__(self):
+        self.failures = 0
+        self.sock = None
+
+    def fetch(self):
+        try:
+            return self._recv()
+        except OSError:  # BAD: swallowed, nothing counted
+            return None
+
+    def fetch_counted(self):
+        try:
+            return self._recv()
+        except OSError:  # fine: accounted
+            self.failures += 1
+            return None
+
+    def fetch_escalated(self):
+        try:
+            return self._recv()
+        except socket.timeout:  # fine: re-raised
+            raise
+
+    def fetch_pragma(self):
+        try:
+            return self._recv()
+        except OSError:  # repro-lint: disable=RL002
+            # Justification: fixture for the pragma path.
+            return None
+
+    def close(self):
+        try:
+            self.sock.close()
+        except OSError:  # fine: teardown-only try body is exempt
+            pass
+
+    def _recv(self):
+        return self.sock.recv(1024)

@@ -1,0 +1,25 @@
+"""RL003 fixture: one orphan codec, one tested pair, one untested pair."""
+
+
+def encode_foo(value):  # BAD: no decode_foo anywhere
+    return str(value)
+
+
+def encode_bar(value):  # fine: paired and exercised by tests/
+    return str(value)
+
+
+def decode_bar(raw):
+    return int(raw)
+
+
+def encode_baz(value):  # BAD x2: paired but never tested
+    return str(value)
+
+
+def decode_baz(raw):
+    return int(raw)
+
+
+def encode(value):  # ignored: no _suffix, not a paired codec
+    return str(value)

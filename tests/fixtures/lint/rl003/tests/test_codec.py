@@ -1,0 +1,11 @@
+"""Exercises the bar pair (and mentions encode_foo for its own test)."""
+
+from codec import decode_bar, encode_bar, encode_foo
+
+
+def test_bar_roundtrip():
+    assert decode_bar(encode_bar(7)) == 7
+
+
+def test_foo_encodes():
+    assert encode_foo(7) == "7"

@@ -1,0 +1,17 @@
+"""RL004 fixture CLI: one stray flag, one boolean inversion."""
+
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser()
+    sub = parser.add_subparsers()
+    enrich = sub.add_parser("enrich")
+    enrich.add_argument("--ontology")  # exempt: I/O plumbing
+    enrich.add_argument("--alpha", type=int)
+    enrich.add_argument("--gamma", type=int)
+    enrich.add_argument("--no-flip", action="store_true")
+    enrich.add_argument("--delta", type=int)  # BAD: no such field
+    other = sub.add_parser("other")
+    other.add_argument("--unrelated")  # ignored: not the enrich parser
+    return parser

@@ -1,0 +1,11 @@
+"""RL004 fixture: a config class with three drift seeds."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnrichmentConfig:
+    alpha: int = 1  # fine: flagged and documented
+    beta: int = 2  # BAD: no CLI flag
+    gamma: int = 3  # BAD: flagged but not in README
+    flip: bool = True  # fine: reached via --no-flip

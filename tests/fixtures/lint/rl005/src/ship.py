@@ -1,0 +1,13 @@
+"""RL005 fixture: class defined pool-free but shipped via initargs."""
+
+import threading
+
+
+class Shipped:  # BAD: dispatched from work-like modules by name
+    def __init__(self):
+        self._guard = threading.RLock()
+
+
+class Bystander:  # fine: holds a lock but is never dispatched
+    def __init__(self):
+        self._guard = threading.RLock()

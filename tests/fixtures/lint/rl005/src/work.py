@@ -1,0 +1,46 @@
+"""RL005 fixture: unpicklable state meeting a process pool."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+from ship import Shipped
+
+
+class Holder:  # BAD: lock attribute, no pickle hook, pool module
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+
+
+class Safe:  # fine: declares its pickle contract
+    def __init__(self, path):
+        self._lock = threading.Lock()
+        self.path = path
+
+    def __getstate__(self):
+        return {"path": self.path}
+
+    def __setstate__(self, state):
+        self.path = state["path"]
+        self._lock = threading.Lock()
+
+
+class Stateless:  # fine: nothing unpicklable held
+    def __init__(self):
+        self.value = 0
+
+
+def run(fn, batches):
+    holder = Holder()
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(fn, batches, [holder] * len(batches)))
+
+
+def run_with_init(fn, batches):
+    pool = ProcessPoolExecutor(
+        max_workers=2, initializer=fn, initargs=(Shipped(),)
+    )
+    try:
+        return list(pool.map(fn, batches))
+    finally:
+        pool.shutdown()

@@ -433,6 +433,40 @@ class TestBatchRouteFaults:
             server.close()
 
 
+class TestChannelTeardown:
+    """The channel's close path swallows exactly socket-layer errors."""
+
+    class _Conn:
+        def __init__(self, exc=None):
+            self.exc = exc
+            self.closed = False
+
+        def close(self):
+            self.closed = True
+            if self.exc is not None:
+                raise self.exc
+
+    def _channel(self, conn):
+        store = RemoteCacheStore("http://127.0.0.1:1")
+        channel = store._channel
+        channel._conn = conn
+        return channel
+
+    def test_oserror_on_close_is_swallowed_and_conn_cleared(self):
+        conn = self._Conn(ConnectionResetError("peer gone"))
+        channel = self._channel(conn)
+        channel.close()  # must not raise
+        assert conn.closed
+        assert channel._conn is None
+
+    def test_non_oserror_on_close_propagates(self):
+        # The handler is deliberately narrow: a non-socket failure in
+        # close() is a programming error and must surface.
+        channel = self._channel(self._Conn(RuntimeError("bug")))
+        with pytest.raises(RuntimeError):
+            channel.close()
+
+
 class TestRecovery:
     def test_errors_do_not_poison_later_requests(self, tmp_path):
         """A store that failed against a dead port works once pointed at

@@ -26,9 +26,13 @@ from repro.service.jobs import JobManager
 from repro.service.server import CacheServiceServer
 from repro.service.wire import (
     decode_key,
+    decode_key_batch,
     decode_vector,
+    decode_vector_batch,
     encode_key,
+    encode_key_batch,
     encode_vector,
+    encode_vector_batch,
 )
 from repro.workflow.config import EnrichmentConfig
 from repro.workflow.pipeline import OntologyEnricher
@@ -92,6 +96,40 @@ class TestWireFormat:
     def test_incomplete_key_is_none(self):
         assert decode_key("corpus=a&term=b") is None
         assert decode_key("") is None
+
+    def test_key_batch_roundtrip(self):
+        keys = [key(term=f"term {i}") for i in range(5)] + [
+            ("fp/with?odd&chars", "cœur", "w=10;&x")
+        ]
+        assert decode_key_batch(encode_key_batch(keys)) == keys
+        assert decode_key_batch(encode_key_batch([])) == []
+
+    def test_key_batch_rejects_corruption(self):
+        frame = encode_key_batch([key()])
+        assert decode_key_batch(frame[:-1]) is None  # torn
+        assert decode_key_batch(b"XXXX" + frame[4:]) is None  # magic
+        assert decode_key_batch(frame + b"junk") is None  # trailing
+
+    def test_vector_batch_roundtrip_with_in_band_misses(self):
+        entries = [
+            (key(term="a"), np.arange(5.0)),
+            (key(term="miss"), None),
+            (key(term="b"), np.zeros((2, 3), dtype=np.float32)),
+        ]
+        decoded = decode_vector_batch(encode_vector_batch(entries))
+        assert decoded is not None
+        assert [k for k, _ in decoded] == [k for k, _ in entries]
+        np.testing.assert_array_equal(decoded[0][1], entries[0][1])
+        assert decoded[1][1] is None
+        np.testing.assert_array_equal(decoded[2][1], entries[2][1])
+        assert decoded[2][1].dtype == np.float32
+
+    def test_vector_batch_rejects_corruption(self):
+        frame = encode_vector_batch([(key(), np.arange(4.0))])
+        assert decode_vector_batch(frame[:-2]) is None  # torn body
+        corrupt = frame[:-1] + bytes([frame[-1] ^ 0xFF])  # bad crc
+        assert decode_vector_batch(corrupt) is None
+        assert decode_vector_batch(b"XXXX" + frame[4:]) is None
 
 
 class TestServerRoutes:
@@ -488,6 +526,49 @@ class TestEnrichmentJobs:
             document = manager.job(job_id)
             assert document["status"] == "failed"
             assert "error" in document
+        finally:
+            manager.shutdown()
+
+    def test_job_boundary_survives_exotic_exceptions(self, tmp_path):
+        """The broad except in JobManager._run is the isolation
+        boundary: any Exception subclass out of workflow code becomes a
+        pollable failure, and the worker keeps serving later jobs."""
+
+        class ExoticError(Exception):
+            pass
+
+        manager = JobManager(
+            {"demo": (tmp_path / "o.json", tmp_path / "c.jsonl")}
+        )
+        original_load = manager._load
+        calls = {"n": 0}
+
+        def flaky_load(name):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ExoticError("surprise from deep inside a stage")
+            return original_load(name)
+
+        manager._load = flaky_load
+        try:
+            job_id = manager.submit("demo")
+            deadline = 100
+            while manager.job(job_id)["status"] in ("queued", "running"):
+                deadline -= 1
+                assert deadline > 0, "job never finished"
+                time.sleep(0.05)
+            document = manager.job(job_id)
+            assert document["status"] == "failed"
+            assert "ExoticError" in document["error"]
+            # The worker thread survived: a second submission runs (it
+            # fails on the missing files, but it *runs*).
+            second = manager.submit("demo", {"seed": 1})
+            deadline = 100
+            while manager.job(second)["status"] in ("queued", "running"):
+                deadline -= 1
+                assert deadline > 0, "second job never finished"
+                time.sleep(0.05)
+            assert calls["n"] == 2
         finally:
             manager.shutdown()
 
