@@ -261,6 +261,19 @@ def _parse_scenario_specs(specs: list[str]) -> dict[str, tuple[Path, Path]]:
     return corpora
 
 
+def _parse_watch_specs(specs: list[str]) -> dict[str, Path]:
+    """``NAME=DIR`` specs → watched drop directories per scenario."""
+    watch: dict[str, Path] = {}
+    for spec in specs:
+        name, sep, directory = spec.partition("=")
+        if not sep or not name or not directory:
+            raise SystemExit(
+                f"--watch must look like NAME=DIR, got {spec!r}"
+            )
+        watch[name] = Path(directory)
+    return watch
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import serve
 
@@ -273,7 +286,56 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         job_workers=args.job_workers,
         index_dir=args.index_dir,
         access_log=args.access_log,
+        watch=_parse_watch_specs(args.watch),
+        watch_poll_seconds=args.watch_poll,
     )
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """Follow a scenario's delta stream: one summary line per diff."""
+    import time as _time
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    since = args.since
+    try:
+        while True:
+            try:
+                deltas = client.deltas(args.name, since=since)
+            except ServiceError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            for delta in deltas:
+                since = max(since, int(delta["seq"]))
+                cache = delta.get("cache", {})
+                print(
+                    "delta #{seq} fp={fp} docs={docs} recomputed={rec} "
+                    "added={added} rescored={rescored} dropped={dropped} "
+                    "cache_hits={hits} cache_misses={misses} "
+                    "({secs:.2f}s)".format(
+                        seq=delta["seq"],
+                        fp=str(delta.get("fingerprint", ""))[:12],
+                        docs=len(delta.get("documents", [])),
+                        rec=delta.get("n_recomputed", 0),
+                        added=len(delta.get("added", [])),
+                        rescored=len(delta.get("rescored", [])),
+                        dropped=len(delta.get("dropped", [])),
+                        hits=cache.get("hits", 0),
+                        misses=cache.get("misses", 0),
+                        secs=delta.get("timings", {}).get(
+                            "delta_total", 0.0
+                        ),
+                    ),
+                    flush=True,
+                )
+            if args.once:
+                return 0
+            _time.sleep(args.poll)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        client.close()
 
 
 def _cmd_loadbench(args: argparse.Namespace) -> int:
@@ -665,7 +727,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--access-log", default=None, metavar="PATH",
         help="write one JSON line per request to PATH ('-' = stderr)",
     )
+    serve.add_argument(
+        "--watch", action="append", default=[], metavar="NAME=DIR",
+        help="poll DIR for dropped *.jsonl document files and stream "
+        "them into registered scenario NAME as delta re-enrichments; "
+        "repeatable",
+    )
+    serve.add_argument(
+        "--watch-poll", type=float, default=1.0,
+        help="seconds between scans of watched directories",
+    )
     serve.set_defaults(fn=_cmd_serve)
+
+    watch = sub.add_parser(
+        "watch",
+        help="follow a served scenario's streaming delta reports",
+    )
+    watch.add_argument(
+        "--url", required=True,
+        help="base URL of the `repro serve` service",
+    )
+    watch.add_argument(
+        "name", help="registered scenario name to follow",
+    )
+    watch.add_argument(
+        "--since", type=int, default=0,
+        help="only show deltas with seq greater than this",
+    )
+    watch.add_argument(
+        "--poll", type=float, default=2.0,
+        help="seconds between polls",
+    )
+    watch.add_argument(
+        "--once", action="store_true",
+        help="print the current history once and exit (no follow loop)",
+    )
+    watch.set_defaults(fn=_cmd_watch)
 
     loadbench = sub.add_parser(
         "loadbench",

@@ -26,6 +26,7 @@ from repro.errors import CorpusError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.corpus.index import CorpusIndex, ShardedCorpusIndex
+    from repro.corpus.index_store import IndexStore
 
 
 @dataclass(frozen=True)
@@ -64,6 +65,8 @@ class Corpus:
         if len(self._by_id) != len(self._documents):
             raise CorpusError("duplicate document ids in corpus")
         self._index: "CorpusIndex | ShardedCorpusIndex | None" = None
+        self._index_store: "IndexStore | None" = None
+        self._index_shards = 1
 
     # -- container basics ----------------------------------------------------
 
@@ -75,7 +78,11 @@ class Corpus:
         than discarded, so adding a document costs O(its tokens), not a
         full index rebuild.  A read-only cached index (an adopted
         mmap-backed one — see :meth:`adopt_index`) is dropped instead,
-        to be rebuilt lazily on the next :meth:`index` call.
+        to be rebuilt lazily on the next :meth:`index` call — and when
+        the dropped index came out of an
+        :class:`~repro.corpus.index_store.IndexStore`, that rebuild is
+        routed back through the store so the grown corpus's generation
+        is persisted, not rebuilt in RAM on every restart.
         """
         if document.doc_id in self._by_id:
             raise CorpusError(f"duplicate document id {document.doc_id!r}")
@@ -86,11 +93,15 @@ class Corpus:
                 self._index.add_documents([document])
             except CorpusError:
                 # Read-only (mmap-backed) indexes cannot be patched;
-                # correctness over reuse: forget it and rebuild lazily.
+                # correctness over reuse: forget it and rebuild lazily
+                # (through the remembered store when there is one).
                 self._index = None
 
     def adopt_index(
-        self, index: "CorpusIndex | ShardedCorpusIndex"
+        self,
+        index: "CorpusIndex | ShardedCorpusIndex",
+        *,
+        store: "IndexStore | None" = None,
     ) -> None:
         """Cache a pre-built ``index`` (e.g. an
         :class:`~repro.corpus.index_store.MmapCorpusIndex` reopened
@@ -100,6 +111,14 @@ class Corpus:
         The index must describe exactly these documents: the document
         count and ids are checked (cheap), mismatches raise
         :class:`~repro.errors.CorpusError`.
+
+        ``store`` names the :class:`IndexStore` the index came from;
+        when omitted it is recovered from a mmap-backed index's own
+        directory.  A remembered store routes the rebuild after a
+        post-adoption :meth:`add` back through
+        :meth:`~repro.corpus.index_store.IndexStore.load_or_build`, so
+        the grown corpus's index generation is persisted instead of
+        being rebuilt in RAM on every process start.
         """
         if index.n_documents() != len(self._documents):
             raise CorpusError(
@@ -112,7 +131,13 @@ class Corpus:
                 raise CorpusError(
                     f"adopted index is missing document {doc.doc_id!r}"
                 )
+        if store is None:
+            from repro.corpus.index_store import store_for_index
+
+            store = store_for_index(index)
         self._index = index
+        self._index_store = store
+        self._index_shards = index.n_shards
 
     def __len__(self) -> int:
         return len(self._documents)
@@ -174,6 +199,18 @@ class Corpus:
         if self._index is not None and (
             n_shards is None or self._index.n_shards == n_shards
         ):
+            return self._index
+        if self._index_store is not None and (
+            n_shards is None or n_shards == self._index_shards
+        ):
+            # The previous index was adopted from an IndexStore: rebuild
+            # through it so the grown corpus's generation is persisted
+            # (and this process gets the mmap handle back).
+            self._index = self._index_store.load_or_build(
+                self._documents,
+                n_shards=self._index_shards,
+                n_workers=n_workers,
+            )
             return self._index
         if n_shards is None:
             n_shards = 1

@@ -159,26 +159,33 @@ class CorpusIndex:
         patched in place — no rebuild — and the result is
         indistinguishable from a fresh build over the full document
         sequence (identical query answers and :meth:`fingerprint`).
-        Document ids must stay unique; a duplicate raises
-        :class:`~repro.errors.CorpusError` before any document of the
-        batch is applied.
+        The batch is all-or-nothing: document ids must stay unique, and
+        a duplicate — or a document whose tokenisation fails — raises
+        :class:`~repro.errors.CorpusError` (or the tokeniser's error)
+        before any document of the batch is applied, leaving postings
+        and fingerprint untouched.
         """
-        documents = list(documents)
         batch_ids = set()
+        prepared: list[tuple[str, list[str]]] = []
         for doc in documents:
             if doc.doc_id in self._ordinals or doc.doc_id in batch_ids:
                 raise CorpusError(
                     f"duplicate document id {doc.doc_id!r}"
                 )
             batch_ids.add(doc.doc_id)
-        for doc in documents:
-            ordinal = len(self._doc_ids)
             # Normalise at build time: every lookup lower-cases its
             # needle, so postings must be lower-cased too or mixed-case
-            # documents silently return zero occurrences.
-            tokens = [token.lower() for token in doc.tokens()]
-            self._ordinals[doc.doc_id] = ordinal
-            self._doc_ids.append(doc.doc_id)
+            # documents silently return zero occurrences.  Tokenise
+            # here, before any mutation: ``doc.tokens()`` runs caller
+            # code, and an exception from it mid-batch must not leave
+            # the index half-extended with its fingerprint advanced.
+            prepared.append(
+                (doc.doc_id, [token.lower() for token in doc.tokens()])
+            )
+        for doc_id, tokens in prepared:
+            ordinal = len(self._doc_ids)
+            self._ordinals[doc_id] = ordinal
+            self._doc_ids.append(doc_id)
             self._doc_tokens.append(tokens)
             for position, token in enumerate(tokens):
                 self._postings.setdefault(token, []).append(
@@ -186,9 +193,9 @@ class CorpusIndex:
                 )
             self._n_tokens += len(tokens)
             self._fingerprint = _extend_fingerprint(
-                self._fingerprint, doc.doc_id, tokens
+                self._fingerprint, doc_id, tokens
             )
-        if documents:
+        if prepared:
             # Lazily rebuilt on the next doc_lengths() call.
             self._doc_lengths = None
 
@@ -620,10 +627,22 @@ class ShardedCorpusIndex:
         index over the same sequence is maintained, and the global
         fingerprint chain is extended exactly as a fresh build would
         compute it.
+
+        Like :meth:`CorpusIndex.add_documents`, the batch is
+        all-or-nothing: every document id is validated against *every*
+        shard (and within the batch) before any shard is touched, so a
+        rejected add leaves no shard partially extended and the global
+        fingerprint chain unmoved.
         """
         documents = list(documents)
+        batch_ids: set[str] = set()
         for doc in documents:
-            for shard in self._shards[:-1]:
+            if doc.doc_id in batch_ids:
+                raise CorpusError(
+                    f"duplicate document id {doc.doc_id!r}"
+                )
+            batch_ids.add(doc.doc_id)
+            for shard in self._shards:
                 if doc.doc_id in shard._ordinals:
                     raise CorpusError(
                         f"duplicate document id {doc.doc_id!r}"

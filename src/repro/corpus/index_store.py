@@ -857,3 +857,26 @@ class IndexStore:
             # A store that cannot be written or immediately re-read
             # must not cost the run; serve the in-memory build.
             return index
+
+
+def store_for_index(
+    index: "CorpusIndex | ShardedCorpusIndex",
+) -> IndexStore | None:
+    """The :class:`IndexStore` a mmap-backed index was opened from.
+
+    Returns ``None`` for in-memory indexes (there is no store to route
+    rebuilds through).  :meth:`repro.corpus.corpus.Corpus.adopt_index`
+    uses this so that growing a corpus past its read-only mmap index
+    rebuilds *through the store* — persisting the new generation — rather
+    than silently degrading to an unpersisted in-RAM rebuild.
+    """
+    if isinstance(index, MmapCorpusIndex):
+        return IndexStore(index.directory.parent)
+    if isinstance(index, ShardedCorpusIndex):
+        shards = index.shards()
+        if shards and all(
+            isinstance(shard, MmapCorpusIndex) for shard in shards
+        ):
+            # Shards live at <store>/<fingerprint>/shard-NNNN.
+            return IndexStore(shards[0].directory.parent.parent)
+    return None

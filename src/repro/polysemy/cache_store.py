@@ -22,6 +22,7 @@ fingerprint)`` pair, named by a hash of the two fingerprints::
       <generation>/          # sha256(corpus_fp + config_fp)[:20]
         .lock                # flock target serialising writers
         .last_used           # mtime stamp for LRU generation eviction
+        .pin-<pid>-<n>       # transient eviction shield (pin_generation)
         index.jsonl          # one JSON line per entry (last write wins)
         shard-000000.bin     # packed vector bytes, appended in order
         shard-000001.bin     # rotated once a shard passes shard_max_bytes
@@ -41,11 +42,18 @@ validated by length and CRC-32 before it is returned — a truncated or
 corrupted entry is a *miss*, never a crash or a wrong vector.
 
 ``max_bytes`` caps the whole store, evicted in LRU order: least
-recently *used* generations go first (whole directories; every write
-and the first read per handle refresh a generation's recency stamp),
-then the oldest shard files of the surviving generation (their index
-entries are dropped atomically via rewrite-and-rename); the newest
-shard is never evicted.  Writers are resilient to the cross-process
+recently *used* generations go first (whole directories; reads and
+writes refresh a generation's recency stamp, re-stamped at most every
+:data:`TOUCH_INTERVAL_SECONDS` so a long-lived daemon's hot generation
+never ages into a victim), then the oldest shard files of the surviving
+generation (their index entries are dropped atomically via
+rewrite-and-rename); the newest shard is never evicted.  The generation
+being written is never an eviction victim, and
+:meth:`DiskCacheStore.pin_generation` extends the same immunity to a
+generation that is only being *read* — e.g. the previous corpus
+generation a streaming delta is migrating warm vectors out of — across
+threads and processes via on-disk pin markers.  Writers are resilient
+to the cross-process
 eviction race — a generation directory another store dropped mid-write
 is recreated and the write retried.  Counters (``disk_hits``,
 ``evictions``, ``store_bytes``) surface through
@@ -56,10 +64,12 @@ is recreated and the write retried.  Counters (``disk_hits``,
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 import shutil
 import threading
+import time
 import zlib
 from contextlib import contextmanager, suppress
 from dataclasses import dataclass, field
@@ -84,6 +94,22 @@ DEFAULT_SHARD_MAX_BYTES = 4 << 20
 _INDEX_NAME = "index.jsonl"
 _LOCK_NAME = ".lock"
 _STAMP_NAME = ".last_used"
+_PIN_PREFIX = ".pin-"
+
+#: Seconds between LRU re-stamps of a generation a handle keeps using.
+#: A long-lived process (the streaming daemon) reads its hot generation
+#: for hours; stamping once per handle would let that generation age
+#: into the first eviction victim, while stamping every read would cost
+#: one write per lookup.  An interval keeps the stamp at most this
+#: stale — far fresher than any generation worth evicting.
+TOUCH_INTERVAL_SECONDS = 60.0
+
+#: Age beyond which an on-disk pin marker is treated as leaked by a
+#: crashed process and ignored (then removed).  Pins are short-lived —
+#: held across one delta migration — so a marker this old is garbage.
+PIN_TTL_SECONDS = 900.0
+
+_pin_sequence = itertools.count()
 
 
 @runtime_checkable
@@ -159,8 +185,9 @@ class _Generation:
     memo: dict[str, np.ndarray] = field(default_factory=dict)
     #: How many bytes of index.jsonl have been parsed so far.
     index_offset: int = 0
-    #: Whether this handle already refreshed the LRU recency stamp.
-    touched: bool = False
+    #: Monotonic time of this handle's last LRU recency re-stamp
+    #: (0.0 = never; see :data:`TOUCH_INTERVAL_SECONDS`).
+    last_touch: float = 0.0
 
     @property
     def index_path(self) -> Path:
@@ -257,6 +284,8 @@ class DiskCacheStore:
         self._shard_max_bytes = shard_max_bytes
         self._lock = threading.RLock()
         self._generations: dict[str, _Generation] = {}
+        #: generation name -> live pin count held through this handle.
+        self._pin_counts: dict[str, int] = {}
         self._disk_hits = 0
         self._evictions = 0
         # Running size estimate so the eviction check is O(1) per put;
@@ -301,6 +330,11 @@ class DiskCacheStore:
                 return None
             vector = generation.memo.get(term)
             if vector is not None:
+                # Memo hits keep the generation alive too: a long-lived
+                # daemon serves almost everything from the memo, and
+                # skipping the (interval-gated) stamp here would age its
+                # hot generation into the first LRU eviction victim.
+                self._touch(generation)
                 return vector
             self._refresh_index(generation)
             entry = generation.entries.get(term)
@@ -315,8 +349,7 @@ class DiskCacheStore:
             self._disk_hits += 1
             generation.memo[term] = vector
             # Reads keep a generation alive too: refresh the LRU stamp
-            # once per handle so warm read-only runs are not the first
-            # eviction victims.
+            # so warm read-only runs are not the first eviction victims.
             self._touch(generation)
             return vector
 
@@ -397,7 +430,6 @@ class DiskCacheStore:
                 record["crc"],
             )
             generation.memo[term] = vector
-            generation.touched = False  # force a fresh stamp
             self._touch(generation)
             return len(blob) + len(payload)
 
@@ -455,6 +487,7 @@ class DiskCacheStore:
                         "shards": len(shard_files),
                         "bytes": self._dir_bytes(child),
                         "last_used": self._last_used(child),
+                        "pinned": self._is_pinned(child),
                     }
                 )
             return {
@@ -470,6 +503,7 @@ class DiskCacheStore:
                     for g in sorted(
                         generations, key=lambda g: g["last_used"]
                     )
+                    if not g["pinned"]
                 ],
                 "disk_hits": self._disk_hits,
                 "evictions": self._evictions,
@@ -497,16 +531,90 @@ class DiskCacheStore:
             return []
         return sorted(child for child in self._dir.iterdir() if child.is_dir())
 
+    # -- pinning ------------------------------------------------------------
+
+    @contextmanager
+    def pin_generation(self, corpus_fingerprint: str, config_fingerprint: str):
+        """Context manager: shield one generation from LRU eviction.
+
+        While held, the pinned generation is never chosen as a
+        whole-generation eviction victim — by this handle *or* by any
+        other process sharing the directory (the pin leaves an on-disk
+        ``.pin-*`` marker other stores honour).  Streaming deltas use
+        this to keep the *previous* corpus generation alive while warm
+        vectors are migrated out of it, even though every write during
+        the migration lands in (and stamps) the new generation.
+
+        Pins nest and are reference-counted per generation.  A marker
+        left behind by a crashed process expires after
+        :data:`PIN_TTL_SECONDS` and is swept on the next eviction scan.
+        """
+        name = _generation_name(corpus_fingerprint, config_fingerprint)
+        with self._lock:
+            generation = self._generation(
+                corpus_fingerprint, config_fingerprint, create=True
+            )
+            self._pin_counts[name] = self._pin_counts.get(name, 0) + 1
+            marker = generation.path / (
+                f"{_PIN_PREFIX}{os.getpid()}-{next(_pin_sequence)}"
+            )
+            try:
+                marker.write_bytes(b"")
+            except OSError:
+                marker = None  # unwritable store: in-process pin only
+        try:
+            yield
+        finally:
+            with self._lock:
+                remaining = self._pin_counts.get(name, 0) - 1
+                if remaining > 0:
+                    self._pin_counts[name] = remaining
+                else:
+                    self._pin_counts.pop(name, None)
+                if marker is not None:
+                    with suppress(OSError):
+                        marker.unlink(missing_ok=True)
+
+    def _is_pinned(self, path: Path) -> bool:
+        """Whether a generation directory is pin-protected right now."""
+        if self._pin_counts.get(path.name):
+            return True
+        now = time.time()
+        pinned = False
+        for marker in path.glob(f"{_PIN_PREFIX}*"):
+            try:
+                age = now - marker.stat().st_mtime
+            except OSError:
+                continue  # racing unpin: marker already gone
+            if age < PIN_TTL_SECONDS:
+                pinned = True
+            else:
+                # Leaked by a crashed pinner; sweep it so the
+                # generation rejoins the eviction pool.
+                with suppress(OSError):
+                    marker.unlink(missing_ok=True)
+        return pinned
+
     def _touch(self, generation: _Generation) -> None:
-        """Refresh the LRU recency stamp (once per handle for reads;
-        writers reset ``touched`` so every write restamps)."""
-        if generation.touched:
+        """Refresh the LRU recency stamp.
+
+        Re-stamped at most once per :data:`TOUCH_INTERVAL_SECONDS` per
+        handle: often enough that a generation a long-running process
+        keeps reading or writing (the daemon's *current* one) can never
+        age into an LRU eviction victim, rare enough that warm lookups
+        stay write-free.
+        """
+        now = time.monotonic()
+        if (
+            generation.last_touch
+            and now - generation.last_touch < TOUCH_INTERVAL_SECONDS
+        ):
             return
         try:
             (generation.path / _STAMP_NAME).write_bytes(b"")
         except OSError:
             return  # generation evicted under us: stays unstamped
-        generation.touched = True
+        generation.last_touch = now
 
     # -- index parsing ------------------------------------------------------
 
@@ -567,6 +675,9 @@ class DiskCacheStore:
                 generation.entries.clear()
                 generation.memo.clear()
                 generation.index_offset = 0
+                # The directory was evicted under us: the recency stamp
+                # went with it, so the next use must re-stamp.
+                generation.last_touch = 0.0
             return
         if size == generation.index_offset:
             return
@@ -574,6 +685,7 @@ class DiskCacheStore:
             generation.entries.clear()
             generation.memo.clear()
             generation.index_offset = 0
+            generation.last_touch = 0.0
         try:
             with open(generation.index_path, "rb") as fh:
                 fh.seek(generation.index_offset)
@@ -694,9 +806,15 @@ class DiskCacheStore:
             return
         # 1. Whole stale generations, least recently used first (reads
         #    and writes both refresh the stamp).  The active generation
-        #    (the one just written) is never a victim.
+        #    (the one just written) is never a victim, and neither is a
+        #    pinned one (a migration source another handle or process
+        #    is still draining — see :meth:`pin_generation`).
         victims = sorted(
-            (d for d in self._generation_dirs() if d != active.path),
+            (
+                d
+                for d in self._generation_dirs()
+                if d != active.path and not self._is_pinned(d)
+            ),
             key=self._last_used,
         )
         for victim in victims:

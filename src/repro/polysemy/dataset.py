@@ -84,6 +84,21 @@ def build_entity_polysemy_dataset(
     )
 
 
+def dataset_config_fingerprint(
+    extractor: PolysemyFeatureExtractor, *, max_contexts: int = 60
+) -> str:
+    """The cache-key config fingerprint of :func:`build_polysemy_dataset`.
+
+    One definition for the training-time key format, shared with the
+    streaming delta path (:mod:`repro.workflow.streaming`) that migrates
+    warm training vectors across corpus fingerprints — the two must
+    never drift apart or deltas silently re-featurise every training
+    term.  Pins everything that shapes a vector: the extractor settings
+    plus the builder's own retrieval cap.
+    """
+    return f"{extractor.fingerprint()};dataset_max_contexts={max_contexts}"
+
+
 def build_polysemy_dataset(
     ontology: Ontology,
     corpus: Corpus,
@@ -143,10 +158,8 @@ def build_polysemy_dataset(
             f"max_contexts ({max_contexts}) must be >= min_contexts "
             f"({min_contexts})"
         )
-    # The cache key must pin everything that shapes a vector: extractor
-    # settings plus this builder's own retrieval cap.
     config_fp = (
-        f"{extractor.fingerprint()};dataset_max_contexts={max_contexts}"
+        dataset_config_fingerprint(extractor, max_contexts=max_contexts)
         if cache is not None
         else ""
     )

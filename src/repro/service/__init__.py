@@ -43,6 +43,7 @@ _EXPORTS = {
     "Job": "repro.service.jobs",
     "JobManager": "repro.service.jobs",
     "IdempotencyConflictError": "repro.service.jobs",
+    "DirectoryWatcher": "repro.service.watcher",
     "Counter": "repro.service.metrics",
     "Gauge": "repro.service.metrics",
     "Histogram": "repro.service.metrics",

@@ -679,3 +679,41 @@ class ServiceClient:
                     f"job {job_id} still {status!r} after {timeout}s"
                 )
             time.sleep(poll)
+
+    # -- streaming deltas ---------------------------------------------------
+
+    def post_documents(
+        self,
+        scenario: str,
+        documents: list[dict],
+        *,
+        idempotency_key: str | None = None,
+    ) -> tuple[str, bool]:
+        """Stream ``documents`` into ``scenario``: ``(job_id, replayed)``.
+
+        ``documents`` use the corpus JSONL wire shape — dicts with a
+        ``doc_id`` plus ``sentences`` (token lists) or ``text`` (raw,
+        tokenised server-side).  The server queues a delta
+        re-enrichment job; poll it with :meth:`wait_for_job` (its
+        report is the :class:`~repro.workflow.streaming.ReportDiff`
+        document) or read the scenario's history via :meth:`deltas`.
+        """
+        headers = {}
+        if idempotency_key is not None:
+            headers["Idempotency-Key"] = idempotency_key
+        response = self._json(
+            "POST",
+            f"/scenarios/{scenario}/documents",
+            payload={"documents": documents},
+            expect=(200, 202),  # 202 = accepted, 200 = idempotent replay
+            headers=headers,
+        )
+        return str(response["job"]), bool(response.get("replayed"))
+
+    def deltas(self, scenario: str, *, since: int = 0) -> list[dict]:
+        """The scenario's delta diff documents with ``seq > since``."""
+        path = f"/scenarios/{scenario}/deltas"
+        if since:
+            path += f"?since={since}"
+        response = self._json("GET", path)
+        return list(response.get("deltas", []))

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field, fields
 from pathlib import Path
 
 from repro.corpus.corpus import Corpus
+from repro.corpus.document import Document
 from repro.corpus.io import read_corpus_jsonl
 from repro.errors import ValidationError
 from repro.ontology.io import read_ontology_json
@@ -35,6 +36,7 @@ from repro.polysemy.cache_store import DiskCacheStore
 from repro.service.metrics import ServiceMetrics
 from repro.workflow.config import EnrichmentConfig
 from repro.workflow.pipeline import OntologyEnricher
+from repro.workflow.streaming import StreamingEnricher
 
 #: Config fields a job may NOT override: the service owns cache wiring
 #: (every job must share the server's store) and worker plumbing (a
@@ -56,6 +58,11 @@ _LOCKED_CONFIG_FIELDS = frozenset(
 #: (the server is long-lived; unbounded retention would leak reports).
 DEFAULT_MAX_FINISHED_JOBS = 256
 
+#: Delta diff documents retained per scenario for ``GET .../deltas``
+#: (sequence numbers stay monotonic across the drop, so a poller that
+#: fell behind sees the gap instead of silently missing diffs).
+DEFAULT_MAX_DELTAS = 256
+
 #: Longest accepted ``Idempotency-Key`` (these are client-chosen opaque
 #: tokens, typically UUIDs; anything longer is a confused client).
 MAX_IDEMPOTENCY_KEY_LENGTH = 200
@@ -72,11 +79,17 @@ class IdempotencyConflictError(ValidationError):
 
 @dataclass
 class Job:
-    """One enrichment job's lifecycle record."""
+    """One enrichment job's lifecycle record.
+
+    ``kind`` distinguishes full enrichment runs (``"enrich"``) from
+    streaming delta re-enrichments (``"delta"``, whose ``report`` is a
+    :meth:`~repro.workflow.streaming.ReportDiff.to_dict` document).
+    """
 
     job_id: str
     corpus: str
     overrides: dict
+    kind: str = "enrich"
     status: str = "queued"  # queued | running | done | failed
     error: str | None = None
     report: dict | None = None
@@ -91,6 +104,7 @@ class Job:
             "job": self.job_id,
             "corpus": self.corpus,
             "overrides": self.overrides,
+            "kind": self.kind,
             "status": self.status,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
@@ -170,6 +184,14 @@ class JobManager:
         self._idempotency: dict[str, tuple[str, str]] = {}
         self._loaded: dict[str, tuple[Ontology, Corpus]] = {}
         self._ids = itertools.count(1)
+        #: Streaming state per scenario: the enricher that owns the
+        #: growing corpus, a lock serialising its deltas (the pool may
+        #: run several workers, but one scenario's corpus must grow one
+        #: batch at a time), and the bounded diff history.
+        self._streamers: dict[str, StreamingEnricher] = {}
+        self._scenario_locks: dict[str, threading.Lock] = {}
+        self._delta_history: dict[str, list[dict]] = {}
+        self._delta_seq: dict[str, int] = {}
         self._pool = ThreadPoolExecutor(
             max_workers=job_workers, thread_name_prefix="repro-job"
         )
@@ -283,6 +305,199 @@ class JobManager:
             self._metrics.job_submitted(corpus, replayed=False)
         self._pool.submit(self._run, job)
         return job.job_id, False
+
+    # -- streaming deltas --------------------------------------------------
+
+    def submit_documents(
+        self,
+        corpus: str,
+        documents: list[dict],
+        *,
+        idempotency_key: str | None = None,
+    ) -> tuple[str, bool]:
+        """Queue a streaming delta: add ``documents``, re-enrich, diff.
+
+        ``documents`` is the corpus JSONL wire shape — dicts with a
+        ``doc_id`` plus either ``sentences`` (token lists) or ``text``
+        (raw, tokenised server-side).  The delta runs as an ordinary
+        job (``kind="delta"``): poll ``GET /jobs/<id>`` for the
+        :class:`~repro.workflow.streaming.ReportDiff` document, which
+        also lands in the scenario's :meth:`deltas` history.  Returns
+        ``(job_id, replayed)`` with the same ``Idempotency-Key``
+        semantics as :meth:`submit_detailed` — replaying a document
+        batch must not grow the corpus twice.
+        """
+        if corpus not in self._corpora:
+            raise ValidationError(
+                f"unknown corpus {corpus!r}; registered: {self.corpora()}"
+            )
+        parsed = self._parse_documents(documents)
+        if idempotency_key is not None:
+            if not idempotency_key:
+                raise ValidationError("Idempotency-Key must be non-empty")
+            if len(idempotency_key) > MAX_IDEMPOTENCY_KEY_LENGTH:
+                raise ValidationError(
+                    "Idempotency-Key exceeds "
+                    f"{MAX_IDEMPOTENCY_KEY_LENGTH} characters"
+                )
+        fingerprint = json.dumps(
+            {"corpus": corpus, "documents": documents}, sort_keys=True
+        )
+        with self._lock:
+            if idempotency_key is not None:
+                known = self._idempotency.get(idempotency_key)
+                if known is not None:
+                    known_id, known_fingerprint = known
+                    if known_fingerprint != fingerprint:
+                        raise IdempotencyConflictError(
+                            f"Idempotency-Key {idempotency_key!r} was "
+                            "already used for a different submission"
+                        )
+                    if self._metrics is not None:
+                        self._metrics.job_submitted(corpus, replayed=True)
+                    return known_id, True
+            job = Job(
+                job_id=f"job-{next(self._ids):06d}",
+                corpus=corpus,
+                overrides={"documents": [doc.doc_id for doc in parsed]},
+                kind="delta",
+                idempotency_key=idempotency_key,
+            )
+            self._jobs[job.job_id] = job
+            if idempotency_key is not None:
+                self._idempotency[idempotency_key] = (
+                    job.job_id,
+                    fingerprint,
+                )
+            self._prune_finished_locked()
+        if self._metrics is not None:
+            self._metrics.job_submitted(corpus, replayed=False)
+        self._pool.submit(self._run_delta, job, parsed)
+        return job.job_id, False
+
+    def deltas(
+        self, corpus: str, *, since: int = 0
+    ) -> list[dict] | None:
+        """The scenario's diff history (``seq > since``), oldest first.
+
+        ``None`` for an unregistered corpus (the route's 404); an empty
+        list for a registered scenario with no deltas yet.
+        """
+        if corpus not in self._corpora:
+            return None
+        with self._lock:
+            history = self._delta_history.get(corpus, [])
+            return [delta for delta in history if delta["seq"] > since]
+
+    @staticmethod
+    def _parse_documents(documents) -> list[Document]:
+        """Validate the POSTed batch and build :class:`Document` rows."""
+        if not isinstance(documents, list) or not documents:
+            raise ValidationError(
+                '"documents" must be a non-empty list of objects'
+            )
+        parsed: list[Document] = []
+        for position, payload in enumerate(documents):
+            if not isinstance(payload, dict) or "doc_id" not in payload:
+                raise ValidationError(
+                    f'document #{position} must be an object with a "doc_id"'
+                )
+            doc_id = str(payload["doc_id"])
+            if "sentences" in payload:
+                sentences = payload["sentences"]
+                if not isinstance(sentences, list) or not all(
+                    isinstance(sentence, list)
+                    and all(isinstance(token, str) for token in sentence)
+                    for sentence in sentences
+                ):
+                    raise ValidationError(
+                        f'document {doc_id!r}: "sentences" must be a list '
+                        "of token lists"
+                    )
+                parsed.append(
+                    Document(
+                        doc_id=doc_id,
+                        sentences=[
+                            [token.lower() for token in sentence]
+                            for sentence in sentences
+                        ],
+                    )
+                )
+            elif "text" in payload:
+                parsed.append(
+                    Document.from_text(doc_id, str(payload["text"]))
+                )
+            else:
+                raise ValidationError(
+                    f'document {doc_id!r} needs "sentences" or "text"'
+                )
+        return parsed
+
+    def _streamer(self, name: str) -> StreamingEnricher:
+        """The scenario's streaming enricher (created on first delta).
+
+        The streamer wraps the *shared* loaded corpus, so a full
+        enrichment job submitted after a delta sees the grown corpus —
+        and the shared feature cache keeps it warm.
+        """
+        with self._lock:
+            streamer = self._streamers.get(name)
+        if streamer is not None:
+            return streamer
+        ontology, corpus = self._load(name)
+        enricher = OntologyEnricher(ontology, config=self._config({}))
+        streamer = StreamingEnricher(ontology, corpus, enricher=enricher)
+        with self._lock:
+            # Lost-race duplicates: first one in wins (its corpus object
+            # is the shared loaded one either way).
+            streamer = self._streamers.setdefault(name, streamer)
+        return streamer
+
+    def _scenario_lock(self, name: str) -> threading.Lock:
+        with self._lock:
+            return self._scenario_locks.setdefault(name, threading.Lock())
+
+    def _run_delta(self, job: Job, documents: list[Document]) -> None:
+        with self._lock:
+            job.status = "running"
+            job.started_at = time.time()
+        try:
+            with self._scenario_lock(job.corpus):
+                streamer = self._streamer(job.corpus)
+                diff = streamer.add_documents(documents)
+                document = diff.to_dict()
+                with self._lock:
+                    seq = self._delta_seq.get(job.corpus, 0) + 1
+                    self._delta_seq[job.corpus] = seq
+                    document["seq"] = seq
+                    document["job"] = job.job_id
+                    history = self._delta_history.setdefault(job.corpus, [])
+                    history.append(document)
+                    del history[:-DEFAULT_MAX_DELTAS]
+            with self._lock:
+                job.report = document
+                job.status = "done"
+                job.finished_at = time.time()
+            if self._metrics is not None:
+                self._metrics.delta_finished(
+                    job.corpus,
+                    seconds=document["timings"].get("delta_total", 0.0),
+                    terms_recomputed=document["n_recomputed"],
+                )
+        except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            # Same isolation boundary as _run: a failed delta answers
+            # its poll with status="failed" instead of killing the
+            # worker thread (duplicate doc ids land here, for example).
+            with self._lock:
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.status = "failed"
+                job.finished_at = time.time()
+        if self._metrics is not None:
+            self._metrics.job_finished(
+                job.corpus,
+                status=job.status,
+                seconds=(job.finished_at or 0.0) - (job.started_at or 0.0),
+            )
 
     def _prune_finished_locked(self) -> None:
         """Drop the oldest finished jobs beyond the retention cap."""

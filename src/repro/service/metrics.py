@@ -449,6 +449,17 @@ class ServiceMetrics:
             "Server-side enrichment job duration by corpus.",
             ("corpus",),
         )
+        self.delta_seconds = self.registry.histogram(
+            "repro_delta_seconds",
+            "Streaming delta re-enrichment duration by corpus.",
+            ("corpus",),
+        )
+        self.delta_terms = self.registry.counter(
+            "repro_delta_terms_recomputed_total",
+            "Terms re-featurised by streaming deltas, by corpus (terms "
+            "with unchanged postings come warm from the cache instead).",
+            ("corpus",),
+        )
 
     def render(self) -> str:
         """The ``GET /metrics`` response body."""
@@ -478,6 +489,13 @@ class ServiceMetrics:
     ) -> None:
         self.jobs.inc(corpus=corpus, status=status)
         self.job_seconds.observe(seconds, corpus=corpus)
+
+    def delta_finished(
+        self, corpus: str, *, seconds: float, terms_recomputed: int
+    ) -> None:
+        self.delta_seconds.observe(seconds, corpus=corpus)
+        if terms_recomputed:
+            self.delta_terms.inc(terms_recomputed, corpus=corpus)
 
 
 class request_timer:

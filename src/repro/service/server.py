@@ -26,6 +26,11 @@ Routes
                              replays return 200 + the original id)
 ``GET  /jobs``               every job's status document
 ``GET  /jobs/<id>``          one job's status/result document
+``POST /scenarios/<name>/documents``  stream documents in: queues a
+                             delta re-enrichment job (same 202/200 +
+                             ``Idempotency-Key`` contract as ``/jobs``)
+``GET  /scenarios/<name>/deltas``     the scenario's diff history
+                             (``?since=<seq>`` for incremental polls)
 ===========================  ==========================================
 
 Vector payloads use the raw-binary wire format of
@@ -59,7 +64,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from time import perf_counter
-from urllib.parse import urlsplit
+from urllib.parse import parse_qsl, urlsplit
 
 from repro.errors import ValidationError
 from repro.polysemy.cache_store import DiskCacheStore
@@ -112,6 +117,14 @@ def _metric_route(route: str) -> str:
         return route
     if route.startswith("/jobs/"):
         return "/jobs/{id}"
+    if route.startswith("/scenarios/"):
+        # Scenario names are operator-registered (bounded), but keep the
+        # label set independent of them anyway; only the two known
+        # endpoints get a series.
+        if route.endswith("/documents"):
+            return "/scenarios/{name}/documents"
+        if route.endswith("/deltas"):
+            return "/scenarios/{name}/deltas"
     return "other"
 
 
@@ -417,6 +430,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 self._send_error_json(404, "unknown job id")
             else:
                 self._send_json(200, document)
+        elif route.startswith("/scenarios/") and route.endswith("/deltas"):
+            self._get_deltas(route, parsed.query)
         else:
             self._send_error_json(404, f"unknown route {route!r}")
 
@@ -442,6 +457,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self._get_vector_batch()
         elif route == "/jobs":
             self._submit_job()
+        elif route.startswith("/scenarios/") and route.endswith("/documents"):
+            self._post_documents(route)
         else:
             self._drain_body()
             self._send_error_json(404, f"unknown route {route!r}")
@@ -599,6 +616,64 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         metrics.count_cache_op("batch_put", "stored", stored)
         metrics.batch_vectors.inc(stored, op="put")
         self._send_json(200, {"stored": stored})
+
+    # -- streaming endpoints --------------------------------------------------
+
+    def _get_deltas(self, route: str, query: str) -> None:
+        """``GET /scenarios/<name>/deltas``: the scenario's diff history."""
+        self.service.count_request()
+        name = route[len("/scenarios/"):-len("/deltas")]
+        params = dict(parse_qsl(query))
+        try:
+            since = int(params.get("since", 0))
+        except ValueError:
+            self._send_error_json(400, '"since" must be an integer')
+            return
+        deltas = self.service.jobs.deltas(name, since=since)
+        if deltas is None:
+            self._send_error_json(404, f"unknown scenario {name!r}")
+            return
+        self._send_json(
+            200, {"corpus": name, "since": since, "deltas": deltas}
+        )
+
+    def _post_documents(self, route: str) -> None:
+        """``POST /scenarios/<name>/documents``: queue a delta job."""
+        self.service.count_request()
+        name = route[len("/scenarios/"):-len("/documents")]
+        body = self._read_body()
+        if body is None:
+            self._send_error_json(400, "bad Content-Length")
+            return
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, ValueError):
+            self._send_error_json(400, "request body must be JSON")
+            return
+        if not isinstance(payload, dict) or "documents" not in payload:
+            self._send_error_json(
+                400, 'JSON body with a "documents" list required'
+            )
+            return
+        if name not in self.service.jobs.corpora():
+            self._send_error_json(404, f"unknown scenario {name!r}")
+            return
+        try:
+            job_id, replayed = self.service.jobs.submit_documents(
+                name,
+                payload["documents"],
+                idempotency_key=self.headers.get("Idempotency-Key"),
+            )
+        except IdempotencyConflictError as exc:
+            self._send_error_json(409, str(exc))
+            return
+        except ValidationError as exc:
+            self._send_error_json(400, str(exc))
+            return
+        if replayed:
+            self._send_json(200, {"job": job_id, "replayed": True})
+        else:
+            self._send_json(202, {"job": job_id, "replayed": False})
 
     # -- job endpoints --------------------------------------------------------
 
@@ -776,6 +851,8 @@ def serve(
     job_workers: int = 1,
     index_dir: str | Path | None = None,
     access_log: str | Path | None = None,
+    watch: dict[str, str | Path] | None = None,
+    watch_poll_seconds: float = 1.0,
     ready: "threading.Event | None" = None,
 ) -> int:
     """Blocking entry point of ``repro serve``.
@@ -785,7 +862,11 @@ def serve(
     pool) and serves until one arrives.  ``ready`` (when given) is set
     once the socket is bound — tests use it to avoid sleeping.
     ``access_log`` turns on the structured JSON access log (a file
-    path, or ``-`` for stderr).
+    path, or ``-`` for stderr).  ``watch`` maps registered scenario
+    names to drop directories: a
+    :class:`~repro.service.watcher.DirectoryWatcher` per entry feeds
+    dropped ``*.jsonl`` document files into the scenario's delta path
+    (``repro serve --watch NAME=DIR``).
     """
     store = DiskCacheStore(cache_dir, max_bytes=cache_max_bytes)
     log_writer, log_closer = (None, lambda: None)
@@ -800,6 +881,25 @@ def serve(
         index_dir=index_dir,
         access_log=log_writer,
     )
+    watchers = []
+    if watch:
+        from repro.service.watcher import DirectoryWatcher
+
+        registered = set(server.service.jobs.corpora())
+        for name, directory in sorted(watch.items()):
+            if name not in registered:
+                raise ValidationError(
+                    f"--watch names unregistered scenario {name!r}; "
+                    f"registered: {sorted(registered)}"
+                )
+            watchers.append(
+                DirectoryWatcher(
+                    server.service.jobs,
+                    name,
+                    directory,
+                    poll_seconds=watch_poll_seconds,
+                )
+            )
 
     def _interrupt(signum, frame):  # pragma: no cover - signal plumbing
         raise KeyboardInterrupt
@@ -810,6 +910,13 @@ def serve(
             previous[signum] = signal.signal(signum, _interrupt)
     print(f"repro service listening on {server.url} "
           f"(cache_dir={store.cache_dir})", flush=True)
+    for watcher in watchers:
+        watcher.start()
+        print(
+            f"watching {watcher.directory} -> scenario "
+            f"{watcher.scenario!r}",
+            flush=True,
+        )
     if ready is not None:
         ready.set()
     try:
@@ -817,6 +924,8 @@ def serve(
     except KeyboardInterrupt:
         pass
     finally:
+        for watcher in watchers:
+            watcher.stop()
         server.stop()
         log_closer()
         for signum, handler in previous.items():  # pragma: no cover

@@ -15,6 +15,7 @@ from repro.workflow.pipeline import (
     PipelineContext,
 )
 from repro.workflow.report import EnrichmentReport, TermReport
+from repro.workflow.streaming import ReportDiff, StreamingEnricher
 
 __all__ = [
     "CandidateWork",
@@ -26,5 +27,7 @@ __all__ = [
     "LinkStage",
     "OntologyEnricher",
     "PipelineContext",
+    "ReportDiff",
+    "StreamingEnricher",
     "TermReport",
 ]

@@ -395,6 +395,25 @@ class _DetectProcessor:
         )
 
 
+def detect_config_fingerprint(
+    feature_extractor: PolysemyFeatureExtractor, config: EnrichmentConfig
+) -> str:
+    """The cache-key config fingerprint of :class:`DetectStage`.
+
+    One definition for the Step II key format, shared with the streaming
+    delta path (:mod:`repro.workflow.streaming`) that migrates warm
+    vectors across corpus fingerprints — the two must never drift apart
+    or deltas silently re-featurise every candidate.  Pins everything
+    that shapes the vector: the extractor settings plus the stage's own
+    retrieval caps.
+    """
+    return (
+        f"{feature_extractor.fingerprint()};"
+        f"detect_window={config.context_window};"
+        f"detect_cap={config.max_contexts_per_term}"
+    )
+
+
 class DetectStage:
     """Step II: materialise contexts and classify polysemy per candidate."""
 
@@ -423,13 +442,7 @@ class DetectStage:
         worker_store: DiskCacheStore | RemoteCacheStore | None = None
         if cache is not None:
             corpus_fp = ctx.index.fingerprint()
-            # Pin everything that shapes the vector: the extractor
-            # settings plus this stage's own retrieval caps.
-            config_fp = (
-                f"{self._features.fingerprint()};"
-                f"detect_window={cfg.context_window};"
-                f"detect_cap={cfg.max_contexts_per_term}"
-            )
+            config_fp = detect_config_fingerprint(self._features, cfg)
             if (
                 cfg.worker_backend == "process"
                 and cfg.n_workers > 1
@@ -653,6 +666,34 @@ class OntologyEnricher:
         )
         self._detector_trained = False
 
+    # -- introspection (the streaming delta path builds on these) ----------
+
+    @property
+    def feature_cache(self) -> FeatureCache | None:
+        """The Step II feature cache (None when disabled)."""
+        return self._feature_cache
+
+    @property
+    def feature_extractor(self) -> PolysemyFeatureExtractor:
+        """The Step II feature extractor (fingerprints cache keys)."""
+        return self._feature_extractor
+
+    @property
+    def detector_trained(self) -> bool:
+        """Whether Step II currently holds a fitted classifier."""
+        return self._detector_trained
+
+    def invalidate_training(self) -> None:
+        """Force detector re-training on the next :meth:`enrich` call.
+
+        The detector trains on the corpus, so a *grown* corpus must
+        retrain for a delta run to report exactly what a from-scratch
+        run over the same documents would — the training-term vectors
+        still come warm from the feature cache, so invalidation costs a
+        model fit, not a re-featurisation.
+        """
+        self._detector_trained = False
+
     # -- step II training -------------------------------------------------
 
     def train_polysemy_detector(
@@ -723,7 +764,8 @@ class OntologyEnricher:
             if cfg.index_dir is not None:
                 from repro.corpus.index_store import IndexStore
 
-                index = IndexStore(cfg.index_dir).load_or_build(
+                store = IndexStore(cfg.index_dir)
+                index = store.load_or_build(
                     corpus,
                     n_shards=cfg.index_shards,
                     n_workers=cfg.n_workers,
@@ -731,8 +773,9 @@ class OntologyEnricher:
                 )
                 # Cache the mmap handle on the corpus so repeated
                 # enrich calls (and anything else asking the corpus for
-                # its index) reuse the store generation.
-                corpus.adopt_index(index)
+                # its index) reuse the store generation; remembering the
+                # store keeps post-growth rebuilds persisted too.
+                corpus.adopt_index(index, store=store)
             else:
                 index = corpus.index(
                     n_shards=(

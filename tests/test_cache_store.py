@@ -185,6 +185,125 @@ class TestShardingAndEviction:
             reopened.get(key("term 29")), vector(29)
         )
 
+    def test_rapid_generation_turnover_never_evicts_the_current(
+        self, tmp_path
+    ):
+        # Daemon churn: the corpus fingerprint advances on every delta,
+        # so generations turn over rapidly under a tight cap.  The
+        # generation currently being written must never be the victim —
+        # only older generations drain.
+        store = DiskCacheStore(tmp_path, max_bytes=4_000)
+        for delta in range(10):
+            corpus = f"delta-{delta}"
+            for i in range(6):
+                store.put(key(f"t{i}", corpus=corpus), vector(i))
+                assert store.get(key("t0", corpus=corpus)) is not None
+            for i in range(6):  # the whole current delta stays warm
+                assert store.get(key(f"t{i}", corpus=corpus)) is not None
+        assert store.stats()["evictions"] > 0
+        assert store.get(key("t0", corpus="delta-0")) is None
+
+    def test_long_lived_handle_restamps_its_hot_generation(
+        self, tmp_path, monkeypatch
+    ):
+        import time
+
+        from repro.polysemy import cache_store
+
+        # Regression: the recency stamp used to be written once per
+        # handle, so a daemon that wrote its generation at boot and
+        # then only *read* it for hours aged into the first LRU victim.
+        # Reads must re-stamp once the touch interval elapses.
+        monkeypatch.setattr(cache_store, "TOUCH_INTERVAL_SECONDS", 0.0)
+        daemon = DiskCacheStore(tmp_path, max_bytes=6_000)
+        for i in range(8):
+            daemon.put(key(f"hot {i}", corpus="hot-corpus"), vector(i))
+        time.sleep(0.02)
+        other = DiskCacheStore(tmp_path, max_bytes=6_000)
+        for i in range(8):
+            other.put(key(f"idle {i}", corpus="idle-corpus"), vector(50 + i))
+        time.sleep(0.02)
+        # Long after its writes, the daemon handle reads its hot
+        # generation again: that read must refresh the stamp.
+        assert daemon.get(key("hot 0", corpus="hot-corpus")) is not None
+        time.sleep(0.02)
+        writer = DiskCacheStore(tmp_path, max_bytes=6_000)
+        for i in range(12):
+            writer.put(key(f"new {i}", corpus="new-corpus"), vector(100 + i))
+        survivor = DiskCacheStore(tmp_path)
+        assert survivor.get(key("idle 0", corpus="idle-corpus")) is None
+        assert survivor.get(key("hot 0", corpus="hot-corpus")) is not None
+
+
+class TestGenerationPinning:
+    def test_pinned_generation_survives_cross_handle_eviction(
+        self, tmp_path
+    ):
+        import time
+
+        owner = DiskCacheStore(tmp_path, max_bytes=6_000)
+        for i in range(8):
+            owner.put(key(f"old {i}", corpus="old-corpus"), vector(i))
+        with owner.pin_generation("old-corpus", "config-fp"):
+            time.sleep(0.02)
+            # A *different* handle (another thread/process would look
+            # identical) writes two younger generations past the cap;
+            # it honours the on-disk pin marker.
+            writer = DiskCacheStore(tmp_path, max_bytes=6_000)
+            for i in range(8):
+                writer.put(
+                    key(f"mid {i}", corpus="mid-corpus"), vector(40 + i)
+                )
+            time.sleep(0.02)
+            for i in range(12):
+                writer.put(
+                    key(f"new {i}", corpus="new-corpus"), vector(100 + i)
+                )
+            assert writer.stats()["evictions"] > 0
+            assert (
+                writer.get(key("old 0", corpus="old-corpus")) is not None
+            )
+            assert writer.get(key("mid 0", corpus="mid-corpus")) is None
+
+    def test_leaked_pin_marker_expires_and_is_swept(self, tmp_path):
+        import os
+        import time
+
+        from repro.polysemy.cache_store import PIN_TTL_SECONDS
+
+        store = DiskCacheStore(tmp_path, max_bytes=4_000)
+        for i in range(8):
+            store.put(key(f"old {i}", corpus="old-corpus"), vector(i))
+        generation = next(p for p in tmp_path.iterdir() if p.is_dir())
+        marker = generation / ".pin-99999-0"
+        marker.write_bytes(b"")
+        expired = time.time() - (PIN_TTL_SECONDS + 1)
+        os.utime(marker, (expired, expired))
+        time.sleep(0.02)
+        for i in range(12):
+            store.put(key(f"new {i}", corpus="new-corpus"), vector(100 + i))
+        # The crashed pinner's stale marker did not immortalise the
+        # generation — it was evicted and the marker swept with it.
+        assert store.get(key("old 0", corpus="old-corpus")) is None
+        assert not marker.exists()
+
+    def test_pins_nest_and_release(self, tmp_path):
+        store = DiskCacheStore(tmp_path)
+        store.put(key("a", corpus="one"), vector(1))
+        store.put(key("b", corpus="two"), vector(2))
+        with store.pin_generation("one", "config-fp"):
+            with store.pin_generation("one", "config-fp"):
+                info = store.describe()
+                pinned = [
+                    g["name"] for g in info["generations"] if g["pinned"]
+                ]
+                assert len(pinned) == 1
+                assert pinned[0] not in info["eviction_order"]
+            assert any(g["pinned"] for g in store.describe()["generations"])
+        info = store.describe()
+        assert not any(g["pinned"] for g in info["generations"])
+        assert len(info["eviction_order"]) == 2
+
 
 class TestCorruptionTolerance:
     def put_two(self, tmp_path):

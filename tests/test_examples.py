@@ -23,6 +23,7 @@ def examples_on_path(monkeypatch):
             "enrich_mesh_snapshot",
             "index_reuse",
             "streaming_enrichment",
+            "continuous_enrichment",
             "persistent_cache",
             "cache_service",
             "large_corpus",
@@ -82,6 +83,13 @@ class TestExamples:
                           docs_per_concept=3)
         assert "index patched in place: True" in out
         assert "re-enrich" in out
+
+    def test_continuous_enrichment(self, capsys):
+        out = run_example("continuous_enrichment", capsys, n_concepts=15,
+                          docs_per_concept=3)
+        assert "changed-posting terms recomputed: 0" in out
+        assert "0 misses" in out
+        assert "replayed diffs reconstruct the live report: True" in out
 
     def test_persistent_cache(self, capsys):
         out = run_example("persistent_cache", capsys, n_concepts=15,

@@ -284,6 +284,76 @@ class TestIncrementalParity:
         assert index.document_frequency("corneal injury") == 2
 
 
+class TestAllOrNothingAdds:
+    """Regression: a rejected batch must leave no trace whatsoever.
+
+    A duplicate id within the batch (or colliding with the target
+    shard), or a document whose tokenisation raises mid-batch, used to
+    be able to leave the last shard partially extended with the
+    fingerprint chain advanced.
+    """
+
+    @staticmethod
+    def snapshot(index, terms):
+        return (
+            index.fingerprint(),
+            index.n_documents(),
+            index.n_tokens(),
+            index.doc_lengths(),
+            {t: index.phrase_occurrences(t) for t in terms},
+        )
+
+    def test_sharded_intra_batch_duplicate_leaves_no_trace(self):
+        rng = random.Random(21)
+        docs = random_documents(rng)
+        terms = random_terms(rng)
+        sharded = ShardedCorpusIndex(docs, n_shards=3)
+        before = self.snapshot(sharded, terms)
+        shard_docs_before = [s.n_documents() for s in sharded.shards()]
+        with pytest.raises(CorpusError, match="duplicate document id"):
+            sharded.add_documents(
+                [Document("n0", [["b"]]), Document("n0", [["c"]])]
+            )
+        assert self.snapshot(sharded, terms) == before
+        assert [s.n_documents() for s in sharded.shards()] == \
+            shard_docs_before
+
+    def test_sharded_target_shard_collision_leaves_no_trace(self):
+        rng = random.Random(22)
+        docs = random_documents(rng)
+        terms = random_terms(rng)
+        sharded = ShardedCorpusIndex(docs, n_shards=3)
+        before = self.snapshot(sharded, terms)
+        last_shard_id = sharded.shards()[-1].doc_lengths().popitem()[0]
+        # A fresh document *ahead of* the collision must not stick.
+        with pytest.raises(CorpusError, match="duplicate document id"):
+            sharded.add_documents(
+                [Document("n0", [["b"]]), Document(last_shard_id, [["c"]])]
+            )
+        assert self.snapshot(sharded, terms) == before
+
+    @pytest.mark.parametrize("n_shards", [None, 3])
+    def test_failing_tokenisation_mid_batch_leaves_no_trace(self, n_shards):
+        rng = random.Random(23)
+        docs = random_documents(rng)
+        terms = random_terms(rng)
+        if n_shards is None:
+            index = CorpusIndex(docs)
+        else:
+            index = ShardedCorpusIndex(docs, n_shards=n_shards)
+        before = self.snapshot(index, terms)
+        # tokens() runs caller code; a non-string "token" makes the
+        # build-time lower-casing raise after a good document.
+        with pytest.raises(AttributeError):
+            index.add_documents(
+                [Document("n0", [["fine"]]), Document("n1", [["a", 3]])]
+            )
+        assert self.snapshot(index, terms) == before
+        # The index still works and accepts the valid part afterwards.
+        index.add_documents([Document("n0", [["fine"]])])
+        assert index.term_frequency("fine") == 1
+
+
 class TestCorpusShardingKnob:
     def test_index_n_shards_builds_and_caches_sharded(self):
         docs = [Document(f"d{i}", [["a", "b"]]) for i in range(6)]

@@ -305,13 +305,47 @@ class TestCorpusAdoption:
         with pytest.raises(CorpusError, match="documents"):
             Corpus(docs[:-1]).adopt_index(opened)
 
-    def test_add_after_adoption_drops_read_only_index(self, tmp_path):
+    def test_add_after_adoption_rebuilds_through_the_store(self, tmp_path):
+        # Regression: growing past an adopted read-only mmap index used
+        # to silently drop it and rebuild in RAM — the new generation
+        # was never persisted, so a daemon with --index-dir paid the
+        # full rebuild again on every restart.  The rebuild must route
+        # through IndexStore.load_or_build instead.
         docs = random_documents(random.Random(12))
         corpus = Corpus(docs)
         store = IndexStore(tmp_path / "store")
         corpus.adopt_index(store.load_or_build(corpus))
         corpus.add(Document("late", [["new", "tokens"]]))
         fresh = corpus.index()
-        assert not isinstance(fresh, MmapCorpusIndex)
+        expected = CorpusIndex(list(corpus))
         assert fresh.n_documents() == len(docs) + 1
-        assert fresh.fingerprint() == CorpusIndex(list(corpus)).fingerprint()
+        assert fresh.fingerprint() == expected.fingerprint()
+        # The grown corpus's generation was persisted and served mmap.
+        assert isinstance(fresh, MmapCorpusIndex)
+        assert expected.fingerprint() in store.fingerprints()
+        # And the cached handle is reused, not rebuilt per query.
+        assert corpus.index() is fresh
+
+    def test_adoption_recovers_the_store_from_the_mmap_handle(self, tmp_path):
+        # adopt_index without an explicit store= argument must still
+        # find the store a mmap handle came from (its own directory).
+        docs = random_documents(random.Random(13))
+        corpus = Corpus(docs)
+        store = IndexStore(tmp_path / "store")
+        corpus.adopt_index(store.open(store.save(CorpusIndex(docs)).name))
+        corpus.add(Document("late", [["new", "tokens"]]))
+        grown = corpus.index()
+        assert isinstance(grown, MmapCorpusIndex)
+        assert grown.fingerprint() in store.fingerprints()
+
+    def test_sharded_adoption_rebuilds_through_the_store(self, tmp_path):
+        docs = random_documents(random.Random(14))
+        corpus = Corpus(docs)
+        store = IndexStore(tmp_path / "store")
+        corpus.adopt_index(store.load_or_build(corpus, n_shards=2))
+        corpus.add(Document("late", [["new", "tokens"]]))
+        grown = corpus.index()
+        expected = CorpusIndex(list(corpus))
+        assert grown.n_shards == 2
+        assert grown.fingerprint() == expected.fingerprint()
+        assert expected.fingerprint() in store.fingerprints()

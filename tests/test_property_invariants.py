@@ -298,3 +298,90 @@ class TestCacheStoreParity:
         assert warm.terms == in_memory.terms
         assert warm_cache.stats["misses"] == 0
         assert warm_cache.stats["disk_hits"] == in_memory.n_samples
+
+
+# -- document-stream strategies ----------------------------------------------
+
+stream_documents = st.lists(document_sentences, min_size=2, max_size=6)
+
+
+class TestDocumentStreamInvariants:
+    """Streaming adds are indistinguishable from a fresh build.
+
+    The continuous-enrichment path leans on this: N single-document
+    ``add_documents`` calls must land on the exact index (and the exact
+    fingerprint chain) one cold build over all N+seed documents
+    produces — monolithic and sharded alike.  Any drift here would
+    silently poison the streaming cache carry-forward.
+    """
+
+    @staticmethod
+    def query_terms(documents):
+        terms = {"cornea", "wound", "healing", "absent-term"}
+        for doc in documents:
+            first = doc.sentences[0]
+            terms.add(first[0])
+            if len(first) >= 2:
+                terms.add(f"{first[0]} {first[1]}")
+        return sorted(terms)
+
+    @staticmethod
+    def assert_same_surface(candidate, reference, terms):
+        assert candidate.fingerprint() == reference.fingerprint()
+        assert candidate.n_documents() == reference.n_documents()
+        assert candidate.n_tokens() == reference.n_tokens()
+        assert candidate.doc_lengths() == reference.doc_lengths()
+        for term in terms:
+            assert candidate.phrase_occurrences(term) == \
+                reference.phrase_occurrences(term), term
+            for window in (1, 4):
+                assert candidate.contexts_for_term(term, window=window) == \
+                    reference.contexts_for_term(term, window=window), term
+
+    @given(stream_documents, st.integers(min_value=1, max_value=3))
+    @settings(max_examples=20, deadline=None)
+    def test_single_doc_adds_equal_fresh_build(self, sentence_lists, n_shards):
+        from repro.corpus.index import CorpusIndex, ShardedCorpusIndex
+
+        documents = [
+            Document(f"doc-{position}", sentences)
+            for position, sentences in enumerate(sentence_lists)
+        ]
+        terms = self.query_terms(documents)
+        fresh = CorpusIndex(documents)
+
+        streamed = CorpusIndex(documents[:1])
+        for doc in documents[1:]:
+            streamed.add_documents([doc])
+        self.assert_same_surface(streamed, fresh, terms)
+
+        streamed_sharded = ShardedCorpusIndex(
+            documents[:1], n_shards=n_shards
+        )
+        for doc in documents[1:]:
+            streamed_sharded.add_documents([doc])
+        # The sharded stream must match the *monolithic* cold build too:
+        # one fingerprint chain, whatever the layout.
+        self.assert_same_surface(streamed_sharded, fresh, terms)
+        self.assert_same_surface(
+            streamed_sharded,
+            ShardedCorpusIndex(documents, n_shards=n_shards),
+            terms,
+        )
+
+    @given(stream_documents)
+    @settings(max_examples=10, deadline=None)
+    def test_streamed_corpus_matches_fresh_corpus_index(self, sentence_lists):
+        """Corpus.add keeps its cached index on the fresh-build chain."""
+        documents = [
+            Document(f"doc-{position}", sentences)
+            for position, sentences in enumerate(sentence_lists)
+        ]
+        corpus = Corpus(documents[:1])
+        corpus.index()  # cache it, so adds patch in place
+        for doc in documents[1:]:
+            corpus.add(doc)
+        fresh = Corpus(documents)
+        self.assert_same_surface(
+            corpus.index(), fresh.index(), self.query_terms(documents)
+        )

@@ -580,3 +580,232 @@ class TestEnrichmentJobs:
         client.wait_for_job(second, timeout=180)
         listing = client._json("GET", "/jobs")["jobs"]
         assert [job["job"] for job in listing[:2]] == [second, first]
+
+
+class TestStreamingDeltas:
+    """The continuous-enrichment surface: POST documents, poll deltas."""
+
+    @pytest.fixture(scope="class")
+    def stream_dir(self, tmp_path_factory):
+        scenario = make_enrichment_scenario(
+            seed=0, n_concepts=20, docs_per_concept=4
+        )
+        root = tmp_path_factory.mktemp("streamed-corpus")
+        write_ontology_json(scenario.ontology, root / "ontology.json")
+        write_corpus_jsonl(scenario.corpus, root / "corpus.jsonl")
+        return root
+
+    @pytest.fixture(scope="class")
+    def delta_server(self, tmp_path_factory, stream_dir):
+        """A server with one completed delta (shared: deltas accumulate)."""
+        root = tmp_path_factory.mktemp("delta-server")
+        instance = CacheServiceServer(
+            DiskCacheStore(root / "cache"),
+            port=0,
+            corpora={
+                "demo": (
+                    stream_dir / "ontology.json",
+                    stream_dir / "corpus.jsonl",
+                )
+            },
+            index_dir=root / "indexes",
+        )
+        instance.start()
+        client = ServiceClient(instance.url)
+        job_id, replayed = client.post_documents(
+            "demo",
+            [{"doc_id": "late-1", "sentences": [["zzqx", "wwvk", "ggph"]]}],
+            idempotency_key="delta-1",
+        )
+        assert not replayed
+        document = client.wait_for_job(job_id, timeout=300)
+        yield instance, client, document
+        client.close()
+        instance.stop()
+
+    def test_delta_job_lifecycle(self, delta_server):
+        __, ___, document = delta_server
+        assert document["kind"] == "delta"
+        assert document["status"] == "done"
+        report = document["report"]
+        assert report["documents"] == ["late-1"]
+        assert report["seq"] >= 1
+        assert report["base_fingerprint"] != report["fingerprint"]
+        # The padding tokens match no known term: everything came warm.
+        assert report["n_recomputed"] == 0
+        assert report["cache"]["misses"] == 0
+        assert report["cache"]["hits"] > 0
+
+    def test_deltas_route_serves_the_history(self, delta_server):
+        __, client, document = delta_server
+        deltas = client.deltas("demo")
+        seqs = [delta["seq"] for delta in deltas]
+        assert document["report"]["seq"] in seqs
+        assert seqs == sorted(seqs)
+        assert all(delta["job"].startswith("job-") for delta in deltas)
+        # since= filters strictly.
+        latest = max(seqs)
+        assert client.deltas("demo", since=latest) == []
+
+    def test_replay_does_not_grow_the_corpus_twice(self, delta_server):
+        __, client, document = delta_server
+        before = len(client.deltas("demo"))
+        job_id, replayed = client.post_documents(
+            "demo",
+            [{"doc_id": "late-1", "sentences": [["zzqx", "wwvk", "ggph"]]}],
+            idempotency_key="delta-1",
+        )
+        assert replayed
+        assert job_id == document["job"]
+        assert len(client.deltas("demo")) == before
+
+    def test_full_job_after_delta_sees_the_grown_corpus(self, delta_server):
+        """Deltas and full jobs share the loaded corpus and warm cache."""
+        __, client, document = delta_server
+        full = client.wait_for_job(client.submit_job("demo"), timeout=300)
+        report = full["report"]
+        terms = {row["term"]: row for row in report["terms"]}
+        composedlike = {
+            row["term"] for delta in client.deltas("demo")
+            for row in delta["added"] + delta["rescored"]
+        }
+        assert composedlike <= set(terms)
+        # The streamer already enriched this exact corpus state: the
+        # full run is served entirely from the warm shared cache.
+        assert report["cache"]["misses"] == 0
+
+    def test_post_documents_validation(self, delta_server):
+        __, client, ___ = delta_server
+        with pytest.raises(ServiceError, match="unknown scenario"):
+            client.post_documents("nope", [{"doc_id": "x", "text": "y"}])
+        with pytest.raises(ServiceError, match="non-empty list"):
+            client.post_documents("demo", [])
+        with pytest.raises(ServiceError, match="sentences.*or.*text"):
+            client.post_documents("demo", [{"doc_id": "x"}])
+        with pytest.raises(ServiceError, match="doc_id"):
+            client.post_documents("demo", [{"text": "no id"}])
+        with pytest.raises(ServiceError, match="already used"):
+            client.post_documents(
+                "demo",
+                [{"doc_id": "other", "text": "different payload"}],
+                idempotency_key="delta-1",
+            )
+
+    def test_duplicate_document_fails_the_job_not_the_server(
+        self, delta_server
+    ):
+        __, client, ___ = delta_server
+        job_id, __ = client.post_documents(
+            "demo", [{"doc_id": "late-1", "sentences": [["zzqx"]]}]
+        )
+        with pytest.raises(ServiceError, match="already in corpus"):
+            client.wait_for_job(job_id, timeout=120)
+        assert client.healthz()["status"] == "ok"
+
+    def test_deltas_route_404s_unknown_scenario(self, delta_server):
+        __, client, ___ = delta_server
+        with pytest.raises(ServiceError, match="unknown scenario"):
+            client.deltas("nope")
+
+    def test_delta_metrics_are_exposed(self, delta_server):
+        __, client, ___ = delta_server
+        text = client.metrics()
+        assert 'repro_delta_seconds_count{corpus="demo"}' in text
+        assert 'route="/scenarios/{name}/documents"' in text
+        assert 'route="/scenarios/{name}/deltas"' in text
+
+    def test_watch_cli_follows_the_stream(self, delta_server, capsys):
+        from repro.cli import main
+
+        instance, __, ___ = delta_server
+        assert main(
+            ["watch", "--url", instance.url, "demo", "--once"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "delta #" in out
+        assert "recomputed=" in out
+
+
+class TestDirectoryWatcher:
+    """Watched-directory ingestion into the delta path (no HTTP)."""
+
+    @pytest.fixture()
+    def manager_dir(self, tmp_path):
+        scenario = make_enrichment_scenario(
+            seed=0, n_concepts=20, docs_per_concept=4
+        )
+        write_ontology_json(scenario.ontology, tmp_path / "ontology.json")
+        write_corpus_jsonl(scenario.corpus, tmp_path / "corpus.jsonl")
+        manager = JobManager(
+            {"demo": (tmp_path / "ontology.json", tmp_path / "corpus.jsonl")}
+        )
+        yield manager, tmp_path
+        manager.shutdown(wait=True)
+
+    @staticmethod
+    def wait_done(manager, job_id, timeout=120.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            document = manager.job(job_id)
+            if document["status"] in ("done", "failed"):
+                return document
+            time.sleep(0.05)
+        raise AssertionError(f"job {job_id} never finished")
+
+    def test_dropped_file_becomes_a_delta(self, manager_dir):
+        from repro.service.watcher import DirectoryWatcher
+
+        manager, tmp_path = manager_dir
+        drop = tmp_path / "drop"
+        watcher = DirectoryWatcher(manager, "demo", drop)
+        assert watcher.scan_once() == []
+        (drop / "batch-1.jsonl").write_text(
+            json.dumps({"doc_id": "w-1", "sentences": [["zzqx", "wwvk"]]})
+            + "\n"
+            + json.dumps({"doc_id": "w-2", "text": "More padding text."})
+            + "\n"
+        )
+        submitted = watcher.scan_once()
+        assert len(submitted) == 1
+        document = self.wait_done(manager, submitted[0])
+        assert document["status"] == "done"
+        assert document["report"]["documents"] == ["w-1", "w-2"]
+        # Unchanged file: nothing new on the next scan.
+        assert watcher.scan_once() == []
+        # Same content re-dropped (touched): replays the original job.
+        (drop / "batch-1.jsonl").touch()
+        import os
+
+        os.utime(drop / "batch-1.jsonl", (time.time() + 5, time.time() + 5))
+        assert watcher.scan_once() == [submitted[0]]
+        assert len(manager.deltas("demo")) == 1
+
+    def test_malformed_file_is_recorded_not_fatal(self, manager_dir):
+        from repro.service.watcher import DirectoryWatcher
+
+        manager, tmp_path = manager_dir
+        drop = tmp_path / "drop"
+        watcher = DirectoryWatcher(manager, "demo", drop)
+        (drop / "bad.jsonl").write_text("{not json\n")
+        assert watcher.scan_once() == []
+        assert watcher.errors and "bad.jsonl" in watcher.errors[0]
+
+    def test_background_thread_starts_and_stops(self, manager_dir):
+        from repro.service.watcher import DirectoryWatcher
+
+        manager, tmp_path = manager_dir
+        watcher = DirectoryWatcher(
+            manager, "demo", tmp_path / "drop", poll_seconds=0.05
+        )
+        watcher.start()
+        with pytest.raises(ValidationError, match="already started"):
+            watcher.start()
+        (tmp_path / "drop" / "late.jsonl").write_text(
+            json.dumps({"doc_id": "bg-1", "sentences": [["zzqx"]]}) + "\n"
+        )
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline and not manager.deltas("demo"):
+            time.sleep(0.05)
+        watcher.stop()
+        deltas = manager.deltas("demo")
+        assert [delta["documents"] for delta in deltas] == [["bg-1"]]
