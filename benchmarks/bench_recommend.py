@@ -1,0 +1,109 @@
+"""Recommendation benchmark: trie annotation vs the naive per-label scan.
+
+The recommendation engine's hot loop is annotation — "which labels of
+this ontology occur in the input, and where?".  :class:`LabelTrie`
+answers every start position in one left-to-right walk
+(O(tokens x longest label)); the naive baseline scans the input once
+per label (O(tokens x labels)), which is how early annotators worked
+and why they could not serve large ontologies interactively.
+
+Both matchers are asserted byte-identical before timing, the trie must
+be at least **5x** faster at this scale, and a full end-to-end
+recommendation over the registry is timed for context.  Results land
+in ``BENCH_recommend.json``.
+"""
+
+import time
+
+from benchmarks.conftest import emit_bench_json, print_paper_vs_measured, run_once
+from repro.corpus.index import CorpusIndex
+from repro.recommend import (
+    LabelTrie,
+    OntologyRegistry,
+    Recommender,
+    naive_longest_matches,
+)
+from repro.scenarios import make_enrichment_scenario
+
+#: The acceptance floor asserted (and recorded) by this benchmark.
+MIN_TRIE_SPEEDUP = 5.0
+
+
+def run_comparison(n_concepts: int, docs_per_concept: int, seed: int):
+    scenario = make_enrichment_scenario(
+        seed=seed,
+        n_concepts=n_concepts,
+        docs_per_concept=docs_per_concept,
+        polysemy_histogram={2: 3},
+    )
+    registry = OntologyRegistry()
+    registry.register("full", scenario.ontology)
+    labels = list(registry.get("full").labels)
+    tokens = [
+        token for doc in scenario.corpus for token in doc.tokens()
+    ]
+
+    built_at = time.perf_counter()
+    trie = LabelTrie(labels)
+    build_seconds = time.perf_counter() - built_at
+
+    trie_at = time.perf_counter()
+    trie_matches = trie.longest_matches(tokens)
+    trie_seconds = time.perf_counter() - trie_at
+
+    naive_at = time.perf_counter()
+    naive_matches = naive_longest_matches(labels, tokens)
+    naive_seconds = time.perf_counter() - naive_at
+
+    assert trie_matches == naive_matches, "trie and naive scan disagree"
+
+    recommend_at = time.perf_counter()
+    report = Recommender(registry).recommend_index(
+        CorpusIndex(scenario.corpus)
+    )
+    recommend_seconds = time.perf_counter() - recommend_at
+
+    return {
+        "n_labels": len(labels),
+        "n_tokens": len(tokens),
+        "n_matches": len(trie_matches),
+        "trie_build_seconds": build_seconds,
+        "trie_match_seconds": trie_seconds,
+        "naive_match_seconds": naive_seconds,
+        "recommend_seconds": recommend_seconds,
+        "top_aggregate": report.ranking[0].aggregate,
+    }
+
+
+def test_trie_vs_naive_annotation(benchmark, scale):
+    n_concepts = 120 if scale == "paper" else 60
+    result = run_once(
+        benchmark,
+        run_comparison,
+        n_concepts=n_concepts,
+        docs_per_concept=6,
+        seed=17,
+    )
+    amortised = result["trie_build_seconds"] + result["trie_match_seconds"]
+    speedup = result["naive_match_seconds"] / max(amortised, 1e-9)
+    print_paper_vs_measured(
+        "LabelTrie vs naive per-label scan "
+        f"({result['n_labels']} labels, {result['n_tokens']:,} tokens)",
+        [
+            ("trie build (s)", "-", f"{result['trie_build_seconds']:.4f}"),
+            ("trie matching (s)", "-", f"{result['trie_match_seconds']:.4f}"),
+            ("naive matching (s)", "-", f"{result['naive_match_seconds']:.4f}"),
+            ("speedup incl. build", ">= 5x", f"{speedup:.1f}x"),
+            ("end-to-end recommend (s)", "-", f"{result['recommend_seconds']:.4f}"),
+        ],
+    )
+    emit_bench_json(
+        "recommend",
+        {
+            **result,
+            "speedup_incl_build": speedup,
+            "min_required_speedup": MIN_TRIE_SPEEDUP,
+        },
+    )
+
+    assert speedup >= MIN_TRIE_SPEEDUP

@@ -1,24 +1,26 @@
-"""RL004 — config drift between ``EnrichmentConfig``, the CLI, README.
+"""RL004 — config drift between config dataclasses, the CLI, README.
 
-Every :class:`~repro.workflow.config.EnrichmentConfig` field is a user
-promise three times over: as a dataclass field, as a CLI flag, and as
-documentation.  The three surfaces drift independently — a field added
-without a flag is unreachable from the command line, a flag without a
-field crashes at dispatch, and an undocumented knob may as well not
-exist.  This rule pins them together:
+Every field of a user-facing config dataclass is a promise three times
+over: as a dataclass field, as a CLI flag, and as documentation.  The
+three surfaces drift independently — a field added without a flag is
+unreachable from the command line, a flag without a field crashes at
+dispatch, and an undocumented knob may as well not exist.  This rule
+pins each (config class, subparser) pair together:
 
-* every config field must be settable from the ``enrich`` subparser
-  (a flag of the same name, modulo the aliases below);
-* every ``enrich`` flag (minus the I/O flags that are not config:
-  ``--ontology``, ``--corpus``, ``--timings``) must map to a field;
+* every config field must be settable from its subparser (a flag of
+  the same name, modulo the pin's aliases);
+* every subparser flag (minus the pin's I/O flags that are not
+  config) must map to a field;
 * every field name must be mentioned in the README.
 
 Flag → field matching: ``--foo-bar`` ↔ ``foo_bar``; ``--no-X`` ↔ ``X``
-(boolean inverts); plus the project's historical aliases
-(``--candidates`` ↔ ``n_candidates``, ``--workers`` ↔ ``n_workers``,
-``--top-k`` ↔ ``top_k_positions``, ``--max-contexts`` ↔
-``max_contexts_per_term``) — renaming those flags would break every
-deployed script, so the linter knows them instead.
+(boolean inverts); plus per-pin historical aliases (renaming a
+deployed flag would break every script using it, so the linter knows
+the old spellings instead).
+
+The pinned pairs are listed in :data:`PINS`; a pin whose config class
+does not exist in the project is skipped, so the rule ports to any
+project shape.
 """
 
 from __future__ import annotations
@@ -26,10 +28,25 @@ from __future__ import annotations
 import ast
 import re
 from collections.abc import Iterator
+from dataclasses import dataclass, field
 
 from repro.analysis.engine import Finding, ModuleSource, Project, Rule
 
-#: Historical flag names that predate their config field's spelling.
+
+@dataclass(frozen=True)
+class ConfigPin:
+    """One (config dataclass, CLI subparser) pair the rule keeps in sync."""
+
+    config_class: str
+    subparser: str
+    #: Historical flag names that predate their field's spelling.
+    flag_aliases: dict[str, str] = field(default_factory=dict)
+    #: Subparser flags that are I/O plumbing, not configuration.
+    non_config_flags: frozenset[str] = frozenset()
+
+
+#: The ``enrich`` flags whose names predate their config field's spelling
+#: (kept as a module constant: it documents the project's flag history).
 FLAG_ALIASES: dict[str, str] = {
     "candidates": "n_candidates",
     "top_k": "top_k_positions",
@@ -37,23 +54,33 @@ FLAG_ALIASES: dict[str, str] = {
     "workers": "n_workers",
 }
 
-#: ``enrich`` flags that are I/O plumbing, not configuration.
-NON_CONFIG_FLAGS = frozenset({"ontology", "corpus", "timings"})
-
-#: The dataclass and subparser this rule pins together.
-CONFIG_CLASS = "EnrichmentConfig"
-SUBPARSER = "enrich"
+#: The pinned (config class, subparser) pairs of this project.
+PINS: tuple[ConfigPin, ...] = (
+    ConfigPin(
+        config_class="EnrichmentConfig",
+        subparser="enrich",
+        flag_aliases=FLAG_ALIASES,
+        non_config_flags=frozenset({"ontology", "corpus", "timings"}),
+    ),
+    ConfigPin(
+        config_class="RecommendConfig",
+        subparser="recommend",
+        non_config_flags=frozenset(
+            {"ontology", "text", "scenario", "format"}
+        ),
+    ),
+)
 
 
 def _config_fields(
-    project: Project,
+    project: Project, config_class: str
 ) -> tuple[ModuleSource, dict[str, int]] | None:
-    """``(module, field -> line)`` of the config dataclass."""
+    """``(module, field -> line)`` of the pin's config dataclass."""
     for module in project.modules:
         for node in ast.walk(module.tree):
             if (
                 isinstance(node, ast.ClassDef)
-                and node.name == CONFIG_CLASS
+                and node.name == config_class
             ):
                 fields = {
                     stmt.target.id: stmt.lineno
@@ -66,13 +93,13 @@ def _config_fields(
     return None
 
 
-def _enrich_flags(
-    module: ModuleSource,
+def _subparser_flags(
+    module: ModuleSource, subparser: str
 ) -> dict[str, int]:
-    """``normalised flag -> line`` of the enrich subparser's arguments.
+    """``normalised flag -> line`` of the subparser's arguments.
 
     The subparser is recognised structurally: any variable assigned
-    from ``<x>.add_parser("enrich", ...)`` collects the
+    from ``<x>.add_parser("<subparser>", ...)`` collects the
     ``add_argument`` calls made on it.
     """
     parser_vars: set[str] = set()
@@ -86,7 +113,7 @@ def _enrich_flags(
             and value.func.attr == "add_parser"
             and value.args
             and isinstance(value.args[0], ast.Constant)
-            and value.args[0].value == SUBPARSER
+            and value.args[0].value == subparser
         ):
             for target in node.targets:
                 if isinstance(target, ast.Name):
@@ -109,10 +136,12 @@ def _enrich_flags(
     return flags
 
 
-def _flag_to_field(flag: str, fields: dict[str, int]) -> str | None:
+def _flag_to_field(
+    flag: str, fields: dict[str, int], pin: ConfigPin
+) -> str | None:
     """The config field ``flag`` reaches, or None."""
-    if flag in FLAG_ALIASES:
-        return FLAG_ALIASES[flag]
+    if flag in pin.flag_aliases:
+        return pin.flag_aliases[flag]
     if flag in fields:
         return flag
     if flag.startswith("no_") and flag[3:] in fields:
@@ -124,15 +153,22 @@ class ConfigDriftRule(Rule):
     rule_id = "RL004"
     title = "config drift"
     hint = (
-        "keep EnrichmentConfig fields, the enrich subparser, and the "
+        "keep config dataclass fields, their CLI subparser, and the "
         "README in lockstep: add the missing flag/field/mention (see "
-        "FLAG_ALIASES in rules_config.py for historical spellings)"
+        "PINS in rules_config.py for the pinned pairs and historical "
+        "flag spellings)"
     )
 
     def check(self, project: Project) -> Iterator[Finding]:
-        located = _config_fields(project)
+        for pin in PINS:
+            yield from self._check_pin(project, pin)
+
+    def _check_pin(
+        self, project: Project, pin: ConfigPin
+    ) -> Iterator[Finding]:
+        located = _config_fields(project, pin.config_class)
         if located is None:
-            return  # no config class in this project: nothing to pin
+            return  # pin's config class absent here: nothing to pin
         config_module, fields = located
         cli_module = None
         for module in project.modules:
@@ -143,13 +179,13 @@ class ConfigDriftRule(Rule):
             yield self.finding(
                 config_module,
                 1,
-                f"{CONFIG_CLASS} exists but no cli.py module does; "
+                f"{pin.config_class} exists but no cli.py module does; "
                 "fields are unreachable from any command line",
             )
             return
-        flags = _enrich_flags(cli_module)
+        flags = _subparser_flags(cli_module, pin.subparser)
         reachable_fields = {
-            _flag_to_field(flag, fields) for flag in flags
+            _flag_to_field(flag, fields, pin) for flag in flags
         }
 
         for name, line in sorted(fields.items()):
@@ -157,8 +193,8 @@ class ConfigDriftRule(Rule):
                 yield self.finding(
                     config_module,
                     line,
-                    f"{CONFIG_CLASS}.{name} has no corresponding "
-                    f"'{SUBPARSER}' CLI flag (field is unreachable "
+                    f"{pin.config_class}.{name} has no corresponding "
+                    f"'{pin.subparser}' CLI flag (field is unreachable "
                     "from the command line)",
                 )
             readme = project.readme_text
@@ -168,18 +204,18 @@ class ConfigDriftRule(Rule):
                 yield self.finding(
                     config_module,
                     line,
-                    f"{CONFIG_CLASS}.{name} is not mentioned in "
+                    f"{pin.config_class}.{name} is not mentioned in "
                     "README.md",
                     hint="document the field (the README config table)",
                 )
 
         for flag, line in sorted(flags.items()):
-            if flag in NON_CONFIG_FLAGS:
+            if flag in pin.non_config_flags:
                 continue
-            if _flag_to_field(flag, fields) is None:
+            if _flag_to_field(flag, fields, pin) is None:
                 yield self.finding(
                     cli_module,
                     line,
-                    f"'{SUBPARSER}' flag --{flag.replace('_', '-')} "
-                    f"maps to no {CONFIG_CLASS} field",
+                    f"'{pin.subparser}' flag --{flag.replace('_', '-')} "
+                    f"maps to no {pin.config_class} field",
                 )

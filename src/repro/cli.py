@@ -10,6 +10,8 @@ Seven subcommands mirror how a downstream user drives the library:
   an on-disk corpus index store (see :mod:`repro.corpus.index_store`);
 * ``serve`` — run the HTTP enrichment & shared-cache service
   (see :mod:`repro.service`);
+* ``recommend`` — rank candidate ontologies against input text or a
+  scenario corpus (see :mod:`repro.recommend`);
 * ``cache-info`` — inspect a feature-cache store's layout, on disk
   (``--cache-dir``) or through a live service (``--cache-url``);
 * ``lint`` — run the project-invariant static analysis
@@ -274,6 +276,19 @@ def _parse_watch_specs(specs: list[str]) -> dict[str, Path]:
     return watch
 
 
+def _parse_ontology_specs(specs: list[str]) -> dict[str, Path]:
+    """``NAME=PATH`` specs → named ontology files (JSON or ``.obo``)."""
+    ontologies: dict[str, Path] = {}
+    for spec in specs:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            raise SystemExit(
+                f"--ontology must look like NAME=PATH, got {spec!r}"
+            )
+        ontologies[name] = Path(path)
+    return ontologies
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import serve
 
@@ -288,7 +303,70 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         access_log=args.access_log,
         watch=_parse_watch_specs(args.watch),
         watch_poll_seconds=args.watch_poll,
+        ontologies=_parse_ontology_specs(args.ontology),
     )
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    """Rank registered ontologies against text or a scenario corpus.
+
+    ``--format json`` prints exactly the ``POST /recommend`` response
+    body (``json.dumps(report.to_dict(), sort_keys=True)``), so the two
+    surfaces are byte-identical for the same input.
+    """
+    import json as _json
+
+    from repro.errors import ValidationError
+    from repro.recommend import OntologyRegistry, RecommendConfig, Recommender
+
+    if args.text is None and args.scenario is None:
+        print(
+            "error: --text and/or --scenario is required", file=sys.stderr
+        )
+        return 2
+    try:
+        config = RecommendConfig(
+            coverage_weight=args.coverage_weight,
+            acceptance_weight=args.acceptance_weight,
+            detail_weight=args.detail_weight,
+            specialization_weight=args.specialization_weight,
+            synonym_factor=args.synonym_factor,
+            multiword_factor=args.multiword_factor,
+            max_set_size=args.max_set_size,
+            min_coverage_gain=args.min_coverage_gain,
+        )
+        registry = OntologyRegistry()
+        for name, path in _parse_ontology_specs(args.ontology).items():
+            registry.register_path(name, path)
+        recommender = Recommender(registry, config)
+        index = None
+        if args.scenario is not None:
+            from repro.corpus.index import CorpusIndex
+
+            index = CorpusIndex(
+                read_corpus_jsonl(Path(args.scenario) / "corpus.jsonl")
+            )
+        if args.text is not None:
+            text = (
+                sys.stdin.read()
+                if args.text == "-"
+                else Path(args.text).read_text(encoding="utf-8")
+            )
+            report = recommender.recommend_text(
+                text,
+                acceptance_index=index,
+                acceptance_source="corpus" if index is not None else None,
+            )
+        else:
+            report = recommender.recommend_index(index)
+    except (OSError, ValidationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(_json.dumps(report.to_dict(), sort_keys=True))
+    else:
+        print(report.to_table())
+    return 0
 
 
 def _cmd_watch(args: argparse.Namespace) -> int:
@@ -737,7 +815,68 @@ def build_parser() -> argparse.ArgumentParser:
         "--watch-poll", type=float, default=1.0,
         help="seconds between scans of watched directories",
     )
+    serve.add_argument(
+        "--ontology", action="append", default=[], metavar="NAME=PATH",
+        help="register an ontology (JSON or .obo) as a POST /recommend "
+        "candidate; repeatable",
+    )
     serve.set_defaults(fn=_cmd_serve)
+
+    recommend = sub.add_parser(
+        "recommend",
+        help="rank ontologies against input text or a scenario corpus",
+    )
+    recommend.add_argument(
+        "--ontology", action="append", required=True, metavar="NAME=PATH",
+        help="register a candidate ontology (JSON or .obo); repeatable",
+    )
+    recommend.add_argument(
+        "--text", default=None, metavar="PATH",
+        help="input text file to annotate ('-' = stdin)",
+    )
+    recommend.add_argument(
+        "--scenario", default=None, metavar="DIR",
+        help="scenario directory (the `repro generate` layout): its "
+        "corpus.jsonl is the input when --text is absent, and the "
+        "acceptance reference when --text is given too",
+    )
+    recommend.add_argument(
+        "--coverage-weight", type=float, default=0.55,
+        help="weight of the coverage criterion",
+    )
+    recommend.add_argument(
+        "--acceptance-weight", type=float, default=0.15,
+        help="weight of the acceptance criterion",
+    )
+    recommend.add_argument(
+        "--detail-weight", type=float, default=0.15,
+        help="weight of the detail criterion",
+    )
+    recommend.add_argument(
+        "--specialization-weight", type=float, default=0.15,
+        help="weight of the specialization criterion",
+    )
+    recommend.add_argument(
+        "--synonym-factor", type=float, default=0.8,
+        help="coverage down-weight for synonym (non-preferred) matches",
+    )
+    recommend.add_argument(
+        "--multiword-factor", type=float, default=2.0,
+        help="coverage up-weight for multi-word label matches",
+    )
+    recommend.add_argument(
+        "--max-set-size", type=int, default=3,
+        help="maximum ontologies in the recommended set",
+    )
+    recommend.add_argument(
+        "--min-coverage-gain", type=float, default=0.05,
+        help="coverage a later set member must add to be admitted",
+    )
+    recommend.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json = the POST /recommend wire document)",
+    )
+    recommend.set_defaults(fn=_cmd_recommend)
 
     watch = sub.add_parser(
         "watch",

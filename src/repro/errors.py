@@ -25,6 +25,14 @@ class ConvergenceWarning(UserWarning):
     """An iterative optimiser stopped at its iteration cap before converging."""
 
 
+class LabelCollisionWarning(UserWarning):
+    """Two spellings of one concept label collide after normalisation.
+
+    The loaders keep the first spelling and drop the rest — lossy, so it
+    warns instead of passing silently.
+    """
+
+
 class OntologyError(ReproError):
     """The ontology structure is inconsistent (unknown ids, cycles, ...)."""
 

@@ -8,12 +8,43 @@ ontologies inspectable with a pager.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 
-from repro.errors import OntologyError
-from repro.ontology.model import Concept, Ontology
+from repro.errors import LabelCollisionWarning, OntologyError
+from repro.ontology.model import Concept, Ontology, normalize_term
 
 _FORMAT_VERSION = 1
+
+
+def dedupe_labels(
+    concept_id: str, preferred_term: str, synonyms: list[str]
+) -> list[str]:
+    """Drop synonyms that normalise to an already-seen label of the concept.
+
+    ``"Eye Diseases"`` and ``"eye  diseases"`` are one label to the model
+    (:func:`~repro.ontology.model.normalize_term` folds case and spacing),
+    so a file carrying both is redundant at best and a silent data-entry
+    error at worst.  First spelling wins — the preferred term, then
+    synonyms in file order — and each dropped spelling raises a
+    :class:`~repro.errors.LabelCollisionWarning` naming the winner.
+    """
+    seen: dict[str, str] = {normalize_term(preferred_term): preferred_term}
+    kept: list[str] = []
+    for synonym in synonyms:
+        norm = normalize_term(synonym)
+        winner = seen.get(norm)
+        if winner is None:
+            seen[norm] = synonym
+            kept.append(synonym)
+        else:
+            warnings.warn(
+                f"concept {concept_id!r}: label {synonym!r} collides with "
+                f"{winner!r} after normalisation; keeping {winner!r}",
+                LabelCollisionWarning,
+                stacklevel=2,
+            )
+    return kept
 
 
 def ontology_to_json(ontology: Ontology) -> dict:
@@ -47,7 +78,11 @@ def ontology_from_json(payload: dict) -> Ontology:
             Concept(
                 concept_id=entry["id"],
                 preferred_term=entry["preferred_term"],
-                synonyms=list(entry.get("synonyms", [])),
+                synonyms=dedupe_labels(
+                    entry["id"],
+                    entry["preferred_term"],
+                    list(entry.get("synonyms", [])),
+                ),
                 year_added=entry.get("year_added"),
                 tree_numbers=list(entry.get("tree_numbers", [])),
             )
@@ -97,11 +132,14 @@ def ontology_from_obo(text: str, name: str = "obo-import") -> Ontology:
     def flush(entry: dict | None) -> None:
         if not entry or "id" not in entry:
             return
+        preferred = entry.get("name", entry["id"])
         onto.add_concept(
             Concept(
                 concept_id=entry["id"],
-                preferred_term=entry.get("name", entry["id"]),
-                synonyms=entry.get("synonyms", []),
+                preferred_term=preferred,
+                synonyms=dedupe_labels(
+                    entry["id"], preferred, entry.get("synonyms", [])
+                ),
                 year_added=entry.get("year_added"),
             )
         )

@@ -1,0 +1,112 @@
+"""Configuration of the ontology recommendation engine.
+
+The four criterion weights follow NCBO Ontology Recommender 2.0's
+defaults (coverage dominates; acceptance, detail, and specialization
+refine the ranking among ontologies that cover the input comparably).
+Weights are relative — they are normalised by their sum, so
+``(55, 15, 15, 15)`` and ``(0.55, 0.15, 0.15, 0.15)`` are the same
+configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class RecommendConfig:
+    """Knobs of the recommendation scoring model.
+
+    Parameters
+    ----------
+    coverage_weight:
+        Weight of the **coverage** criterion: how much of the input the
+        ontology annotates (multi-word and preferred-term matches count
+        more, per Recommender 2.0).
+    acceptance_weight:
+        Weight of the **acceptance** criterion: how established the
+        matched labels are, proxied by their document frequencies in a
+        reference corpus index (0 when no corpus is available).
+    detail_weight:
+        Weight of the **detail** criterion: synonym/relation/metadata
+        density of the matched concepts.
+    specialization_weight:
+        Weight of the **specialization** criterion: how deep in the
+        hierarchy the matched concepts sit (depth-weighted position).
+    synonym_factor:
+        Multiplier applied to a match through a synonym rather than a
+        preferred term (< 1 favours ontologies whose canonical names
+        match the input directly).
+    multiword_factor:
+        Multiplier applied per matched multi-word label occurrence —
+        multi-word matches are far less likely to be accidental.
+    max_set_size:
+        Upper bound on the greedy ontology-set recommendation's size.
+    min_coverage_gain:
+        Coverage-gain pruning threshold of the set recommendation: the
+        greedy loop stops when adding the best remaining ontology grows
+        covered-token fraction by less than this.
+    """
+
+    coverage_weight: float = 0.55
+    acceptance_weight: float = 0.15
+    detail_weight: float = 0.15
+    specialization_weight: float = 0.15
+    synonym_factor: float = 0.8
+    multiword_factor: float = 2.0
+    max_set_size: int = 3
+    min_coverage_gain: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in (
+            "coverage_weight",
+            "acceptance_weight",
+            "detail_weight",
+            "specialization_weight",
+        ):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValidationError(f"{name} must be >= 0, got {value}")
+        if self.weight_sum() <= 0:
+            raise ValidationError("criterion weights must not all be zero")
+        if self.synonym_factor <= 0:
+            raise ValidationError(
+                f"synonym_factor must be > 0, got {self.synonym_factor}"
+            )
+        if self.multiword_factor <= 0:
+            raise ValidationError(
+                f"multiword_factor must be > 0, got {self.multiword_factor}"
+            )
+        if self.max_set_size < 1:
+            raise ValidationError(
+                f"max_set_size must be >= 1, got {self.max_set_size}"
+            )
+        if not 0.0 <= self.min_coverage_gain <= 1.0:
+            raise ValidationError(
+                "min_coverage_gain must be in [0, 1], "
+                f"got {self.min_coverage_gain}"
+            )
+
+    def weight_sum(self) -> float:
+        """Sum of the four criterion weights (the normaliser)."""
+        return (
+            self.coverage_weight
+            + self.acceptance_weight
+            + self.detail_weight
+            + self.specialization_weight
+        )
+
+    def to_dict(self) -> dict:
+        """The config as a JSON-compatible dict (the report wire shape)."""
+        return {
+            "coverage_weight": self.coverage_weight,
+            "acceptance_weight": self.acceptance_weight,
+            "detail_weight": self.detail_weight,
+            "specialization_weight": self.specialization_weight,
+            "synonym_factor": self.synonym_factor,
+            "multiword_factor": self.multiword_factor,
+            "max_set_size": self.max_set_size,
+            "min_coverage_gain": self.min_coverage_gain,
+        }

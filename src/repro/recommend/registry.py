@@ -1,0 +1,175 @@
+"""The ontology registry: snapshots loaded once, annotation-ready.
+
+A recommendation request scores *many* ontologies against one input, so
+per-ontology work that does not depend on the input — label extraction,
+the :class:`~repro.recommend.trie.LabelTrie`, concept depths, detail
+densities — is computed exactly once, at registration time.  The
+registry is **built at startup and read-only afterwards** (no locking
+needed): ``repro serve --ontology NAME=PATH`` registers before the
+server accepts a request, and the CLI registers before it recommends.
+
+Registration reuses the ontology I/O and snapshot machinery:
+:meth:`OntologyRegistry.register_path` reads the JSON/OBO formats of
+:mod:`repro.ontology.io`, and ``cutoff_year`` registers the ontology
+*as of an earlier release* via
+:func:`repro.ontology.snapshot.snapshot_before` — the Aber-OWL shape of
+serving several repository versions side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ValidationError
+from repro.ontology.io import ontology_from_obo, read_ontology_json
+from repro.ontology.model import Ontology
+from repro.ontology.snapshot import snapshot_before
+from repro.recommend.trie import LabelTrie
+
+
+@dataclass(frozen=True)
+class LabelInfo:
+    """What the annotator needs to know about one (normalised) label."""
+
+    label: str
+    n_tokens: int
+    concept_ids: tuple[str, ...]  # sorted: the deterministic winner order
+    preferred: bool  # preferred term of at least one of its concepts
+
+
+@dataclass(frozen=True)
+class ConceptInfo:
+    """Input-independent per-concept scores, computed at registration."""
+
+    depth: int
+    detail: float  # synonym/relation/metadata density in [0, 1]
+
+
+class RegisteredOntology:
+    """One ontology plus its precomputed annotation structures."""
+
+    def __init__(self, name: str, ontology: Ontology) -> None:
+        self.name = name
+        self.ontology = ontology
+        self.labels: dict[str, LabelInfo] = {}
+        preferred_norms = {
+            concept.all_terms()[0] for concept in ontology
+        }
+        for label in ontology.terms():
+            self.labels[label] = LabelInfo(
+                label=label,
+                n_tokens=len(label.split()),
+                concept_ids=tuple(ontology.concepts_for_term(label)),
+                preferred=label in preferred_norms,
+            )
+        self.trie = LabelTrie(self.labels)
+        self.concepts: dict[str, ConceptInfo] = {
+            concept.concept_id: ConceptInfo(
+                depth=ontology.depth(concept.concept_id),
+                detail=_detail_density(ontology, concept.concept_id),
+            )
+            for concept in ontology
+        }
+        self.max_depth = max(
+            (info.depth for info in self.concepts.values()), default=0
+        )
+
+    @property
+    def n_concepts(self) -> int:
+        return len(self.ontology)
+
+    @property
+    def n_labels(self) -> int:
+        return len(self.labels)
+
+
+def _detail_density(ontology: Ontology, concept_id: str) -> float:
+    """Synonym/relation/metadata density of one concept, in [0, 1].
+
+    Three equal-weight components, each saturating (an ontology is not
+    "more detailed" for piling 40 synonyms on one concept): synonyms
+    (3 saturate), hierarchy relations (3 fathers+sons saturate), and
+    structured metadata (tree numbers or a release year present).
+    """
+    concept = ontology.concept(concept_id)
+    synonyms = min(1.0, len(concept.all_terms()[1:]) / 3.0)
+    relations = min(
+        1.0,
+        (len(ontology.fathers(concept_id)) + len(ontology.sons(concept_id)))
+        / 3.0,
+    )
+    metadata = 1.0 if concept.tree_numbers or concept.year_added else 0.0
+    return (synonyms + relations + metadata) / 3.0
+
+
+class OntologyRegistry:
+    """Named :class:`RegisteredOntology` instances, built once, read-only.
+
+    >>> from repro.ontology.model import Concept, Ontology
+    >>> onto = Ontology("demo")
+    >>> _ = onto.add_concept(Concept("C1", "eye diseases"))
+    >>> registry = OntologyRegistry()
+    >>> registry.register("demo", onto)
+    >>> registry.names()
+    ['demo']
+    """
+
+    def __init__(self) -> None:
+        self._ontologies: dict[str, RegisteredOntology] = {}
+
+    def register(
+        self,
+        name: str,
+        ontology: Ontology,
+        *,
+        cutoff_year: int | None = None,
+    ) -> RegisteredOntology:
+        """Register ``ontology`` under ``name``.
+
+        ``cutoff_year`` registers the snapshot *before* that release
+        year instead (see
+        :func:`repro.ontology.snapshot.snapshot_before`), so one loaded
+        ontology can be served at several historical versions.
+        """
+        if not name:
+            raise ValidationError("ontology name must be non-empty")
+        if name in self._ontologies:
+            raise ValidationError(f"ontology {name!r} already registered")
+        if cutoff_year is not None:
+            ontology = snapshot_before(ontology, cutoff_year)
+        registered = RegisteredOntology(name, ontology)
+        self._ontologies[name] = registered
+        return registered
+
+    def register_path(
+        self, name: str, path: str | Path
+    ) -> RegisteredOntology:
+        """Load ``path`` (``.obo`` text, otherwise ontology JSON) and register."""
+        path = Path(path)
+        if not path.is_file():
+            raise ValidationError(f"no ontology file at {path}")
+        if path.suffix == ".obo":
+            ontology = ontology_from_obo(path.read_text(), name=name)
+        else:
+            ontology = read_ontology_json(path)
+        return self.register(name, ontology)
+
+    def names(self) -> list[str]:
+        """Registered names, sorted."""
+        return sorted(self._ontologies)
+
+    def get(self, name: str) -> RegisteredOntology:
+        """The registration for ``name`` (raises ValidationError if absent)."""
+        try:
+            return self._ontologies[name]
+        except KeyError:
+            raise ValidationError(
+                f"unknown ontology {name!r}; registered: {self.names()}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ontologies
+
+    def __len__(self) -> int:
+        return len(self._ontologies)

@@ -1,0 +1,153 @@
+"""The recommendation report: ranking + ontology set, one wire shape.
+
+:meth:`RecommendationReport.to_dict` is **the** serialisation: the
+``repro recommend --format json`` output and the ``POST /recommend``
+response body are both exactly
+``json.dumps(report.to_dict(), sort_keys=True)`` — byte-identical for
+the same input, which the service tests assert.  Scores are rounded to
+six decimals at the boundary so the document is stable across float
+summation orders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.recommend.config import RecommendConfig
+from repro.recommend.scoring import CRITERIA
+from repro.utils.tables import format_table
+
+#: Decimal places of every score in the wire document.
+SCORE_DECIMALS = 6
+
+
+def _round(value: float) -> float:
+    return round(value, SCORE_DECIMALS)
+
+
+@dataclass(frozen=True)
+class OntologyScore:
+    """One ontology's evaluation against the input."""
+
+    name: str
+    scores: dict[str, float]  # per criterion, [0, 1]
+    aggregate: float
+    n_matches: int  # matched label occurrences
+    n_labels_matched: int  # distinct matched labels
+    n_concepts_matched: int  # distinct matched concepts
+    covered_fraction: float  # input tokens inside >= 1 match
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "scores": {
+                criterion: _round(self.scores.get(criterion, 0.0))
+                for criterion in CRITERIA
+            },
+            "aggregate": _round(self.aggregate),
+            "n_matches": self.n_matches,
+            "n_labels_matched": self.n_labels_matched,
+            "n_concepts_matched": self.n_concepts_matched,
+            "covered_fraction": _round(self.covered_fraction),
+        }
+
+
+@dataclass(frozen=True)
+class SetStep:
+    """One greedy admission into the recommended ontology set."""
+
+    name: str
+    coverage_gain: float  # covered-fraction growth this member added
+    set_coverage: float  # union covered fraction after admission
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "coverage_gain": _round(self.coverage_gain),
+            "set_coverage": _round(self.set_coverage),
+        }
+
+
+@dataclass(frozen=True)
+class SetRecommendation:
+    """The greedy ontology-set result (may be empty: nothing matched)."""
+
+    members: tuple[str, ...]
+    coverage: float  # union covered fraction of the members
+    aggregate: float  # combined weighted score of the set
+    steps: tuple[SetStep, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "members": list(self.members),
+            "coverage": _round(self.coverage),
+            "aggregate": _round(self.aggregate),
+            "steps": [step.to_dict() for step in self.steps],
+        }
+
+
+@dataclass(frozen=True)
+class RecommendationReport:
+    """Ranked single-ontology scores plus the set recommendation."""
+
+    input_kind: str  # "text" | "corpus"
+    n_tokens: int
+    config: RecommendConfig
+    ranking: tuple[OntologyScore, ...]  # sorted: best first
+    ontology_set: SetRecommendation
+    acceptance_source: str | None  # corpus name / "input" / None
+
+    def to_dict(self) -> dict:
+        """The wire document (CLI ``--format json`` == ``POST /recommend``)."""
+        return {
+            "input": {
+                "kind": self.input_kind,
+                "n_tokens": self.n_tokens,
+                "acceptance_source": self.acceptance_source,
+            },
+            "config": self.config.to_dict(),
+            "ranking": [score.to_dict() for score in self.ranking],
+            "set": self.ontology_set.to_dict(),
+        }
+
+    def to_table(self) -> str:
+        """Human-readable rendering (CLI ``--format text``)."""
+        rows = [
+            [
+                rank + 1,
+                score.name,
+                *(f"{score.scores.get(c, 0.0):.3f}" for c in CRITERIA),
+                f"{score.aggregate:.3f}",
+                score.n_matches,
+                score.n_concepts_matched,
+            ]
+            for rank, score in enumerate(self.ranking)
+        ]
+        ranking = format_table(
+            ["#", "ontology", *CRITERIA, "score", "matches", "concepts"],
+            rows,
+            title=(
+                f"Ontology recommendation over {self.n_tokens} "
+                f"{self.input_kind} tokens"
+            ),
+        )
+        if not self.ontology_set.members:
+            return ranking + "\n\nRecommended set: (no ontology matched)"
+        steps = format_table(
+            ["step", "ontology", "coverage gain", "set coverage"],
+            [
+                [
+                    position + 1,
+                    step.name,
+                    f"{step.coverage_gain:.3f}",
+                    f"{step.set_coverage:.3f}",
+                ]
+                for position, step in enumerate(self.ontology_set.steps)
+            ],
+            title=(
+                f"Recommended set ({', '.join(self.ontology_set.members)}) "
+                f"— coverage {self.ontology_set.coverage:.3f}, "
+                f"score {self.ontology_set.aggregate:.3f}"
+            ),
+        )
+        return ranking + "\n\n" + steps

@@ -680,6 +680,54 @@ class ServiceClient:
                 )
             time.sleep(poll)
 
+    # -- ontology recommendation --------------------------------------------
+
+    def recommend(
+        self,
+        *,
+        text: str | None = None,
+        corpus: str | None = None,
+        ontologies: list[str] | None = None,
+        acceptance_corpus: str | None = None,
+        config: dict | None = None,
+        mode: str | None = None,
+        idempotency_key: str | None = None,
+    ) -> dict:
+        """``POST /recommend``: rank the served ontologies.
+
+        Exactly one of ``text`` / ``corpus`` (a registered scenario
+        name) is required.  Small text is answered synchronously — the
+        returned dict is the full
+        :meth:`~repro.recommend.report.RecommendationReport.to_dict`
+        document; corpus input and oversized text return a queued job
+        document (``{"job": id, "replayed": bool}``) to poll with
+        :meth:`wait_for_job` (the report arrives under its ``report``
+        key).  ``mode`` forces the routing (``"sync"`` / ``"job"``).
+        """
+        payload: dict = {}
+        if text is not None:
+            payload["text"] = text
+        if corpus is not None:
+            payload["corpus"] = corpus
+        if ontologies is not None:
+            payload["ontologies"] = list(ontologies)
+        if acceptance_corpus is not None:
+            payload["acceptance_corpus"] = acceptance_corpus
+        if config is not None:
+            payload["config"] = config
+        if mode is not None:
+            payload["mode"] = mode
+        headers = {}
+        if idempotency_key is not None:
+            headers["Idempotency-Key"] = idempotency_key
+        return self._json(
+            "POST",
+            "/recommend",
+            payload=payload,
+            expect=(200, 202),  # 200 = sync report / replay, 202 = queued
+            headers=headers,
+        )
+
     # -- streaming deltas ---------------------------------------------------
 
     def post_documents(

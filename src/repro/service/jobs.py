@@ -32,7 +32,11 @@ from repro.corpus.io import read_corpus_jsonl
 from repro.errors import ValidationError
 from repro.ontology.io import read_ontology_json
 from repro.ontology.model import Ontology
+from repro.corpus.index import CorpusIndex
 from repro.polysemy.cache_store import DiskCacheStore
+from repro.recommend.config import RecommendConfig
+from repro.recommend.engine import Recommender
+from repro.recommend.registry import OntologyRegistry
 from repro.service.metrics import ServiceMetrics
 from repro.workflow.config import EnrichmentConfig
 from repro.workflow.pipeline import OntologyEnricher
@@ -148,6 +152,13 @@ class JobManager:
         Optional :class:`~repro.service.metrics.ServiceMetrics`; when
         given, submissions and completions land in the job counters and
         the job-latency histogram served by ``/metrics``.
+    registry:
+        Optional :class:`~repro.recommend.registry.OntologyRegistry`
+        (``repro serve --ontology NAME=PATH``): the candidate
+        ontologies of ``POST /recommend``.  Recommendation against a
+        registered *corpus* queries that corpus's
+        :class:`~repro.corpus.index.CorpusIndex`, built lazily once per
+        scenario and shared with every later recommendation.
     """
 
     def __init__(
@@ -159,6 +170,7 @@ class JobManager:
         max_finished_jobs: int = DEFAULT_MAX_FINISHED_JOBS,
         index_dir: str | Path | None = None,
         metrics: ServiceMetrics | None = None,
+        registry: OntologyRegistry | None = None,
     ) -> None:
         if job_workers < 1:
             raise ValidationError(
@@ -188,6 +200,10 @@ class JobManager:
         #: growing corpus, a lock serialising its deltas (the pool may
         #: run several workers, but one scenario's corpus must grow one
         #: batch at a time), and the bounded diff history.
+        self.registry = registry if registry is not None else OntologyRegistry()
+        #: Scenario name -> CorpusIndex for /recommend corpus inputs,
+        #: built on first use from the shared loaded corpus.
+        self._recommend_indexes: dict[str, CorpusIndex] = {}
         self._streamers: dict[str, StreamingEnricher] = {}
         self._scenario_locks: dict[str, threading.Lock] = {}
         self._delta_history: dict[str, list[dict]] = {}
@@ -388,6 +404,182 @@ class JobManager:
         with self._lock:
             history = self._delta_history.get(corpus, [])
             return [delta for delta in history if delta["seq"] > since]
+
+    # -- ontology recommendation -------------------------------------------
+
+    def run_recommend(self, payload: dict) -> dict:
+        """Execute one recommendation request; returns the wire document.
+
+        ``payload`` is the validated ``POST /recommend`` body: ``text``
+        (raw input) or ``corpus`` (a registered scenario, annotated
+        through its index), optional ``ontologies`` (a subset of
+        registered names), ``acceptance_corpus`` (a registered scenario
+        backing the acceptance criterion for text input), and
+        ``config`` (:class:`~repro.recommend.config.RecommendConfig`
+        field overrides).  Shared by the synchronous route and the job
+        runner, so both produce the identical document.
+        """
+        config = self._recommend_config(payload.get("config"))
+        recommender = Recommender(self.registry, config)
+        ontologies = payload.get("ontologies")
+        if payload.get("corpus") is not None:
+            index = self._recommend_index(str(payload["corpus"]))
+            report = recommender.recommend_index(
+                index, ontologies=ontologies
+            )
+        else:
+            acceptance = payload.get("acceptance_corpus")
+            acceptance_index = (
+                self._recommend_index(str(acceptance))
+                if acceptance is not None
+                else None
+            )
+            report = recommender.recommend_text(
+                str(payload.get("text", "")),
+                ontologies=ontologies,
+                acceptance_index=acceptance_index,
+                acceptance_source=(
+                    "corpus" if acceptance_index is not None else None
+                ),
+            )
+        return report.to_dict()
+
+    def submit_recommend(
+        self,
+        payload: dict,
+        *,
+        idempotency_key: str | None = None,
+    ) -> tuple[str, bool]:
+        """Queue a recommendation job (``kind="recommend"``).
+
+        Used by ``POST /recommend`` for corpus inputs and oversized
+        text, where running in the handler thread would stall the
+        keep-alive connection.  Same ``Idempotency-Key`` contract as
+        :meth:`submit_detailed`; poll ``GET /jobs/<id>`` for the
+        :meth:`~repro.recommend.report.RecommendationReport.to_dict`
+        document.
+        """
+        # Fail fast on an unknown config field or unknown names; a job
+        # that can only fail must be rejected at submit time (400), not
+        # discovered by the poller.
+        self._recommend_config(payload.get("config"))
+        corpus_label = (
+            str(payload["corpus"])
+            if payload.get("corpus") is not None
+            else "text"
+        )
+        if idempotency_key is not None:
+            if not idempotency_key:
+                raise ValidationError("Idempotency-Key must be non-empty")
+            if len(idempotency_key) > MAX_IDEMPOTENCY_KEY_LENGTH:
+                raise ValidationError(
+                    "Idempotency-Key exceeds "
+                    f"{MAX_IDEMPOTENCY_KEY_LENGTH} characters"
+                )
+        fingerprint = json.dumps({"recommend": payload}, sort_keys=True)
+        # The job document shows the request minus the (possibly large)
+        # text body, which is summarised by its size instead.
+        overrides = {k: v for k, v in payload.items() if k != "text"}
+        if "text" in payload:
+            overrides["text_bytes"] = len(
+                str(payload["text"]).encode("utf-8")
+            )
+        with self._lock:
+            if idempotency_key is not None:
+                known = self._idempotency.get(idempotency_key)
+                if known is not None:
+                    known_id, known_fingerprint = known
+                    if known_fingerprint != fingerprint:
+                        raise IdempotencyConflictError(
+                            f"Idempotency-Key {idempotency_key!r} was "
+                            "already used for a different submission"
+                        )
+                    if self._metrics is not None:
+                        self._metrics.job_submitted(
+                            corpus_label, replayed=True
+                        )
+                    return known_id, True
+            job = Job(
+                job_id=f"job-{next(self._ids):06d}",
+                corpus=corpus_label,
+                overrides=overrides,
+                kind="recommend",
+                idempotency_key=idempotency_key,
+            )
+            self._jobs[job.job_id] = job
+            if idempotency_key is not None:
+                self._idempotency[idempotency_key] = (
+                    job.job_id,
+                    fingerprint,
+                )
+            self._prune_finished_locked()
+        if self._metrics is not None:
+            self._metrics.job_submitted(corpus_label, replayed=False)
+        self._pool.submit(self._run_recommend, job, payload)
+        return job.job_id, False
+
+    def _run_recommend(self, job: Job, payload: dict) -> None:
+        with self._lock:
+            job.status = "running"
+            job.started_at = time.time()
+        try:
+            document = self.run_recommend(payload)
+            with self._lock:
+                job.report = document
+                job.status = "done"
+                job.finished_at = time.time()
+            if self._metrics is not None:
+                ranking = document.get("ranking", [])
+                self._metrics.recommend_finished(
+                    mode="job",
+                    seconds=(job.finished_at or 0.0)
+                    - (job.started_at or 0.0),
+                    top_scores=ranking[0]["scores"] if ranking else {},
+                )
+        except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            # Same boundary as _run: a failed recommendation answers
+            # its poll with status="failed" instead of killing the
+            # worker thread.
+            with self._lock:
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.status = "failed"
+                job.finished_at = time.time()
+        if self._metrics is not None:
+            self._metrics.job_finished(
+                job.corpus,
+                status=job.status,
+                seconds=(job.finished_at or 0.0) - (job.started_at or 0.0),
+            )
+
+    @staticmethod
+    def _recommend_config(overrides: dict | None) -> RecommendConfig:
+        """Build the request's config; unknown fields are a 400."""
+        overrides = dict(overrides or {})
+        allowed = {f.name for f in fields(RecommendConfig)}
+        for name in overrides:
+            if name not in allowed:
+                raise ValidationError(
+                    f"unknown recommend config field {name!r}"
+                )
+        return RecommendConfig(**overrides)
+
+    def _recommend_index(self, name: str) -> CorpusIndex:
+        """The scenario's corpus index, built once and shared."""
+        if name not in self._corpora:
+            raise ValidationError(
+                f"unknown corpus {name!r}; registered: {self.corpora()}"
+            )
+        with self._lock:
+            index = self._recommend_indexes.get(name)
+        if index is not None:
+            return index
+        _, corpus = self._load(name)
+        index = CorpusIndex(corpus)
+        with self._lock:
+            # Lost-race duplicates: first one in wins (both were built
+            # from the same loaded corpus).
+            index = self._recommend_indexes.setdefault(name, index)
+        return index
 
     @staticmethod
     def _parse_documents(documents) -> list[Document]:

@@ -45,6 +45,7 @@ __all__ = [
     "MetricsRegistry",
     "ServiceMetrics",
     "DEFAULT_LATENCY_BUCKETS",
+    "SCORE_BUCKETS",
     "CONTENT_TYPE",
 ]
 
@@ -58,6 +59,10 @@ DEFAULT_LATENCY_BUCKETS = (
     0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
     0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
 )
+
+#: Recommendation-score boundaries: criterion scores live in [0, 1], so
+#: ten equal buckets give the score distributions a stable shape.
+SCORE_BUCKETS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
 
 #: Stripe count of the sharded counters.  8 covers the threading
 #: server's realistic handler concurrency without bloating reads.
@@ -460,6 +465,17 @@ class ServiceMetrics:
             "with unchanged postings come warm from the cache instead).",
             ("corpus",),
         )
+        self.recommend_seconds = self.registry.histogram(
+            "repro_recommend_seconds",
+            "Ontology recommendation duration, by mode (sync/job).",
+            ("mode",),
+        )
+        self.recommend_scores = self.registry.histogram(
+            "repro_recommend_score",
+            "Top-ranked ontology's per-criterion recommendation scores.",
+            ("criterion",),
+            buckets=SCORE_BUCKETS,
+        )
 
     def render(self) -> str:
         """The ``GET /metrics`` response body."""
@@ -496,6 +512,20 @@ class ServiceMetrics:
         self.delta_seconds.observe(seconds, corpus=corpus)
         if terms_recomputed:
             self.delta_terms.inc(terms_recomputed, corpus=corpus)
+
+    def recommend_finished(
+        self, *, mode: str, seconds: float, top_scores: dict[str, float]
+    ) -> None:
+        """Record one finished recommendation.
+
+        ``top_scores`` is the winning ontology's per-criterion score
+        map (empty when nothing was ranked): the score histograms track
+        what the *best available* ontology offers over time, which is
+        the "is our registry still adequate" signal.
+        """
+        self.recommend_seconds.observe(seconds, mode=mode)
+        for criterion, score in sorted(top_scores.items()):
+            self.recommend_scores.observe(score, criterion=criterion)
 
 
 class request_timer:

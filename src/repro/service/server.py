@@ -31,6 +31,11 @@ Routes
                              ``Idempotency-Key`` contract as ``/jobs``)
 ``GET  /scenarios/<name>/deltas``     the scenario's diff history
                              (``?since=<seq>`` for incremental polls)
+``POST /recommend``          rank registered ontologies against text
+                             or a registered corpus: small text answers
+                             200 with the report synchronously; corpus
+                             input and oversized text queue a job (202,
+                             ``Idempotency-Key`` honoured)
 ===========================  ==========================================
 
 Vector payloads use the raw-binary wire format of
@@ -68,6 +73,7 @@ from urllib.parse import parse_qsl, urlsplit
 
 from repro.errors import ValidationError
 from repro.polysemy.cache_store import DiskCacheStore
+from repro.recommend.registry import OntologyRegistry
 from repro.service.jobs import (
     IdempotencyConflictError,
     JobManager,
@@ -94,6 +100,12 @@ from repro.service.wire import (
 #: even a full 4096-entry batch frame stays far below it).
 MAX_VECTOR_BYTES = 64 << 20
 
+#: ``POST /recommend`` text at most this large runs synchronously in
+#: the handler thread (annotation over a trie is fast); anything bigger
+#: — and every corpus input — goes through the job queue so a slow
+#: recommendation cannot stall its keep-alive connection.
+SYNC_MAX_TEXT_BYTES = 64 << 10
+
 #: Routes worth an individual metrics label; anything else aggregates
 #: under ``other`` so hostile/typo'd paths cannot mint unbounded label
 #: sets, and job polls share one ``/jobs/{id}`` series.
@@ -108,6 +120,7 @@ _METRIC_ROUTES = frozenset(
         "/vectors/batch",
         "/corpora",
         "/jobs",
+        "/recommend",
     }
 )
 
@@ -147,13 +160,20 @@ class CacheService:
         index_dir: str | Path | None = None,
         metrics: ServiceMetrics | None = None,
         access_log=None,
+        ontologies: dict[str, str | Path] | None = None,
     ) -> None:
         self.store = store
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self._access_log = access_log
+        # Built before the first request and read-only afterwards, so
+        # /recommend handlers share it without locking.
+        self.registry = OntologyRegistry()
+        for name, path in sorted((ontologies or {}).items()):
+            self.registry.register_path(name, path)
         self.jobs = JobManager(
             corpora, store=store, job_workers=job_workers,
             index_dir=index_dir, metrics=self.metrics,
+            registry=self.registry,
         )
         self._lock = threading.Lock()
         self._requests = 0
@@ -457,6 +477,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self._get_vector_batch()
         elif route == "/jobs":
             self._submit_job()
+        elif route == "/recommend":
+            self._post_recommend()
         elif route.startswith("/scenarios/") and route.endswith("/documents"):
             self._post_documents(route)
         else:
@@ -675,6 +697,133 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         else:
             self._send_json(202, {"job": job_id, "replayed": False})
 
+    # -- recommendation endpoint ----------------------------------------------
+
+    def _post_recommend(self) -> None:
+        """``POST /recommend``: rank the registered ontologies.
+
+        Small text inputs are answered synchronously (200 + the exact
+        :meth:`~repro.recommend.report.RecommendationReport.to_dict`
+        document — byte-identical to ``repro recommend --format
+        json``); corpus inputs and oversized text queue a job with the
+        usual 202/200 + ``Idempotency-Key`` contract.  ``mode`` in the
+        payload (``"auto"``/``"sync"``/``"job"``) overrides the
+        routing.
+        """
+        self.service.count_request()
+        body = self._read_body()
+        if body is None:
+            self._send_error_json(400, "bad Content-Length")
+            return
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, ValueError):
+            self._send_error_json(400, "request body must be JSON")
+            return
+        if not isinstance(payload, dict):
+            self._send_error_json(400, "request body must be a JSON object")
+            return
+        error = self._validate_recommend(payload)
+        if error is not None:
+            status, message = error
+            self._send_error_json(status, message)
+            return
+        mode = str(payload.pop("mode", "auto"))
+        run_sync = mode == "sync" or (
+            mode == "auto"
+            and "text" in payload
+            and len(str(payload["text"]).encode("utf-8"))
+            <= SYNC_MAX_TEXT_BYTES
+        )
+        if run_sync:
+            started = perf_counter()
+            try:
+                document = self.service.jobs.run_recommend(payload)
+            except ValidationError as exc:
+                self._send_error_json(400, str(exc))
+                return
+            ranking = document.get("ranking", [])
+            self.service.metrics.recommend_finished(
+                mode="sync",
+                seconds=perf_counter() - started,
+                top_scores=ranking[0]["scores"] if ranking else {},
+            )
+            self._send_json(200, document)
+            return
+        try:
+            job_id, replayed = self.service.jobs.submit_recommend(
+                payload,
+                idempotency_key=self.headers.get("Idempotency-Key"),
+            )
+        except IdempotencyConflictError as exc:
+            self._send_error_json(409, str(exc))
+            return
+        except ValidationError as exc:
+            self._send_error_json(400, str(exc))
+            return
+        if replayed:
+            self._send_json(200, {"job": job_id, "replayed": True})
+        else:
+            self._send_json(202, {"job": job_id, "replayed": False})
+
+    def _validate_recommend(
+        self, payload: dict
+    ) -> tuple[int, str] | None:
+        """Shape and name checks: ``(status, message)`` or None when OK.
+
+        Malformed structure is a 400; a *well-formed* request naming an
+        unknown ontology or corpus is a 404 (the name is the resource).
+        """
+        has_text = "text" in payload
+        has_corpus = "corpus" in payload
+        if has_text == has_corpus:
+            return 400, 'exactly one of "text" / "corpus" is required'
+        if has_text and not isinstance(payload["text"], str):
+            return 400, '"text" must be a string'
+        if has_corpus and not isinstance(payload["corpus"], str):
+            return 400, '"corpus" must be a string'
+        ontologies = payload.get("ontologies")
+        if ontologies is not None and (
+            not isinstance(ontologies, list)
+            or not ontologies
+            or not all(isinstance(name, str) for name in ontologies)
+        ):
+            return 400, '"ontologies" must be a non-empty list of names'
+        config = payload.get("config")
+        if config is not None and not isinstance(config, dict):
+            return 400, '"config" must be an object'
+        if str(payload.get("mode", "auto")) not in ("auto", "sync", "job"):
+            return 400, '"mode" must be "auto", "sync", or "job"'
+        acceptance = payload.get("acceptance_corpus")
+        if acceptance is not None:
+            if not isinstance(acceptance, str):
+                return 400, '"acceptance_corpus" must be a string'
+            if has_corpus:
+                return 400, (
+                    'corpus input is its own acceptance source; drop '
+                    '"acceptance_corpus"'
+                )
+        registry = self.service.registry
+        if not len(registry):
+            return 400, "no ontologies registered (repro serve --ontology)"
+        for name in ontologies or []:
+            if name not in registry:
+                return 404, (
+                    f"unknown ontology {name!r}; "
+                    f"registered: {registry.names()}"
+                )
+        corpora = self.service.jobs.corpora()
+        if has_corpus and payload["corpus"] not in corpora:
+            return 404, (
+                f"unknown corpus {payload['corpus']!r}; "
+                f"registered: {corpora}"
+            )
+        if acceptance is not None and acceptance not in corpora:
+            return 404, (
+                f"unknown corpus {acceptance!r}; registered: {corpora}"
+            )
+        return None
+
     # -- job endpoints --------------------------------------------------------
 
     def _submit_job(self) -> None:
@@ -738,6 +887,10 @@ class CacheServiceServer:
         Optional on-disk corpus index store shared by the job runner
         (see :class:`~repro.corpus.index_store.IndexStore`): corpus
         indexes persist across jobs and service restarts.
+    ontologies:
+        Optional ``name -> path`` registry (ontology JSON or ``.obo``)
+        of the candidate ontologies of ``POST /recommend``
+        (``repro serve --ontology NAME=PATH``).
 
     Example
     -------
@@ -761,10 +914,12 @@ class CacheServiceServer:
         index_dir: str | Path | None = None,
         metrics: ServiceMetrics | None = None,
         access_log=None,
+        ontologies: dict[str, str | Path] | None = None,
     ) -> None:
         self.service = CacheService(
             store, corpora=corpora, job_workers=job_workers,
             index_dir=index_dir, metrics=metrics, access_log=access_log,
+            ontologies=ontologies,
         )
         self._httpd = _ServiceHTTPServer((host, port), self.service)
         self._thread: threading.Thread | None = None
@@ -853,6 +1008,7 @@ def serve(
     access_log: str | Path | None = None,
     watch: dict[str, str | Path] | None = None,
     watch_poll_seconds: float = 1.0,
+    ontologies: dict[str, str | Path] | None = None,
     ready: "threading.Event | None" = None,
 ) -> int:
     """Blocking entry point of ``repro serve``.
@@ -866,7 +1022,9 @@ def serve(
     names to drop directories: a
     :class:`~repro.service.watcher.DirectoryWatcher` per entry feeds
     dropped ``*.jsonl`` document files into the scenario's delta path
-    (``repro serve --watch NAME=DIR``).
+    (``repro serve --watch NAME=DIR``).  ``ontologies`` maps names to
+    ontology files (JSON or ``.obo``) registered for ``POST
+    /recommend`` (``repro serve --ontology NAME=PATH``).
     """
     store = DiskCacheStore(cache_dir, max_bytes=cache_max_bytes)
     log_writer, log_closer = (None, lambda: None)
@@ -880,6 +1038,7 @@ def serve(
         job_workers=job_workers,
         index_dir=index_dir,
         access_log=log_writer,
+        ontologies=ontologies,
     )
     watchers = []
     if watch:
@@ -910,6 +1069,13 @@ def serve(
             previous[signum] = signal.signal(signum, _interrupt)
     print(f"repro service listening on {server.url} "
           f"(cache_dir={store.cache_dir})", flush=True)
+    registered_ontologies = server.service.registry.names()
+    if registered_ontologies:
+        print(
+            "ontologies registered for /recommend: "
+            + ", ".join(registered_ontologies),
+            flush=True,
+        )
     for watcher in watchers:
         watcher.start()
         print(

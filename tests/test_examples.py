@@ -27,6 +27,7 @@ def examples_on_path(monkeypatch):
             "persistent_cache",
             "cache_service",
             "large_corpus",
+            "recommend",
         }:
             del sys.modules[name]
 
@@ -110,3 +111,10 @@ class TestExamples:
         assert "vectors served over HTTP" in out
         assert "degraded to misses" in out
         assert "served deployment round trip OK" in out
+
+    def test_recommend(self, capsys):
+        out = run_example("recommend", capsys, n_concepts=15,
+                          docs_per_concept=3)
+        assert "winner: full" in out
+        assert "full ontology wins on detail+specialization: True" in out
+        assert "flat adds no coverage: True" in out

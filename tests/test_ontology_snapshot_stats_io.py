@@ -1,8 +1,10 @@
 """Tests for repro.ontology.snapshot, stats, io."""
 
+import warnings
+
 import pytest
 
-from repro.errors import OntologyError
+from repro.errors import LabelCollisionWarning, OntologyError
 from repro.ontology.generator import GeneratorSpec, OntologyGenerator
 from repro.ontology.io import (
     ontology_from_json,
@@ -156,3 +158,60 @@ class TestIo:
         onto = dated_ontology()
         onto.add_synonym("A", "old alias")
         assert 'synonym: "old alias" EXACT []' in ontology_to_obo(onto)
+
+
+class TestLabelCollisions:
+    """Loaders warn on case/space-colliding labels; first spelling wins."""
+
+    def _payload(self, synonyms):
+        return {
+            "format_version": 1,
+            "name": "colliding",
+            "concepts": [
+                {
+                    "id": "C1",
+                    "preferred_term": "Eye Diseases",
+                    "synonyms": synonyms,
+                    "year_added": None,
+                    "tree_numbers": [],
+                    "fathers": [],
+                }
+            ],
+        }
+
+    def test_json_synonym_colliding_with_preferred_is_dropped(self):
+        payload = self._payload(["eye  diseases", "ocular disorders"])
+        with pytest.warns(LabelCollisionWarning, match="'Eye Diseases'"):
+            onto = ontology_from_json(payload)
+        assert onto.concept("C1").synonyms == ["ocular disorders"]
+
+    def test_json_duplicate_synonyms_keep_first_spelling(self):
+        payload = self._payload(["Ocular Disorders", "ocular disorders"])
+        with pytest.warns(LabelCollisionWarning, match="'Ocular Disorders'"):
+            onto = ontology_from_json(payload)
+        assert onto.concept("C1").synonyms == ["Ocular Disorders"]
+
+    def test_json_clean_input_does_not_warn(self):
+        payload = self._payload(["ocular disorders"])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", LabelCollisionWarning)
+            onto = ontology_from_json(payload)
+        assert onto.concept("C1").synonyms == ["ocular disorders"]
+
+    def test_obo_collision_warns_and_dedupes(self):
+        text = "\n".join(
+            [
+                "format-version: 1.2",
+                "ontology: colliding",
+                "",
+                "[Term]",
+                "id: C1",
+                "name: Eye Diseases",
+                'synonym: "EYE DISEASES" EXACT []',
+                'synonym: "ocular disorders" EXACT []',
+                "",
+            ]
+        )
+        with pytest.warns(LabelCollisionWarning, match="C1"):
+            onto = ontology_from_obo(text)
+        assert onto.concept("C1").synonyms == ["ocular disorders"]

@@ -809,3 +809,143 @@ class TestDirectoryWatcher:
         watcher.stop()
         deltas = manager.deltas("demo")
         assert [delta["documents"] for delta in deltas] == [["bg-1"]]
+
+
+class TestRecommendRoute:
+    """POST /recommend against a live server with registered ontologies."""
+
+    @pytest.fixture(scope="class")
+    def assets(self, tmp_path_factory):
+        from repro.ontology.model import Concept, Ontology
+
+        root = tmp_path_factory.mktemp("recommend-assets")
+        scenario = make_enrichment_scenario(
+            seed=0, n_concepts=20, docs_per_concept=4
+        )
+        write_ontology_json(scenario.ontology, root / "full.json")
+        write_corpus_jsonl(scenario.corpus, root / "corpus.jsonl")
+        flat = Ontology("flat")
+        for i, concept in enumerate(scenario.ontology):
+            if i >= 5:
+                break
+            flat.add_concept(
+                Concept(f"F{i}", concept.preferred_term)
+            )
+        write_ontology_json(flat, root / "flat.json")
+        sample = " ".join(
+            concept.preferred_term
+            for i, concept in enumerate(scenario.ontology)
+            if i < 8
+        )
+        (root / "input.txt").write_text(sample)
+        return root
+
+    @pytest.fixture(scope="class")
+    def recommend_server(self, tmp_path_factory, assets):
+        instance = CacheServiceServer(
+            DiskCacheStore(tmp_path_factory.mktemp("recommend-cache")),
+            port=0,
+            corpora={
+                "demo": (assets / "full.json", assets / "corpus.jsonl")
+            },
+            ontologies={
+                "full": assets / "full.json",
+                "flat": assets / "flat.json",
+            },
+        )
+        instance.start()
+        yield instance
+        instance.stop()
+
+    def test_sync_text_ranks_both(self, recommend_server, assets):
+        client = ServiceClient(recommend_server.url)
+        document = client.recommend(
+            text=(assets / "input.txt").read_text(), mode="sync"
+        )
+        names = [entry["name"] for entry in document["ranking"]]
+        assert sorted(names) == ["flat", "full"]
+        assert names[0] == "full"  # hierarchy + synonyms outscore flat
+        for entry in document["ranking"]:
+            assert set(entry["scores"]) == {
+                "coverage", "acceptance", "detail", "specialization"
+            }
+        assert document["input"]["acceptance_source"] is None
+
+    def test_corpus_job_and_idempotent_replay(self, recommend_server):
+        client = ServiceClient(recommend_server.url)
+        first = client.recommend(
+            corpus="demo", idempotency_key="rec-demo-1"
+        )
+        assert "job" in first
+        document = client.wait_for_job(first["job"], timeout=120)
+        assert document["status"] == "done"
+        report = document["report"]
+        assert report["input"]["kind"] == "corpus"
+        assert report["input"]["acceptance_source"] == "input"
+        replay = client.recommend(
+            corpus="demo", idempotency_key="rec-demo-1"
+        )
+        assert replay["job"] == first["job"]
+        assert replay["replayed"] is True
+
+    def test_malformed_payloads_are_400(self, recommend_server):
+        client = ServiceClient(recommend_server.url)
+        with pytest.raises(ServiceError, match="exactly one"):
+            client.recommend(mode="sync")
+        with pytest.raises(ServiceError, match="exactly one"):
+            client.recommend(text="x", corpus="demo")
+        with pytest.raises(ServiceError, match="unknown recommend config"):
+            client.recommend(text="x", config={"bogus_knob": 1}, mode="sync")
+
+    def test_unknown_names_are_404(self, recommend_server):
+        client = ServiceClient(recommend_server.url)
+        with pytest.raises(ServiceError, match="unknown ontology"):
+            client.recommend(text="x", ontologies=["nope"], mode="sync")
+        with pytest.raises(ServiceError, match="unknown corpus"):
+            client.recommend(corpus="ghost")
+
+    def test_cli_and_service_documents_are_byte_identical(
+        self, recommend_server, assets, capsys
+    ):
+        import urllib.request
+
+        from repro.cli import main
+
+        code = main(
+            [
+                "recommend",
+                "--ontology", f"flat={assets / 'flat.json'}",
+                "--ontology", f"full={assets / 'full.json'}",
+                "--text", str(assets / "input.txt"),
+                "--format", "json",
+            ]
+        )
+        assert code == 0
+        cli_bytes = capsys.readouterr().out.rstrip("\n").encode()
+        request = urllib.request.Request(
+            recommend_server.url + "/recommend",
+            data=json.dumps(
+                {
+                    "text": (assets / "input.txt").read_text(),
+                    "mode": "sync",
+                }
+            ).encode(),
+            method="POST",
+        )
+        with urllib.request.urlopen(request) as response:
+            service_bytes = response.read()
+        assert cli_bytes == service_bytes
+
+    def test_recommend_metrics_exported(self, recommend_server, assets):
+        client = ServiceClient(recommend_server.url)
+        client.recommend(
+            text=(assets / "input.txt").read_text(), mode="sync"
+        )
+        text = client.metrics()
+        assert 'repro_recommend_seconds_count{mode="sync"}' in text
+        assert 'repro_recommend_score_count{criterion="coverage"}' in text
+
+    def test_no_registered_ontologies_is_400(self, server):
+        client = ServiceClient(server.url)
+        with pytest.raises(ServiceError, match="no ontologies registered"):
+            client.recommend(text="x", mode="sync")
